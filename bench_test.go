@@ -1,0 +1,395 @@
+package trustseq
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"trustseq/internal/core"
+	"trustseq/internal/cost"
+	"trustseq/internal/distred"
+	"trustseq/internal/dsl"
+	"trustseq/internal/gen"
+	"trustseq/internal/hierarchy"
+	"trustseq/internal/indemnity"
+	"trustseq/internal/interaction"
+	"trustseq/internal/model"
+	"trustseq/internal/paperex"
+	"trustseq/internal/petri"
+	"trustseq/internal/search"
+	"trustseq/internal/sequencing"
+	"trustseq/internal/sim"
+	"trustseq/internal/twopc"
+)
+
+func mustGraph(b *testing.B, p *model.Problem) *sequencing.Graph {
+	b.Helper()
+	ig, err := interaction.New(p)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sg, err := sequencing.NewSplit(ig)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return sg
+}
+
+// --- E1/E2/E5: reduction and synthesis on the paper's figures ------------
+
+func BenchmarkReduceExample1(b *testing.B) {
+	sg := mustGraph(b, paperex.Example1())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !sequencing.Reduce(sg).Feasible() {
+			b.Fatal("infeasible")
+		}
+	}
+}
+
+func BenchmarkReduceExample2(b *testing.B) {
+	sg := mustGraph(b, paperex.Example2())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if sequencing.Reduce(sg).Feasible() {
+			b.Fatal("feasible")
+		}
+	}
+}
+
+func BenchmarkSynthesizeExample1(b *testing.B) {
+	p := paperex.Example1()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		plan, err := core.Synthesize(p)
+		if err != nil || !plan.Feasible {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkVerifyExample1(b *testing.B) {
+	plan, err := core.Synthesize(paperex.Example1())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := plan.Verify(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- E13: reduction scaling (near-linear) vs exhaustive search -----------
+
+func BenchmarkReduceChain(b *testing.B) {
+	for _, k := range []int{4, 16, 64, 256} {
+		k := k
+		b.Run(fmt.Sprintf("brokers=%d", k), func(b *testing.B) {
+			sg := mustGraph(b, gen.Chain(k, model.Money(k+10)))
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if !sequencing.Reduce(sg).Feasible() {
+					b.Fatal("infeasible")
+				}
+			}
+		})
+	}
+}
+
+// Ablation: the worklist reducer vs the naive rescan reducer.
+func BenchmarkReduceNaiveChain(b *testing.B) {
+	for _, k := range []int{4, 16, 64, 256} {
+		k := k
+		b.Run(fmt.Sprintf("brokers=%d", k), func(b *testing.B) {
+			sg := mustGraph(b, gen.Chain(k, model.Money(k+10)))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if !sequencing.ReduceNaive(sg).Feasible() {
+					b.Fatal("infeasible")
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkSearchStrongChain(b *testing.B) {
+	for _, k := range []int{1, 2, 3} {
+		k := k
+		b.Run(fmt.Sprintf("brokers=%d", k), func(b *testing.B) {
+			p := gen.Chain(k, 30)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				v, err := search.Feasible(p, search.ModeStrong)
+				if err != nil || !v.Feasible {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkSearchAssetsExample2(b *testing.B) {
+	p := paperex.Example2()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		v, err := search.Feasible(p, search.ModeAssets)
+		if err != nil || !v.Feasible {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- E5: indemnity ordering ------------------------------------------------
+
+func BenchmarkIndemnityGreedyFigure7(b *testing.B) {
+	p := paperex.Figure7()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := indemnity.Greedy(p)
+		if err != nil || res.Total != 70 {
+			b.Fatalf("res=%v err=%v", res, err)
+		}
+	}
+}
+
+func BenchmarkIndemnityGreedyStar(b *testing.B) {
+	for _, k := range []int{2, 4, 6} {
+		k := k
+		b.Run(fmt.Sprintf("brokers=%d", k), func(b *testing.B) {
+			prices := make([]model.Money, k)
+			for i := range prices {
+				prices[i] = model.Money(10 * (i + 1))
+			}
+			p := gen.Star(prices)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res, err := indemnity.Greedy(p)
+				if err != nil || !res.Feasible {
+					b.Fatalf("res=%v err=%v", res, err)
+				}
+			}
+		})
+	}
+}
+
+// Ablation: greedy vs brute-force optimal.
+func BenchmarkIndemnityOptimalFigure7(b *testing.B) {
+	p := paperex.Figure7()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := indemnity.Optimal(p)
+		if err != nil || res.Total != 70 {
+			b.Fatalf("res=%v err=%v", res, err)
+		}
+	}
+}
+
+// --- E7/E8: cost of mistrust ------------------------------------------------
+
+func BenchmarkChainTable(b *testing.B) {
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := cost.ChainTable(5, 100, core.Synthesize); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkUniversalProtocol(b *testing.B) {
+	p := paperex.UniversalTrust(paperex.Example2())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		out, err := cost.RunUniversal(p)
+		if err != nil || !out.Feasible {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- E11: simulator throughput ----------------------------------------------
+
+func BenchmarkSimulatorExample1(b *testing.B) {
+	plan, err := core.Synthesize(paperex.Example1())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := sim.Run(plan, sim.Options{Seed: int64(i)})
+		if err != nil || !res.Completed() {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSimulatorIndemnified(b *testing.B) {
+	plan, err := core.Synthesize(paperex.Example2Indemnified())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := sim.Run(plan, sim.Options{Seed: int64(i)})
+		if err != nil || !res.Completed() {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSimulatorChain(b *testing.B) {
+	for _, k := range []int{2, 8, 32} {
+		k := k
+		b.Run(fmt.Sprintf("brokers=%d", k), func(b *testing.B) {
+			plan, err := core.Synthesize(gen.Chain(k, model.Money(k+10)))
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res, err := sim.Run(plan, sim.Options{Seed: int64(i)})
+				if err != nil || !res.Completed() {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkSimulatorDefection(b *testing.B) {
+	plan, err := core.Synthesize(paperex.Example2Indemnified())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, err := sim.Run(plan, sim.Options{
+			Seed:      int64(i),
+			Defectors: map[model.PartyID]int{paperex.Broker1: 1},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- E10: Petri-net coverability ----------------------------------------------
+
+func BenchmarkPetriCompletableExample1(b *testing.B) {
+	enc, err := petri.FromProblem(paperex.Example1())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if res := enc.Completable(1 << 20); !res.Found {
+			b.Fatal("not completable")
+		}
+	}
+}
+
+func BenchmarkPetriCompletableFigure7(b *testing.B) {
+	enc, err := petri.FromProblem(paperex.Figure7())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if res := enc.Completable(1 << 21); !res.Found {
+			b.Fatal("not completable")
+		}
+	}
+}
+
+// --- E12: 2PC baseline ----------------------------------------------------------
+
+func BenchmarkTwoPCExample1(b *testing.B) {
+	p := paperex.Example1()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		stats, _, err := twopc.RunExchange(p, nil)
+		if err != nil || stats.Decision != twopc.DecisionCommit {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- DSL -------------------------------------------------------------------------
+
+func BenchmarkDSLLoad(b *testing.B) {
+	src, err := dsl.Print(paperex.Figure7())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := dsl.Load(src); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- random synthesis throughput ---------------------------------------------------
+
+func BenchmarkSynthesizeRandom(b *testing.B) {
+	rng := rand.New(rand.NewSource(4))
+	problems := make([]*model.Problem, 32)
+	for i := range problems {
+		problems[i] = gen.Random(rng, gen.Options{Consumers: 2, Brokers: 2, Producers: 3, MaxPrice: 50})
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.Synthesize(problems[i%len(problems)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- E15/E16 extensions -------------------------------------------------------
+
+func BenchmarkDistributedReduce(b *testing.B) {
+	for _, k := range []int{4, 16, 64} {
+		k := k
+		b.Run(fmt.Sprintf("brokers=%d", k), func(b *testing.B) {
+			p := gen.Chain(k, model.Money(k+10))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res, err := distred.Reduce(p, int64(i))
+				if err != nil || !res.Feasible {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkHierarchyEnableAndSynthesize(b *testing.B) {
+	topo := &hierarchy.Topology{
+		PrincipalTrust: map[model.PartyID][]hierarchy.IntermediaryID{
+			"alice": {"west"},
+			"bob":   {"east"},
+		},
+		Hierarchy: []hierarchy.IntermediaryTrust{
+			{Truster: "west", Trustee: "clearing"},
+			{Truster: "east", Trustee: "clearing"},
+		},
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p, err := topo.Enable("alice", "bob", "deed", 100)
+		if err != nil {
+			b.Fatal(err)
+		}
+		plan, err := core.Synthesize(p)
+		if err != nil || !plan.Feasible {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,549 @@
+// Command figures regenerates every experiment of the reproduction: each
+// worked example, variant and analytical claim of the paper (E1–E13 in
+// DESIGN.md), printing the measured outcome next to the paper's claim.
+//
+// Usage:
+//
+//	figures            # run every experiment
+//	figures -e E5      # run one experiment
+//	figures -dot DIR   # additionally write the figures' DOT renderings
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"time"
+
+	"trustseq/internal/byzantine"
+	"trustseq/internal/core"
+	"trustseq/internal/cost"
+	"trustseq/internal/distred"
+	"trustseq/internal/gen"
+	"trustseq/internal/hierarchy"
+	"trustseq/internal/indemnity"
+	"trustseq/internal/interaction"
+	"trustseq/internal/model"
+	"trustseq/internal/paperex"
+	"trustseq/internal/petri"
+	"trustseq/internal/search"
+	"trustseq/internal/sequencing"
+	"trustseq/internal/sim"
+	"trustseq/internal/twopc"
+)
+
+type experiment struct {
+	id    string
+	title string
+	run   func(w io.Writer) error
+}
+
+func main() {
+	fs := flag.NewFlagSet("figures", flag.ContinueOnError)
+	only := fs.String("e", "", "run only this experiment (e.g. E5)")
+	dotDir := fs.String("dot", "", "write the paper figures' DOT files into this directory")
+	if err := fs.Parse(os.Args[1:]); err != nil {
+		os.Exit(2)
+	}
+	if err := run(*only, *dotDir, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "figures:", err)
+		os.Exit(1)
+	}
+}
+
+func run(only, dotDir string, w io.Writer) error {
+	if dotDir != "" {
+		if err := writeDots(dotDir, w); err != nil {
+			return err
+		}
+	}
+	for _, ex := range experiments() {
+		if only != "" && !strings.EqualFold(only, ex.id) {
+			continue
+		}
+		fmt.Fprintf(w, "\n=== %s: %s ===\n", ex.id, ex.title)
+		if err := ex.run(w); err != nil {
+			return fmt.Errorf("%s: %w", ex.id, err)
+		}
+	}
+	return nil
+}
+
+func synth(p *model.Problem) (*core.Plan, error) { return core.Synthesize(p) }
+
+func experiments() []experiment {
+	return []experiment{
+		{"E1", "Example 1 feasible with the paper's 10-step execution (Fig. 1/3/5, §5)", runE1},
+		{"E2", "Example 2 impasse after four removals (Fig. 2/4/6, §4.2.2)", runE2},
+		{"E3", "Direct-trust asymmetry (§4.2.3)", runE3},
+		{"E4", "Poor broker: two red edges, infeasible (§5)", runE4},
+		{"E5", "Figure 7 indemnification orders: $90 vs $70, greedy minimal", runE5},
+		{"E6", "One indemnity makes Example 2 feasible (§6)", runE6},
+		{"E7", "Cost of mistrust: message counts (§8)", runE7},
+		{"E8", "Universal trusted intermediary (§8)", runE8},
+		{"E9", "Reduction confluence (§4.2.4)", runE9},
+		{"E10", "Cross-validation: graph vs exhaustive search vs Petri net", runE10},
+		{"E11", "Defection simulation: honest parties keep their assets", runE11},
+		{"E12", "2PC baseline diverges under defection (§7.1)", runE12},
+		{"E13", "Scaling: near-linear reduction vs exponential search", runE13},
+		{"E14", "Extension: tight deadlines abort cleanly (§2.2/§9 future work)", runE14},
+		{"E15", "Extension: distributed feasibility decision (§9 future work)", runE15},
+		{"E16", "Extension: hierarchy of trust (§9 future work)", runE16},
+		{"E17", "Byzantine agreement baseline (§7.3)", runE17},
+	}
+}
+
+func runE17(w io.Writer) error {
+	// OM(1), 4 generals, one traitorous lieutenant: agreement holds.
+	gs := make([]byzantine.General, 4)
+	for i := range gs {
+		gs[i] = byzantine.General{ID: i}
+	}
+	gs[2].Traitor = true
+	res, err := byzantine.Run(gs, 0, 1, 1)
+	if err != nil {
+		return err
+	}
+	v, ok := res.Agreement(gs, 0)
+	fmt.Fprintf(w, "OM(1), n=4, 1 traitor lieutenant: agreement=%v on %v, %d messages\n", ok, v, res.Messages)
+	// n=3m fails.
+	gs3 := []byzantine.General{{ID: 0}, {ID: 1}, {ID: 2, Traitor: true}}
+	res3, err := byzantine.Run(gs3, 0, 1, 1)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "OM(1), n=3, 1 traitor: validity holds=%v (the n>3m impossibility)\n",
+		res3.Validity(gs3, 0, 1))
+	// The comparison the paper draws: replication cost vs explicit trust.
+	plan, err := synth(paperex.Example1())
+	if err != nil {
+		return err
+	}
+	pc, err := cost.PlanCost(plan)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "replication cost: OM(1) already needs %d messages for ONE value among 4 nodes;\n", res.Messages)
+	fmt.Fprintf(w, "the trusted-intermediary exchange moves actual assets among 5 parties in %d\n", pc.Total())
+	fmt.Fprintln(w, "— and the parties here do not even WANT one agreed value (§7.3): each has its own")
+	fmt.Fprintln(w, "acceptable outcomes, which trusted nodes arbitrate without a loyal majority")
+	return nil
+}
+
+func runE14(w io.Writer) error {
+	plan, err := synth(paperex.Example1())
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "deadline  completed  all assets safe")
+	for _, deadline := range []sim.Time{2, 5, 10, 40, 1000} {
+		res, err := sim.Run(plan, sim.Options{Seed: 3, Jitter: 6, Deadline: deadline})
+		if err != nil {
+			return err
+		}
+		safe := true
+		for _, id := range []model.PartyID{paperex.Consumer, paperex.Broker, paperex.Producer} {
+			if !res.AssetsSafeFor(id) {
+				safe = false
+			}
+		}
+		fmt.Fprintf(w, "%8d  %-9v  %v\n", deadline, res.Completed(), safe)
+	}
+	fmt.Fprintln(w, "too-tight deadlines abort and fully unwind; asset safety is deadline-independent")
+	fmt.Fprintln(w, "(for non-offerers — a §6 collateral poster bears deadline risk by contract; see EXPERIMENTS.md)")
+	return nil
+}
+
+func runE15(w io.Writer) error {
+	fmt.Fprintln(w, "problem                 centralized  distributed  announcements")
+	names := []string{"example1", "example2", "example2-variant1", "example1-poor-broker", "figure7"}
+	all := paperex.All()
+	for _, name := range names {
+		p := all[name]
+		plan, err := synth(p)
+		if err != nil {
+			return err
+		}
+		res, err := distred.Reduce(p, 1)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "%-22s  %-11v  %-11v  %d\n", name, plan.Feasible, res.Feasible, res.Messages)
+	}
+	fmt.Fprintln(w, "every party decides its own edges locally; announcements ≤ edge count; verdicts identical")
+	return nil
+}
+
+func runE16(w io.Writer) error {
+	topo := &hierarchy.Topology{
+		PrincipalTrust: map[model.PartyID][]hierarchy.IntermediaryID{
+			"alice": {"west"},
+			"bob":   {"east"},
+		},
+		Hierarchy: []hierarchy.IntermediaryTrust{
+			{Truster: "west", Trustee: "clearing"},
+			{Truster: "east", Trustee: "clearing"},
+		},
+	}
+	path, ok := topo.Path("alice", "bob")
+	fmt.Fprintf(w, "alice trusts {west}, bob trusts {east}; hierarchy: west→clearing, east→clearing\n")
+	fmt.Fprintf(w, "composite escrow chain: %v (found=%v)\n", path, ok)
+	p, err := topo.Enable("alice", "bob", "deed", 100)
+	if err != nil {
+		return err
+	}
+	plan, err := synth(p)
+	if err != nil {
+		return err
+	}
+	if err := plan.Verify(); err != nil {
+		return err
+	}
+	res, err := sim.Run(plan, sim.Options{Seed: 9, Jitter: 3})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "compiled to a persona-broker chain: feasible=%v, verified, simulated completed=%v in %d messages\n",
+		plan.Feasible, res.Completed(), res.Messages)
+	fmt.Fprintln(w, "intermediary trust edges become Section 4.2.3 personas — the hierarchy reduces to the paper's own device")
+	return nil
+}
+
+func runE1(w io.Writer) error {
+	// Drive the reduction in the paper's own Section 4.2.2 edge order so
+	// the recovered sequence matches Section 5 line by line.
+	rank := map[sequencing.EdgeID]int{}
+	plan, err := core.SynthesizeWith(paperex.Example1(), func(g *sequencing.Graph) *sequencing.Reduction {
+		order := [][2]interface{}{
+			{3, "t2"}, {2, "t2"}, {0, "t1"}, {1, "t1"}, {1, "b"}, {2, "b"},
+		}
+		for i, o := range order {
+			c := o[0].(int)
+			if j, ok := g.ConjunctionOf(model.PartyID(o[1].(string))); ok {
+				rank[sequencing.EdgeID{C: c, J: j}] = i + 1
+			}
+		}
+		return sequencing.ReducePreferred(g, func(e sequencing.Edge) int {
+			if r, ok := rank[e.ID]; ok {
+				return r
+			}
+			return 100
+		})
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "paper: feasible, 10 steps | measured: feasible=%v, steps=%d (paper's exact order)\n",
+		plan.Feasible, len(plan.ActionSteps()))
+	fmt.Fprint(w, plan.ExecutionSequence())
+	if err := plan.Verify(); err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "verified: per-step asset safety, completion, acceptability, trusted neutrality")
+	return nil
+}
+
+func runE2(w io.Writer) error {
+	plan, err := synth(paperex.Example2())
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "paper: infeasible after 4 removals | measured: feasible=%v, removals=%d, remaining=%d\n",
+		plan.Feasible, len(plan.Reduction.Removals), len(plan.Reduction.Remaining))
+	fmt.Fprintln(w, plan.Reduction.Impasse())
+	return nil
+}
+
+func runE3(w io.Writer) error {
+	v1, err := synth(paperex.Example2Variant1())
+	if err != nil {
+		return err
+	}
+	v2, err := synth(paperex.Example2Variant2())
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "source1 trusts broker1: paper feasible   | measured feasible=%v (persona clause used)\n", v1.Feasible)
+	fmt.Fprintf(w, "broker1 trusts source1: paper infeasible | measured feasible=%v\n", v2.Feasible)
+	return nil
+}
+
+func runE4(w io.Writer) error {
+	plan, err := synth(paperex.PoorBroker())
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "paper: two red edges at ⋀b, infeasible | measured feasible=%v\n", plan.Feasible)
+	fmt.Fprintln(w, plan.Reduction.Impasse())
+	funded := paperex.PoorBroker()
+	for i := range funded.Parties {
+		if funded.Parties[i].ID == paperex.Broker {
+			funded.Parties[i].Endowment = paperex.WholesalePrice
+		}
+	}
+	fp, err := synth(funded)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "with an $%d endowment: feasible=%v\n", paperex.WholesalePrice, fp.Feasible)
+	return nil
+}
+
+func runE5(w io.Writer) error {
+	p := paperex.Figure7()
+	order1, err := indemnity.InOrder(p, []int{paperex.Figure7ConsumerDoc1, paperex.Figure7ConsumerDoc2})
+	if err != nil {
+		return err
+	}
+	order2, err := indemnity.InOrder(p, []int{paperex.Figure7ConsumerDoc3, paperex.Figure7ConsumerDoc2})
+	if err != nil {
+		return err
+	}
+	greedy, err := indemnity.Greedy(p)
+	if err != nil {
+		return err
+	}
+	optimal, err := indemnity.Optimal(p)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "order #1 (b1 then b2): paper $90 | measured %v\n", order1.Total)
+	fmt.Fprintf(w, "order #2 (b3 then b2): paper $70 | measured %v\n", order2.Total)
+	fmt.Fprintf(w, "greedy (descending cost): %v — %s\n", greedy.Total, greedy.String())
+	fmt.Fprintf(w, "brute-force optimum: %v (greedy matches: %v)\n", optimal.Total, greedy.Total == optimal.Total)
+	return nil
+}
+
+func runE6(w io.Writer) error {
+	plan, err := synth(paperex.Example2Indemnified())
+	if err != nil {
+		return err
+	}
+	off := plan.Problem.Indemnities[0]
+	fmt.Fprintf(w, "broker1 posts %v with t1 (price of the other document): feasible=%v\n",
+		model.RequiredIndemnity(plan.Problem, off.Covers), plan.Feasible)
+	if err := plan.Verify(); err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "verified end to end; Broker2 posts nothing, exactly as the paper notes")
+	return nil
+}
+
+func runE7(w io.Writer) error {
+	rows, err := cost.ChainTable(5, 100, synth)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "brokers  exchanges  direct  4-msg floor  full protocol  notifies  overhead")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%7d  %9d  %6d  %11d  %13d  %8d  %7.2fx\n",
+			r.Brokers, r.Exchanges, r.Direct, r.Intermediated, r.PlanTotal, r.PlanNotifies, r.OverheadFactor)
+	}
+	fmt.Fprintln(w, "paper: 2 messages with direct trust vs 4 via an intermediary — the floor column is exactly 2× direct")
+	return nil
+}
+
+func runE8(w io.Writer) error {
+	p := paperex.UniversalTrust(paperex.Example2())
+	out, err := cost.RunUniversal(p)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "universal protocol on example 2: feasible=%v, %s\n", out.Feasible, out.Messages)
+	ig, err := interaction.New(p)
+	if err != nil {
+		return err
+	}
+	sg, err := sequencing.NewSplit(ig)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "sequencing-graph reduction on the same problem: feasible=%v (the reduction is\n", sequencing.Reduce(sg).Feasible())
+	fmt.Fprintln(w, "incomplete here — §8's protocol is a more centralized mechanism than pairwise commitments)")
+	return nil
+}
+
+func runE9(w io.Writer) error {
+	rng := rand.New(rand.NewSource(2026))
+	names := make([]string, 0)
+	all := paperex.All()
+	for name := range all {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	trials := 0
+	for _, name := range names {
+		ig, err := interaction.New(all[name])
+		if err != nil {
+			return err
+		}
+		sg, err := sequencing.NewSplit(ig)
+		if err != nil {
+			return err
+		}
+		want := sequencing.Reduce(sg).Feasible()
+		for i := 0; i < 100; i++ {
+			trials++
+			if got := sequencing.ReduceRandomOrder(sg, rng).Feasible(); got != want {
+				return fmt.Errorf("confluence violated on %s", name)
+			}
+		}
+	}
+	fmt.Fprintf(w, "%d random reduction orders across %d fixtures: all verdicts identical (paper §4.2.4 holds)\n",
+		trials, len(names))
+	return nil
+}
+
+func runE10(w io.Writer) error {
+	fmt.Fprintln(w, "problem                 graph  strong-search  asset-search  petri-completable")
+	names := []string{"example1", "example2", "example2-variant1", "example2-variant2",
+		"example1-poor-broker", "example2-indemnified", "figure7"}
+	all := paperex.All()
+	for _, name := range names {
+		p := all[name]
+		plan, err := synth(p)
+		if err != nil {
+			return err
+		}
+		strong, err := search.Feasible(p, search.ModeStrong)
+		if err != nil {
+			return err
+		}
+		assets, err := search.Feasible(p, search.ModeAssets)
+		if err != nil {
+			return err
+		}
+		enc, err := petri.FromProblem(p)
+		if err != nil {
+			return err
+		}
+		pr := enc.Completable(1 << 20)
+		fmt.Fprintf(w, "%-22s  %-5v  %-13v  %-12v  %v\n",
+			name, plan.Feasible, strong.Feasible, assets.Feasible, pr.Found)
+	}
+	fmt.Fprintln(w, "\nreading: graph-feasible ⇒ asset-search feasible (soundness); variant1 shows the")
+	fmt.Fprintln(w, "commitment-vs-physical gap; petri matches the asset-level reading (§7.4)")
+	return nil
+}
+
+func runE11(w io.Writer) error {
+	plan, err := synth(paperex.Example2Indemnified())
+	if err != nil {
+		return err
+	}
+	principals := []model.PartyID{paperex.Consumer, paperex.Broker1, paperex.Broker2, paperex.Source1, paperex.Source2}
+	runs, breaches := 0, 0
+	for _, defector := range principals {
+		for k := 0; k <= 4; k++ {
+			res, err := sim.Run(plan, sim.Options{Seed: int64(k), Defectors: map[model.PartyID]int{defector: k}})
+			if err != nil {
+				return err
+			}
+			runs++
+			for _, id := range principals {
+				if id != defector && !res.AssetsSafeFor(id) {
+					breaches++
+				}
+			}
+		}
+	}
+	fmt.Fprintf(w, "%d defection scenarios on the indemnified example: %d honest-party asset breaches (paper: 0 expected)\n", runs, breaches)
+	res, err := sim.Run(plan, sim.Options{Defectors: map[model.PartyID]int{paperex.Broker1: 1}})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "broker1 defects after posting collateral: consumer receives the $100 penalty (observed=%v)\n",
+		res.State.Has(model.Pay(paperex.Trusted1, paperex.Consumer, 100)))
+	return nil
+}
+
+func runE12(w io.Writer) error {
+	honest, outcome, err := twopcRun(nil)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "honest 2PC on example 1: decision=%v, messages=%d, all acceptable=%v\n",
+		honest.Decision, honest.Messages, allTrue(outcome))
+	defect, outcome2, err := twopcRun(map[model.PartyID]bool{paperex.Broker: true})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "broker defects post-vote:  decision=%v, consumer whole=%v, producer whole=%v\n",
+		defect.Decision, outcome2[paperex.Consumer], outcome2[paperex.Producer])
+	fmt.Fprintln(w, "paper §1/§7.1: commit protocols rely on trust among all parties — confirmed")
+	return nil
+}
+
+func runE13(w io.Writer) error {
+	fmt.Fprintln(w, "parallel k   reduction edges  reduce time   strong-search states  search time")
+	for _, k := range []int{1, 2, 3, 4, 5} {
+		p := gen.Parallel(k, 10)
+		ig, err := interaction.New(p)
+		if err != nil {
+			return err
+		}
+		sg, err := sequencing.NewSplit(ig)
+		if err != nil {
+			return err
+		}
+		t0 := time.Now()
+		red := sequencing.Reduce(sg)
+		reduceDur := time.Since(t0)
+		t1 := time.Now()
+		v, err := search.Feasible(p, search.ModeStrong)
+		if err != nil {
+			return err
+		}
+		searchDur := time.Since(t1)
+		fmt.Fprintf(w, "%10d   %15d  %11s  %20d  %11s (agree=%v)\n",
+			k, len(sg.Edges), reduceDur.Round(time.Microsecond), v.Explored,
+			searchDur.Round(time.Microsecond), red.Feasible() == v.Feasible)
+	}
+	fmt.Fprintln(w, "the reduction stays near-constant in time; the search (which runs a per-prefix")
+	fmt.Fprintln(w, "safety analysis at every node) grows superlinearly — and explores the full")
+	fmt.Fprintln(w, "exponential state space on infeasible instances")
+	return nil
+}
+
+func writeDots(dir string, w io.Writer) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	for _, name := range []string{"example1", "example2", "example2-variant1", "figure7"} {
+		plan, err := synth(paperex.All()[name])
+		if err != nil {
+			return err
+		}
+		files := map[string]string{
+			name + "-interaction.dot":        plan.Interaction.DOT(),
+			name + "-sequencing.dot":         plan.Sequencing.DOT(nil),
+			name + "-sequencing-reduced.dot": plan.Sequencing.DOT(plan.Reduction.RemovedSet()),
+		}
+		for fname, content := range files {
+			if err := os.WriteFile(filepath.Join(dir, fname), []byte(content), 0o644); err != nil {
+				return err
+			}
+		}
+		fmt.Fprintf(w, "wrote DOT figures for %s\n", name)
+	}
+	return nil
+}
+
+func allTrue(m map[model.PartyID]bool) bool {
+	for _, v := range m {
+		if !v {
+			return false
+		}
+	}
+	return true
+}
+
+// twopcRun isolates the twopc import.
+func twopcRun(defectors map[model.PartyID]bool) (twopc.Stats, map[model.PartyID]bool, error) {
+	return twopc.RunExchange(paperex.Example1(), defectors)
+}

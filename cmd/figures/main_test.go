@@ -1,0 +1,49 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// Every experiment runs to completion and reports its paper-vs-measured
+// line.
+func TestAllExperimentsRun(t *testing.T) {
+	var out bytes.Buffer
+	if err := run("", "", &out); err != nil {
+		t.Fatalf("run = %v", err)
+	}
+	got := out.String()
+	for _, want := range []string{
+		"=== E1", "=== E13",
+		"measured: feasible=true, steps=10",
+		"measured $90", "measured $70",
+		"0 honest-party asset breaches",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+}
+
+func TestSingleExperiment(t *testing.T) {
+	var out bytes.Buffer
+	if err := run("e5", "", &out); err != nil {
+		t.Fatalf("run = %v", err)
+	}
+	got := out.String()
+	if !strings.Contains(got, "=== E5") || strings.Contains(got, "=== E1:") {
+		t.Errorf("selection wrong:\n%s", got)
+	}
+}
+
+func TestDotFiles(t *testing.T) {
+	dir := t.TempDir()
+	var out bytes.Buffer
+	if err := run("e1", dir, &out); err != nil {
+		t.Fatalf("run = %v", err)
+	}
+	if !strings.Contains(out.String(), "wrote DOT figures") {
+		t.Errorf("no DOT confirmation:\n%s", out.String())
+	}
+}

@@ -1,0 +1,121 @@
+// Command trustseq analyses a commercial-exchange specification: it
+// parses a .exch DSL file, derives the interaction and sequencing
+// graphs, reduces the graph, reports feasibility, prints the recovered
+// execution sequence, and optionally proposes a minimal indemnification
+// for infeasible exchanges or emits Graphviz DOT renderings.
+//
+// Usage:
+//
+//	trustseq [flags] problem.exch
+//
+//	-seq        print the reduction trace
+//	-dot DIR    write interaction/sequencing DOT files into DIR
+//	-indemnify  propose a minimal indemnification when infeasible
+//	-verify     re-verify the synthesized plan step by step
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"trustseq/internal/core"
+	"trustseq/internal/dsl"
+	"trustseq/internal/indemnity"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "trustseq:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("trustseq", flag.ContinueOnError)
+	showTrace := fs.Bool("seq", false, "print the reduction trace")
+	dotDir := fs.String("dot", "", "write DOT renderings into this directory")
+	proposeIndemnity := fs.Bool("indemnify", false, "propose a minimal indemnification when infeasible")
+	verify := fs.Bool("verify", false, "verify the synthesized plan step by step")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("usage: trustseq [flags] problem.exch")
+	}
+	src, err := os.ReadFile(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	problem, err := dsl.Load(string(src))
+	if err != nil {
+		return err
+	}
+	plan, err := core.Synthesize(problem)
+	if err != nil {
+		return err
+	}
+
+	fmt.Fprintf(out, "problem %s: %d principals, %d trusted components, %d pairwise exchanges\n",
+		problem.Name, len(problem.Parties)-trustedCount(plan), trustedCount(plan), len(problem.Exchanges)/2)
+	if *showTrace {
+		fmt.Fprintln(out, "\nreduction trace:")
+		fmt.Fprint(out, plan.Reduction.String())
+	}
+	if plan.Feasible {
+		fmt.Fprintln(out, "\nFEASIBLE — execution sequence:")
+		fmt.Fprint(out, plan.ExecutionSequence())
+		if *verify {
+			if err := plan.Verify(); err != nil {
+				return fmt.Errorf("verification FAILED: %w", err)
+			}
+			fmt.Fprintln(out, "\nverified: every step keeps every participant's assets safe")
+		}
+	} else {
+		fmt.Fprintln(out, "\nINFEASIBLE — impasse:")
+		fmt.Fprintln(out, plan.Reduction.Impasse())
+		if *proposeIndemnity {
+			res, err := indemnity.Greedy(problem)
+			if err != nil {
+				return err
+			}
+			if res.Feasible {
+				fmt.Fprintln(out, "\nminimal indemnification (Section 6 greedy):")
+				fmt.Fprintln(out, res.String())
+			} else {
+				fmt.Fprintln(out, "\nno indemnification resolves the impasse (ordering constraints)")
+			}
+		}
+	}
+
+	if *dotDir != "" {
+		if err := os.MkdirAll(*dotDir, 0o755); err != nil {
+			return err
+		}
+		writes := map[string]string{
+			problem.Name + "-interaction.dot":        plan.Interaction.DOT(),
+			problem.Name + "-sequencing.dot":         plan.Sequencing.DOT(nil),
+			problem.Name + "-sequencing-reduced.dot": plan.Sequencing.DOT(plan.Reduction.RemovedSet()),
+		}
+		for name, content := range writes {
+			path := filepath.Join(*dotDir, name)
+			if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+				return err
+			}
+			fmt.Fprintf(out, "wrote %s\n", path)
+		}
+	}
+	return nil
+}
+
+func trustedCount(plan *core.Plan) int {
+	n := 0
+	for _, pa := range plan.Problem.Parties {
+		if pa.IsTrusted() {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,72 @@
+package main
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func specs(t *testing.T, name string) string {
+	t.Helper()
+	return filepath.Join("..", "..", "examples", "specs", name)
+}
+
+func TestFeasibleSpec(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-seq", "-verify", specs(t, "example1.exch")}, &out); err != nil {
+		t.Fatalf("run = %v", err)
+	}
+	got := out.String()
+	for _, want := range []string{"FEASIBLE", "c sends $100 to t1", "verified", "Rule #1"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("output missing %q:\n%s", want, got)
+		}
+	}
+}
+
+func TestInfeasibleSpecWithIndemnify(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-indemnify", specs(t, "example2.exch")}, &out); err != nil {
+		t.Fatalf("run = %v", err)
+	}
+	got := out.String()
+	for _, want := range []string{"INFEASIBLE", "pre-empted by a red edge", "minimal indemnification", "total $100"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("output missing %q:\n%s", want, got)
+		}
+	}
+}
+
+func TestPoorBrokerSpec(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-indemnify", specs(t, "poorbroker.exch")}, &out); err != nil {
+		t.Fatalf("run = %v", err)
+	}
+	if !strings.Contains(out.String(), "no indemnification resolves the impasse") {
+		t.Errorf("output:\n%s", out.String())
+	}
+}
+
+func TestDotOutput(t *testing.T) {
+	dir := t.TempDir()
+	var out bytes.Buffer
+	if err := run([]string{"-dot", dir, specs(t, "variant1.exch")}, &out); err != nil {
+		t.Fatalf("run = %v", err)
+	}
+	for _, name := range []string{"variant1-interaction.dot", "variant1-sequencing.dot", "variant1-sequencing-reduced.dot"} {
+		if _, err := filepath.Glob(filepath.Join(dir, name)); err != nil {
+			t.Errorf("missing %s", name)
+		}
+	}
+}
+
+func TestBadUsage(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(nil, &out); err == nil {
+		t.Fatalf("no-arg run succeeded")
+	}
+	if err := run([]string{"/nonexistent.exch"}, &out); err == nil {
+		t.Fatalf("missing file accepted")
+	}
+}

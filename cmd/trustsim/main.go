@@ -1,0 +1,124 @@
+// Command trustsim executes a specification's synthesized protocol on
+// the simulated distributed network, optionally with defecting
+// principals, and reports the outcome: completion, message counts, and
+// every party's final balance and acceptability.
+//
+// Usage:
+//
+//	trustsim [flags] problem.exch
+//
+//	-seed N        network randomness seed (default 1)
+//	-jitter N      extra per-message latency in [0,N] ticks (default 3)
+//	-defect LIST   comma-separated defectors, each "party" (silent) or
+//	               "party:K" (defects after K of its own steps)
+//	-deadline N    escrow deadline in ticks (default 1000)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"trustseq/internal/core"
+	"trustseq/internal/dsl"
+	"trustseq/internal/model"
+	"trustseq/internal/sim"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "trustsim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("trustsim", flag.ContinueOnError)
+	seed := fs.Int64("seed", 1, "network randomness seed")
+	jitter := fs.Int64("jitter", 3, "extra per-message latency bound")
+	defect := fs.String("defect", "", "defectors: party[:steps],...")
+	deadline := fs.Int64("deadline", 1000, "escrow deadline in ticks")
+	dropRate := fs.Float64("drop", 0, "notification drop probability [0,1)")
+	showTrace := fs.Bool("trace", false, "print the delivered-message timeline")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("usage: trustsim [flags] problem.exch")
+	}
+	src, err := os.ReadFile(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	problem, err := dsl.Load(string(src))
+	if err != nil {
+		return err
+	}
+	plan, err := core.Synthesize(problem)
+	if err != nil {
+		return err
+	}
+	if !plan.Feasible {
+		return fmt.Errorf("problem %s is infeasible; nothing to simulate\n%s",
+			problem.Name, plan.Reduction.Impasse())
+	}
+
+	defectors, err := parseDefectors(*defect)
+	if err != nil {
+		return err
+	}
+	res, err := sim.Run(plan, sim.Options{
+		Seed:           *seed,
+		Jitter:         sim.Time(*jitter),
+		Deadline:       sim.Time(*deadline),
+		Defectors:      defectors,
+		NotifyDropRate: *dropRate,
+	})
+	if err != nil {
+		return err
+	}
+	if *showTrace {
+		fmt.Fprintln(out, "\ndelivered messages:")
+		fmt.Fprint(out, sim.RenderTrace(res.Trace))
+	}
+
+	fmt.Fprintf(out, "problem %s (seed %d, %d defectors)\n", problem.Name, *seed, len(defectors))
+	fmt.Fprint(out, res.Summary())
+	for _, pa := range problem.Parties {
+		if pa.IsTrusted() {
+			fmt.Fprintf(out, "trusted %-8s neutral=%v\n", pa.ID, res.TrustedNeutral(pa.ID))
+			continue
+		}
+		_, defected := defectors[pa.ID]
+		fmt.Fprintf(out, "party   %-8s acceptable=%-5v assets-safe=%-5v defector=%v\n",
+			pa.ID, res.AcceptableTo(pa.ID), res.AssetsSafeFor(pa.ID), defected)
+	}
+	return nil
+}
+
+func parseDefectors(spec string) (map[model.PartyID]int, error) {
+	out := make(map[model.PartyID]int)
+	if spec == "" {
+		return out, nil
+	}
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		name, stepsStr, found := strings.Cut(part, ":")
+		steps := 0
+		if found {
+			n, err := strconv.Atoi(stepsStr)
+			if err != nil || n < 0 {
+				return nil, fmt.Errorf("bad defector spec %q", part)
+			}
+			steps = n
+		}
+		out[model.PartyID(name)] = steps
+	}
+	return out, nil
+}

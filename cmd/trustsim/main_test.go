@@ -1,0 +1,84 @@
+package main
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"trustseq/internal/model"
+)
+
+func spec(name string) string {
+	return filepath.Join("..", "..", "examples", "specs", name)
+}
+
+func TestHonestRun(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{spec("example1.exch")}, &out); err != nil {
+		t.Fatalf("run = %v", err)
+	}
+	got := out.String()
+	for _, want := range []string{"completed=true", "acceptable=true", "neutral=true"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("output missing %q:\n%s", want, got)
+		}
+	}
+}
+
+func TestDefectorRun(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-defect", "b", spec("example1.exch")}, &out); err != nil {
+		t.Fatalf("run = %v", err)
+	}
+	got := out.String()
+	if !strings.Contains(got, "completed=false") || !strings.Contains(got, "defector=true") {
+		t.Errorf("output:\n%s", got)
+	}
+}
+
+func TestInfeasibleRejected(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{spec("example2.exch")}, &out); err == nil {
+		t.Fatalf("infeasible spec accepted")
+	}
+}
+
+func TestParseDefectors(t *testing.T) {
+	got, err := parseDefectors("a, b:3 ,c:0")
+	if err != nil {
+		t.Fatalf("parseDefectors = %v", err)
+	}
+	want := map[model.PartyID]int{"a": 0, "b": 3, "c": 0}
+	if len(got) != len(want) {
+		t.Fatalf("got %v", got)
+	}
+	for k, v := range want {
+		if got[k] != v {
+			t.Errorf("%s = %d, want %d", k, got[k], v)
+		}
+	}
+	if _, err := parseDefectors("x:-1"); err == nil {
+		t.Errorf("negative steps accepted")
+	}
+	if _, err := parseDefectors("x:zzz"); err == nil {
+		t.Errorf("garbage steps accepted")
+	}
+	if m, err := parseDefectors(""); err != nil || len(m) != 0 {
+		t.Errorf("empty spec = %v, %v", m, err)
+	}
+}
+
+func TestTraceAndDropFlags(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-trace", "-drop", "0.9", "-deadline", "40", spec("example1.exch")}, &out); err != nil {
+		t.Fatalf("run = %v", err)
+	}
+	got := out.String()
+	if !strings.Contains(got, "delivered messages:") {
+		t.Errorf("trace missing:\n%s", got)
+	}
+	if !strings.Contains(got, "assets-safe=true") {
+		t.Errorf("asset safety report missing:\n%s", got)
+	}
+}

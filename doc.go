@@ -1,0 +1,16 @@
+// Package trustseq is a from-scratch Go reproduction of Ketchpel &
+// Garcia-Molina, "Making Trust Explicit in Distributed Commerce
+// Transactions" (ICDCS 1996): a specification language for commercial
+// exchange problems among mutually distrusting parties, interaction and
+// sequencing graphs, the two reduction rules with the feasibility test,
+// execution-sequence recovery, indemnity accounts with minimal-collateral
+// ordering, a message-passing simulator with deadline-enforcing trusted
+// components and defection injection, exhaustive-search and Petri-net
+// cross-validation, and the Section 7/8 baselines (2PC, sagas, cost of
+// mistrust, universal intermediary).
+//
+// The implementation lives under internal/; see README.md for the
+// architecture, DESIGN.md for the system inventory and experiment index,
+// and EXPERIMENTS.md for paper-vs-measured results. The benchmarks in
+// bench_test.go regenerate every performance-shaped claim.
+package trustseq

@@ -1,0 +1,3 @@
+module trustseq
+
+go 1.22

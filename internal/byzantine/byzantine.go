@@ -1,0 +1,192 @@
+// Package byzantine is the Section 7.3 baseline: the Byzantine generals
+// oral-messages algorithm OM(m) of Pease, Shostak and Lamport. The paper
+// contrasts its trust framework with Byzantine agreement: agreement
+// protocols protect protocol-followers from traitors by REPLICATION (n >
+// 3m loyal majority voting), where the trust framework instead
+// concentrates reliance in explicitly trusted nodes and protects parties
+// with DIFFERENT acceptable outcomes rather than forcing one agreed
+// value.
+//
+// The implementation is the classic recursive OM(m): a commander sends
+// its value; each lieutenant relays what it received acting as commander
+// in OM(m-1); values are combined by majority. Traitors here send an
+// arbitrary (index-dependent) value instead of the one they received.
+// The package exists so the comparison is runnable: the n > 3m bound is
+// demonstrated, as is the message-count blowup relative to the trusted
+// intermediary protocols of the main library.
+package byzantine
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Value is the value generals agree on.
+type Value int
+
+// The conventional default when no majority exists (the "retreat"
+// fallback of the original paper).
+const DefaultValue Value = 0
+
+// General is a participant. Traitorous generals lie deterministically:
+// when asked to relay v they send v+1+lieutenant index (mod 2 for binary
+// runs is up to the caller's value domain).
+type General struct {
+	ID      int
+	Traitor bool
+}
+
+// Result reports one OM run.
+type Result struct {
+	// Decisions[i] is general i's decided value (commander included).
+	Decisions []Value
+	// Messages is the total number of oral messages sent.
+	Messages int
+}
+
+// Agreement reports whether every LOYAL lieutenant decided the same
+// value, and that value.
+func (r *Result) Agreement(generals []General, commander int) (Value, bool) {
+	var chosen Value
+	first := true
+	for i, g := range generals {
+		if g.Traitor || i == commander {
+			continue
+		}
+		if first {
+			chosen = r.Decisions[i]
+			first = false
+			continue
+		}
+		if r.Decisions[i] != chosen {
+			return 0, false
+		}
+	}
+	return chosen, true
+}
+
+// Validity reports whether, given a LOYAL commander, every loyal
+// lieutenant decided the commander's value (IC2 of the original paper).
+func (r *Result) Validity(generals []General, commander int, sent Value) bool {
+	if generals[commander].Traitor {
+		return true // vacuous
+	}
+	for i, g := range generals {
+		if g.Traitor || i == commander {
+			continue
+		}
+		if r.Decisions[i] != sent {
+			return false
+		}
+	}
+	return true
+}
+
+// Run executes OM(m) with the given generals, commander index and the
+// commander's intended value. It returns each general's decision and the
+// message count.
+func Run(generals []General, commander int, value Value, m int) (*Result, error) {
+	n := len(generals)
+	if n < 1 {
+		return nil, fmt.Errorf("byzantine: no generals")
+	}
+	if commander < 0 || commander >= n {
+		return nil, fmt.Errorf("byzantine: commander %d out of range", commander)
+	}
+	if m < 0 {
+		return nil, fmt.Errorf("byzantine: negative recursion depth")
+	}
+	res := &Result{Decisions: make([]Value, n)}
+	participants := make([]int, 0, n)
+	for i := range generals {
+		participants = append(participants, i)
+	}
+	decisions := om(generals, participants, commander, value, m, &res.Messages)
+	for i := range generals {
+		if i == commander {
+			res.Decisions[i] = value
+			continue
+		}
+		res.Decisions[i] = decisions[i]
+	}
+	return res, nil
+}
+
+// om runs OM(m) among the participant set with the given commander and
+// returns each lieutenant's decided value (keyed by general index).
+func om(generals []General, participants []int, commander int, value Value, m int, messages *int) map[int]Value {
+	decisions := make(map[int]Value)
+	lieutenants := make([]int, 0, len(participants)-1)
+	for _, p := range participants {
+		if p != commander {
+			lieutenants = append(lieutenants, p)
+		}
+	}
+
+	// The commander sends its value (possibly corrupted per lieutenant).
+	received := make(map[int]Value, len(lieutenants))
+	for k, lt := range lieutenants {
+		*messages++
+		v := value
+		if generals[commander].Traitor {
+			v = value + Value(1+k%2) // lie differently to different lieutenants
+		}
+		received[lt] = v
+	}
+
+	if m == 0 {
+		for _, lt := range lieutenants {
+			decisions[lt] = received[lt]
+		}
+		return decisions
+	}
+
+	// Each lieutenant relays its received value as commander of OM(m-1)
+	// among the remaining lieutenants, then takes the majority of what it
+	// received directly and what the others relayed.
+	relayed := make(map[int]map[int]Value, len(lieutenants)) // relayer -> receiver -> value
+	for _, lt := range lieutenants {
+		sub := om(generals, lieutenants, lt, received[lt], m-1, messages)
+		relayed[lt] = sub
+	}
+	for _, lt := range lieutenants {
+		votes := []Value{received[lt]}
+		for _, other := range lieutenants {
+			if other == lt {
+				continue
+			}
+			votes = append(votes, relayed[other][lt])
+		}
+		decisions[lt] = majority(votes)
+	}
+	return decisions
+}
+
+// majority returns the strict-majority value, or DefaultValue when none
+// exists.
+func majority(votes []Value) Value {
+	counts := make(map[Value]int, len(votes))
+	for _, v := range votes {
+		counts[v]++
+	}
+	type kv struct {
+		v Value
+		n int
+	}
+	var items []kv
+	for v, n := range counts {
+		items = append(items, kv{v, n})
+	}
+	sort.Slice(items, func(i, j int) bool {
+		if items[i].n != items[j].n {
+			return items[i].n > items[j].n
+		}
+		return items[i].v < items[j].v
+	})
+	if len(items) == 1 || items[0].n > items[1].n {
+		if items[0].n*2 > len(votes) {
+			return items[0].v
+		}
+	}
+	return DefaultValue
+}

@@ -1,0 +1,149 @@
+package byzantine
+
+import (
+	"testing"
+)
+
+func generals(n int, traitors ...int) []General {
+	out := make([]General, n)
+	for i := range out {
+		out[i] = General{ID: i}
+	}
+	for _, t := range traitors {
+		out[t].Traitor = true
+	}
+	return out
+}
+
+// OM(1) with 4 generals and 1 traitorous lieutenant: the classic minimum
+// configuration. Loyal lieutenants agree on the commander's value.
+func TestOM1FourGeneralsOneTraitorLieutenant(t *testing.T) {
+	t.Parallel()
+	gs := generals(4, 2)
+	res, err := Run(gs, 0, 1, 1)
+	if err != nil {
+		t.Fatalf("Run = %v", err)
+	}
+	v, ok := res.Agreement(gs, 0)
+	if !ok {
+		t.Fatalf("loyal lieutenants disagree: %v", res.Decisions)
+	}
+	if v != 1 {
+		t.Fatalf("agreed on %v, want the commander's 1", v)
+	}
+	if !res.Validity(gs, 0, 1) {
+		t.Fatalf("validity violated")
+	}
+}
+
+// OM(1) with a traitorous COMMANDER and 4 generals: the loyal
+// lieutenants still agree with each other (IC1), though not necessarily
+// on the commander's "value".
+func TestOM1TraitorCommander(t *testing.T) {
+	t.Parallel()
+	gs := generals(4, 0)
+	res, err := Run(gs, 0, 1, 1)
+	if err != nil {
+		t.Fatalf("Run = %v", err)
+	}
+	if _, ok := res.Agreement(gs, 0); !ok {
+		t.Fatalf("loyal lieutenants disagree under traitor commander: %v", res.Decisions)
+	}
+}
+
+// The n > 3m bound: with only 3 generals and 1 traitor, OM(1) CANNOT
+// satisfy both conditions — the famous impossibility. With a traitorous
+// lieutenant, the loyal lieutenant's vote set ties and falls to the
+// default, violating validity (IC2) even though the commander was loyal.
+func TestThreeGeneralsOneTraitorFails(t *testing.T) {
+	t.Parallel()
+	gs := generals(3, 2) // loyal commander 0, loyal lieutenant 1, traitor 2
+	res, err := Run(gs, 0, 1, 1)
+	if err != nil {
+		t.Fatalf("Run = %v", err)
+	}
+	if res.Validity(gs, 0, 1) {
+		t.Fatalf("3 generals, 1 traitor unexpectedly satisfied validity: %v", res.Decisions)
+	}
+	// The same shape with 4 generals satisfies validity (covered in
+	// TestOM1FourGeneralsOneTraitorLieutenant) — n > 3m is the boundary.
+}
+
+// OM(2) with 7 generals tolerates 2 traitors.
+func TestOM2SevenGeneralsTwoTraitors(t *testing.T) {
+	t.Parallel()
+	for _, traitors := range [][]int{{1, 2}, {3, 6}, {0, 4}} {
+		gs := generals(7, traitors...)
+		res, err := Run(gs, 0, 1, 2)
+		if err != nil {
+			t.Fatalf("Run = %v", err)
+		}
+		if _, ok := res.Agreement(gs, 0); !ok {
+			t.Fatalf("traitors %v: loyal lieutenants disagree: %v", traitors, res.Decisions)
+		}
+		if !res.Validity(gs, 0, 1) {
+			t.Fatalf("traitors %v: validity violated: %v", traitors, res.Decisions)
+		}
+	}
+}
+
+// All-loyal runs agree trivially at every depth, and the message count
+// grows as n·(n-1)·(n-2)… — the §7.3 comparison point: replication costs
+// messages where explicit trust costs reliance.
+func TestMessageGrowth(t *testing.T) {
+	t.Parallel()
+	prev := 0
+	for m := 0; m <= 2; m++ {
+		gs := generals(7)
+		res, err := Run(gs, 0, 1, m)
+		if err != nil {
+			t.Fatalf("Run = %v", err)
+		}
+		if v, ok := res.Agreement(gs, 0); !ok || v != 1 {
+			t.Fatalf("m=%d: no agreement", m)
+		}
+		if res.Messages <= prev {
+			t.Fatalf("m=%d: messages %d did not grow from %d", m, res.Messages, prev)
+		}
+		prev = res.Messages
+	}
+	// OM(0) with n generals costs n-1 messages; OM(1) costs
+	// (n-1) + (n-1)(n-2); both dwarf the 4-message trusted exchange.
+	gs := generals(4)
+	res, _ := Run(gs, 0, 1, 1)
+	if res.Messages != 3+3*2 {
+		t.Fatalf("OM(1) messages = %d, want 9", res.Messages)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	t.Parallel()
+	if _, err := Run(nil, 0, 1, 1); err == nil {
+		t.Fatalf("no generals accepted")
+	}
+	if _, err := Run(generals(3), 5, 1, 1); err == nil {
+		t.Fatalf("bad commander accepted")
+	}
+	if _, err := Run(generals(3), 0, 1, -1); err == nil {
+		t.Fatalf("negative depth accepted")
+	}
+}
+
+func TestMajority(t *testing.T) {
+	t.Parallel()
+	tests := []struct {
+		votes []Value
+		want  Value
+	}{
+		{[]Value{1, 1, 2}, 1},
+		{[]Value{1, 2}, DefaultValue}, // tie
+		{[]Value{3}, 3},
+		{[]Value{2, 2, 1, 1}, DefaultValue},
+		{[]Value{5, 5, 5, 1}, 5},
+	}
+	for _, tt := range tests {
+		if got := majority(tt.votes); got != tt.want {
+			t.Errorf("majority(%v) = %v, want %v", tt.votes, got, tt.want)
+		}
+	}
+}

@@ -1,0 +1,741 @@
+// Package core is the public orchestration layer of the library: it takes
+// a commercial-exchange problem (model.Problem), derives the interaction
+// and sequencing graphs, reduces the sequencing graph, and — when the
+// exchange is feasible — recovers a concrete execution sequence (Section
+// 5): the total order of deposits, notifications and deliveries that
+// protects every participant at every step.
+//
+// The recovered plan follows the paper's recipe: pairwise exchanges
+// execute in the order their commitment nodes disconnected during the
+// reduction; commitments attached to their conjunction by a red edge are
+// committed first but executed last; a notify action is generated when a
+// trusted component's conjunction node disconnects.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	"trustseq/internal/interaction"
+	"trustseq/internal/model"
+	"trustseq/internal/safety"
+	"trustseq/internal/sequencing"
+)
+
+// StepKind classifies plan steps.
+type StepKind int
+
+// The step kinds, in the rough order they appear in a plan.
+const (
+	StepInvalid StepKind = iota
+	StepCommit
+	StepIndemnityPost
+	StepDeposit
+	StepNotify
+	StepDeliver
+	StepIndemnityRefund
+)
+
+// String names the step kind.
+func (k StepKind) String() string {
+	switch k {
+	case StepCommit:
+		return "commit"
+	case StepIndemnityPost:
+		return "indemnity-post"
+	case StepDeposit:
+		return "deposit"
+	case StepNotify:
+		return "notify"
+	case StepDeliver:
+		return "deliver"
+	case StepIndemnityRefund:
+		return "indemnity-refund"
+	default:
+		return fmt.Sprintf("step(%d)", int(k))
+	}
+}
+
+// Step is one entry of the execution sequence. Exchange is set for
+// deposits and deliveries; Offer indexes Problem.Indemnities for the
+// indemnity steps. Actions holds the primitive model actions the step
+// performs, in order.
+type Step struct {
+	Kind     StepKind
+	Exchange int
+	Offer    int
+	From, To model.PartyID
+	Actions  []model.Action
+}
+
+// String renders the step the way Section 5 writes them.
+func (s Step) String() string {
+	switch s.Kind {
+	case StepCommit:
+		return fmt.Sprintf("%s commits to the exchange via %s", s.From, s.To)
+	case StepIndemnityPost:
+		return fmt.Sprintf("%s posts indemnity collateral with %s", s.From, s.To)
+	case StepDeposit:
+		return fmt.Sprintf("%s sends deposit to %s", s.From, s.To)
+	case StepNotify:
+		return fmt.Sprintf("%s notifies %s", s.From, s.To)
+	case StepDeliver:
+		return fmt.Sprintf("%s delivers to %s", s.From, s.To)
+	case StepIndemnityRefund:
+		return fmt.Sprintf("%s refunds indemnity collateral to %s", s.From, s.To)
+	default:
+		return "invalid step"
+	}
+}
+
+// Plan is the result of analysing a problem: the derived graphs, the
+// reduction trace, the feasibility verdict, and — when feasible — the
+// execution sequence.
+type Plan struct {
+	Problem     *model.Problem
+	Interaction *interaction.Graph
+	Sequencing  *sequencing.Graph
+	Reduction   *sequencing.Reduction
+	Feasible    bool
+	Steps       []Step
+}
+
+// ErrInfeasible is reported by APIs that require a feasible plan.
+var ErrInfeasible = errors.New("core: exchange is not shown feasible by sequencing-graph reduction")
+
+// Synthesize analyses the problem end to end. An infeasible exchange is
+// not an error: the returned plan carries Feasible=false, the reduction
+// trace and the impasse diagnosis. Errors indicate invalid problems or
+// internal inconsistencies (a feasible reduction whose execution cannot
+// be scheduled — which would falsify the paper's claim and is covered by
+// tests).
+func Synthesize(p *model.Problem) (*Plan, error) {
+	return SynthesizeWith(p, sequencing.Reduce)
+}
+
+// SynthesizeWith is Synthesize with a caller-chosen reducer — e.g.
+// sequencing.ReducePreferred with a priority reproducing a published
+// reduction order. The verdict is reducer-independent (Section 4.2.4);
+// the recovered execution sequence follows the reducer's removal order.
+func SynthesizeWith(p *model.Problem, reduce func(*sequencing.Graph) *sequencing.Reduction) (*Plan, error) {
+	ig, err := interaction.New(p)
+	if err != nil {
+		return nil, err
+	}
+	sg, err := sequencing.NewSplit(ig)
+	if err != nil {
+		return nil, err
+	}
+	if err := sg.Validate(); err != nil {
+		return nil, err
+	}
+	red := reduce(sg)
+	plan := &Plan{
+		Problem:     p,
+		Interaction: ig,
+		Sequencing:  sg,
+		Reduction:   red,
+		Feasible:    red.Feasible(),
+	}
+	if !plan.Feasible {
+		return plan, nil
+	}
+	if err := plan.schedule(); err != nil {
+		return nil, fmt.Errorf("core: scheduling feasible reduction: %w", err)
+	}
+	return plan, nil
+}
+
+// schedule turns the reduction trace into the ordered step list by
+// replaying it against an asset-tracking execution.
+//
+// Indemnity collateral is posted lazily, immediately before the first
+// deposit on the covered exchange, and — for a self-insured offerer —
+// only once delivery of the covered goods is guaranteed (the goods sit in
+// an escrow the offerer can reach, or in its own hands): the paper's
+// broker offers its indemnity "once it has obtained a promise from the
+// seller to deliver its own document". Covered deposits whose collateral
+// cannot be posted yet are blocked and retried after later events.
+func (p *Plan) schedule() error {
+	exec := safety.NewExec(p.Problem)
+	var steps []Step
+	posted := make([]bool, len(p.Problem.Indemnities))
+
+	remaining := make(map[int]int, len(p.Sequencing.Commitments))
+	redAt := make(map[int]bool)
+	for _, c := range p.Sequencing.Commitments {
+		remaining[c.ID] = len(p.Sequencing.EdgesAtCommitment(c.ID))
+	}
+	for _, e := range p.Sequencing.Edges {
+		if e.Red {
+			redAt[e.ID.C] = true
+		}
+	}
+
+	var deferred []int
+	var blocked []int
+
+	// Notifications correspond to Rule #2 removals at trusted
+	// conjunctions, but a trusted component can only truthfully notify
+	// once it physically holds the other side (the paper's "Trusted2 can
+	// notify the broker that it has the document"). When commits are
+	// delayed (blocked collateral, red deferral), the notify waits for
+	// the counterpart deposits.
+	type pendingNotify struct {
+		trusted, target model.PartyID
+		commit          int   // the notified party's own exchange at the trusted
+		requires        []int // exchange indices that must be deposited
+	}
+	var notifies []pendingNotify
+	flushNotifies := func() error {
+		for i := 0; i < len(notifies); {
+			pn := notifies[i]
+			// A notification tells a principal "the other side is in
+			// place; your move". If the principal's own side is already
+			// in escrow by the time the counterpart arrives, the trusted
+			// component simply completes — no notification exists
+			// physically, so none is planned.
+			if exec.Deposited(pn.commit) {
+				notifies = append(notifies[:i], notifies[i+1:]...)
+				continue
+			}
+			ok := true
+			for _, ei := range pn.requires {
+				if !exec.Deposited(ei) {
+					ok = false
+					break
+				}
+			}
+			if !ok {
+				i++
+				continue
+			}
+			n := model.Notify(pn.trusted, pn.target)
+			if err := exec.Apply(n); err != nil {
+				return fmt.Errorf("notify from %s: %w", pn.trusted, err)
+			}
+			steps = append(steps, Step{
+				Kind: StepNotify,
+				From: pn.trusted, To: pn.target,
+				Actions: []model.Action{n},
+			})
+			notifies = append(notifies[:i], notifies[i+1:]...)
+			i = 0 // restart: order within pending set is by eligibility
+		}
+		return nil
+	}
+
+	// collateralReady reports whether every unposted offer covering ci can
+	// be posted now; postCollateral posts them.
+	collateralReady := func(ci int) bool {
+		for oi, off := range p.Problem.Indemnities {
+			if posted[oi] || off.Covers != ci {
+				continue
+			}
+			if model.SelfInsured(p.Problem, off) && !canGuaranteeDelivery(exec, off) {
+				return false
+			}
+		}
+		return true
+	}
+	postCollateral := func(ci int) error {
+		for oi, off := range p.Problem.Indemnities {
+			if posted[oi] || off.Covers != ci {
+				continue
+			}
+			post := safety.IndemnityPostAction(p.Problem, off)
+			if err := exec.Apply(post); err != nil {
+				return fmt.Errorf("posting indemnity %d: %w", oi, err)
+			}
+			posted[oi] = true
+			steps = append(steps, Step{
+				Kind: StepIndemnityPost, Offer: oi,
+				From: off.By, To: off.Via,
+				Actions: []model.Action{post},
+			})
+		}
+		return nil
+	}
+
+	deposit := func(ci int) error {
+		e := p.Problem.Exchanges[ci]
+		acts := model.DepositActions(e)
+		if len(acts) == 0 {
+			return nil
+		}
+		for _, a := range acts {
+			if err := exec.Apply(a); err != nil {
+				return fmt.Errorf("deposit for exchange %d: %w", ci, err)
+			}
+		}
+		steps = append(steps, Step{
+			Kind: StepDeposit, Exchange: ci,
+			From: e.Principal, To: e.Trusted,
+			Actions: acts,
+		})
+		return nil
+	}
+	drain := func() error {
+		for {
+			progress := false
+			for _, pa := range p.Problem.Parties {
+				if !pa.IsTrusted() || !exec.TrustedReady(pa.ID) {
+					continue
+				}
+				for _, ei := range p.Problem.ExchangesOf(pa.ID) {
+					e := p.Problem.Exchanges[ei]
+					if e.Trusted != pa.ID || exec.Delivered(ei) {
+						continue
+					}
+					acts := model.ReceiptActions(e)
+					if len(acts) == 0 {
+						continue
+					}
+					for _, a := range acts {
+						if err := exec.Apply(a); err != nil {
+							return fmt.Errorf("delivery for exchange %d: %w", ei, err)
+						}
+					}
+					steps = append(steps, Step{
+						Kind: StepDeliver, Exchange: ei,
+						From: pa.ID, To: e.Principal,
+						Actions: acts,
+					})
+				}
+				progress = true
+			}
+			if !progress {
+				return nil
+			}
+		}
+	}
+
+	// Persona commitments (the principal plays the trusted role, Section
+	// 4.2.3) execute as an early withdrawal — the principal takes the
+	// escrowed goods without paying yet ("risk-free access") — and the
+	// principal's own deposit is deferred to the end, like a red edge.
+	isPersona := func(ci int) bool {
+		return p.Sequencing.Commitments[ci].PersonaPrincipal
+	}
+	personaWithdrawable := func(ci int) bool {
+		e := p.Problem.Exchanges[ci]
+		return exec.Holding(e.Trusted).Contains(e.Gets)
+	}
+	withdraw := func(ci int) error {
+		e := p.Problem.Exchanges[ci]
+		if err := exec.EarlyWithdraw(ci); err != nil {
+			return err
+		}
+		steps = append(steps, Step{
+			Kind: StepDeliver, Exchange: ci,
+			From: e.Trusted, To: e.Principal,
+			Actions: model.ReceiptActions(e),
+		})
+		deferred = append(deferred, ci)
+		return nil
+	}
+
+	ready := func(ci int) bool {
+		if isPersona(ci) {
+			return personaWithdrawable(ci)
+		}
+		return collateralReady(ci)
+	}
+	committedOnce := make(map[int]bool)
+	commit := func(ci int) error {
+		if !committedOnce[ci] {
+			committedOnce[ci] = true
+			e := p.Problem.Exchanges[ci]
+			steps = append(steps, Step{
+				Kind: StepCommit, Exchange: ci,
+				From: e.Principal, To: e.Trusted,
+			})
+		}
+		// The persona clause takes precedence over red marking, exactly
+		// as it overrides red pre-emption in Rule #1: the principal has
+		// risk-free access to the escrowed goods, so it withdraws now and
+		// its own deposit is deferred (withdraw handles that).
+		if isPersona(ci) {
+			if !ready(ci) {
+				blocked = append(blocked, ci)
+				return nil
+			}
+			return withdraw(ci)
+		}
+		if redAt[ci] {
+			deferred = append(deferred, ci)
+			return nil
+		}
+		if !ready(ci) {
+			blocked = append(blocked, ci)
+			return nil
+		}
+		if err := postCollateral(ci); err != nil {
+			return err
+		}
+		if err := deposit(ci); err != nil {
+			return err
+		}
+		return drain()
+	}
+	retryBlocked := func() error {
+		for {
+			progressed := false
+			for i, ci := range blocked {
+				if !ready(ci) {
+					continue
+				}
+				blocked = append(blocked[:i], blocked[i+1:]...)
+				if err := commit(ci); err != nil {
+					return err
+				}
+				progressed = true
+				break
+			}
+			if !progressed {
+				return nil
+			}
+		}
+	}
+
+	// Commitments that start with no edges commit immediately.
+	for _, c := range p.Sequencing.Commitments {
+		if remaining[c.ID] == 0 {
+			if err := commit(c.ID); err != nil {
+				return err
+			}
+		}
+	}
+
+	for _, rm := range p.Reduction.Removals {
+		ci, ji := rm.Edge.ID.C, rm.Edge.ID.J
+		conj := p.Sequencing.Conjunctions[ji]
+		if rm.Rule == sequencing.Rule2 && conj.TrustedAgent {
+			target := p.Sequencing.Commitments[ci].Principal
+			var requires []int
+			for _, ei := range p.Problem.ExchangesOf(conj.Agent) {
+				if p.Problem.Exchanges[ei].Trusted == conj.Agent && ei != ci {
+					requires = append(requires, ei)
+				}
+			}
+			notifies = append(notifies, pendingNotify{trusted: conj.Agent, target: target, commit: ci, requires: requires})
+		}
+		// The notification precedes the commitment it enables: a Rule #2
+		// removal means the trusted component tells the remaining party
+		// that the other side is in place, and only then does that party
+		// commit (Section 5's step ordering).
+		if err := flushNotifies(); err != nil {
+			return err
+		}
+		remaining[ci]--
+		if remaining[ci] == 0 {
+			if err := commit(ci); err != nil {
+				return err
+			}
+		}
+		if err := flushNotifies(); err != nil {
+			return err
+		}
+		if err := retryBlocked(); err != nil {
+			return err
+		}
+		if err := flushNotifies(); err != nil {
+			return err
+		}
+	}
+	if err := retryBlocked(); err != nil {
+		return err
+	}
+	if err := flushNotifies(); err != nil {
+		return err
+	}
+
+	// Red-edge commitments were committed in disconnect order but execute
+	// last (Section 5). Deposits may depend on deliveries from other
+	// deferred commitments (resale chains), and blocked commitments
+	// (persona withdrawals waiting for escrowed goods, collateral waiting
+	// on a guarantee) may only unblock once deferred deposits land — so
+	// both pools drain together until quiescent.
+	for len(deferred) > 0 || len(blocked) > 0 {
+		progressed := false
+		beforeBlocked := len(blocked)
+		if err := retryBlocked(); err != nil {
+			return err
+		}
+		if err := flushNotifies(); err != nil {
+			return err
+		}
+		if len(blocked) < beforeBlocked {
+			progressed = true
+		}
+		for i, ci := range deferred {
+			if !fundable(exec, ci) || !collateralReady(ci) {
+				continue
+			}
+			if err := postCollateral(ci); err != nil {
+				return err
+			}
+			if err := deposit(ci); err != nil {
+				return err
+			}
+			if err := drain(); err != nil {
+				return err
+			}
+			if err := flushNotifies(); err != nil {
+				return err
+			}
+			deferred = append(deferred[:i], deferred[i+1:]...)
+			progressed = true
+			break
+		}
+		if !progressed {
+			return fmt.Errorf("stuck schedule: deferred %v cannot be funded, blocked %v cannot be unblocked",
+				deferred, blocked)
+		}
+	}
+	if err := drain(); err != nil {
+		return err
+	}
+
+	// Happy path: every posted indemnity is refunded once the exchange
+	// completes.
+	for oi, off := range p.Problem.Indemnities {
+		if !posted[oi] {
+			continue
+		}
+		refund := safety.IndemnityPostAction(p.Problem, off).Compensation()
+		if err := exec.Apply(refund); err != nil {
+			return fmt.Errorf("refunding indemnity %d: %w", oi, err)
+		}
+		steps = append(steps, Step{
+			Kind: StepIndemnityRefund, Offer: oi,
+			From: off.Via, To: off.By,
+			Actions: []model.Action{refund},
+		})
+	}
+
+	if err := flushNotifies(); err != nil {
+		return err
+	}
+	for _, pn := range notifies {
+		// Leftovers whose target deposited through another path are
+		// physically silent; anything else is a scheduling bug.
+		if !exec.Deposited(pn.commit) {
+			return fmt.Errorf("notification from %s to %s never became sendable", pn.trusted, pn.target)
+		}
+	}
+	if !safety.Completed(exec) {
+		return fmt.Errorf("schedule finished without completing every exchange")
+	}
+	p.Steps = steps
+	return nil
+}
+
+// canGuaranteeDelivery reports whether a self-insured offerer is assured
+// of obtaining the covered goods: each promised item is already in the
+// offerer's hands or sits in the escrow of a trusted component from which
+// the offerer has a purchase exchange for that item.
+func canGuaranteeDelivery(exec *safety.Exec, off model.IndemnityOffer) bool {
+	cov := exec.Problem.Exchanges[off.Covers]
+	for _, it := range cov.Gets.Items {
+		if exec.Holding(off.By).Items[it] > 0 {
+			continue
+		}
+		ok := false
+		for _, ei := range exec.Problem.ExchangesOf(off.By) {
+			e := exec.Problem.Exchanges[ei]
+			if e.Principal != off.By || !e.Gets.HasItem(it) {
+				continue
+			}
+			if exec.Holding(e.Trusted).Items[it] > 0 {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+func fundable(exec *safety.Exec, ci int) bool {
+	e := exec.Problem.Exchanges[ci]
+	need := model.NewHolding()
+	for _, a := range model.DepositActions(e) {
+		need.Add(a.Asset())
+	}
+	h := exec.Holding(e.Principal)
+	return h.Contains(model.Bundle{Amount: need.Cash, Items: needItems(need)})
+}
+
+func needItems(h *model.Holding) []model.ItemID {
+	var out []model.ItemID
+	for it, n := range h.Items {
+		for i := 0; i < n; i++ {
+			out = append(out, it)
+		}
+	}
+	return out
+}
+
+// Verify replays the plan and checks the guarantees the paper promises
+// for feasible exchanges:
+//
+//   - every transfer is funded when performed;
+//   - after every step, every principal's assets remain safe
+//     (safety.AssetSafe): even if every other principal stops, each
+//     pairwise exchange individually ends untouched, refunded or
+//     completed, with indemnity collateral settling per Section 6 — the
+//     paper's "no participant ever risks losing money or goods without
+//     receiving everything promised in exchange". Conjunction
+//     (all-or-nothing) preferences are negotiation-level constraints
+//     enforced by the commit order and checked on the final state;
+//   - the final state completes every exchange, is acceptable to every
+//     principal, and leaves every trusted component neutral.
+func (p *Plan) Verify() error {
+	if !p.Feasible {
+		return ErrInfeasible
+	}
+	exec := safety.NewExec(p.Problem)
+	committed := make(map[int]bool, len(p.Problem.Exchanges))
+	for si, st := range p.Steps {
+		if st.Kind == StepCommit {
+			committed[st.Exchange] = true
+		}
+		if st.Kind == StepIndemnityPost {
+			// Posting collateral is a financially enforced commitment
+			// ("a principal can make a credible promise by setting up an
+			// indemnity account", Section 6): the offerer's exchanges at
+			// the collateral holder become binding.
+			off := p.Problem.Indemnities[st.Offer]
+			for ei, e := range p.Problem.Exchanges {
+				if e.Principal == off.By && e.Trusted == off.Via {
+					committed[ei] = true
+				}
+			}
+		}
+		for _, a := range st.Actions {
+			if err := exec.Apply(a); err != nil {
+				return fmt.Errorf("core: step %d (%v): %w", si, st, err)
+			}
+		}
+		for _, pa := range p.Problem.Parties {
+			if pa.IsTrusted() {
+				continue
+			}
+			if !safety.AssetSafe(exec, pa.ID) {
+				return fmt.Errorf("core: step %d (%v) leaves %s's assets at risk", si, st, pa.ID)
+			}
+		}
+	}
+	if !safety.Completed(exec) {
+		return fmt.Errorf("core: plan does not complete every exchange")
+	}
+	for _, pa := range p.Problem.Parties {
+		if pa.IsTrusted() {
+			if !model.TrustedNeutral(exec.State, pa.ID) {
+				return fmt.Errorf("core: trusted component %s not neutral at the end", pa.ID)
+			}
+			continue
+		}
+		if !model.Acceptable(p.Problem, pa.ID, exec.State) {
+			return fmt.Errorf("core: final state unacceptable to %s", pa.ID)
+		}
+	}
+	return p.CheckConstraints()
+}
+
+// CheckConstraints verifies the plan's action order against the
+// problem's explicit ordering constraints (Section 2.4): for each
+// constraint, if the After action occurs in the plan, the Before action
+// must occur earlier. Constraints whose After action never occurs are
+// vacuously satisfied.
+func (p *Plan) CheckConstraints() error {
+	if !p.Feasible {
+		return ErrInfeasible
+	}
+	position := make(map[model.Action]int)
+	idx := 0
+	for _, st := range p.Steps {
+		for _, a := range st.Actions {
+			if _, ok := position[a]; !ok {
+				position[a] = idx
+			}
+			idx++
+		}
+	}
+	for _, c := range p.Problem.Constraints {
+		after, ok := position[c.After]
+		if !ok {
+			continue
+		}
+		before, ok := position[c.Before]
+		if !ok {
+			return fmt.Errorf("core: constraint %v: the later action occurs but the earlier one never does", c)
+		}
+		if before > after {
+			return fmt.Errorf("core: constraint %v violated: %v at step position %d precedes %v at %d",
+				c, c.After, after, c.Before, before)
+		}
+	}
+	return nil
+}
+
+// ActionSteps returns the steps that move assets or information —
+// everything except the commit markers. This is the paper's Section 5
+// numbered list.
+func (p *Plan) ActionSteps() []Step {
+	var out []Step
+	for _, st := range p.Steps {
+		if st.Kind != StepCommit {
+			out = append(out, st)
+		}
+	}
+	return out
+}
+
+// ExecutionSequence renders the numbered step list in the style of the
+// Section 5 walkthrough. Commit points are shown as unnumbered
+// annotations between the action steps.
+func (p *Plan) ExecutionSequence() string {
+	if !p.Feasible {
+		return "infeasible: no execution sequence\n" + p.Reduction.Impasse()
+	}
+	var b strings.Builder
+	n := 0
+	for _, st := range p.Steps {
+		if st.Kind == StepCommit {
+			fmt.Fprintf(&b, "    — %s\n", describeStep(p.Problem, st))
+			continue
+		}
+		n++
+		fmt.Fprintf(&b, "%2d. %s\n", n, describeStep(p.Problem, st))
+	}
+	return b.String()
+}
+
+func describeStep(pr *model.Problem, st Step) string {
+	switch st.Kind {
+	case StepDeposit:
+		e := pr.Exchanges[st.Exchange]
+		return fmt.Sprintf("%s sends %s to %s", e.Principal, e.Gives, e.Trusted)
+	case StepDeliver:
+		e := pr.Exchanges[st.Exchange]
+		return fmt.Sprintf("%s sends %s to %s", e.Trusted, e.Gets, e.Principal)
+	case StepNotify:
+		return fmt.Sprintf("%s notifies %s", st.From, st.To)
+	case StepIndemnityPost:
+		off := pr.Indemnities[st.Offer]
+		amount := off.Amount
+		if amount == 0 {
+			amount = model.RequiredIndemnity(pr, off.Covers)
+		}
+		return fmt.Sprintf("%s posts %s indemnity with %s", st.From, amount, st.To)
+	case StepIndemnityRefund:
+		return fmt.Sprintf("%s refunds indemnity to %s", st.From, st.To)
+	default:
+		return st.String()
+	}
+}

@@ -1,0 +1,113 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"trustseq/internal/gen"
+	"trustseq/internal/model"
+)
+
+// The central end-to-end property: EVERY random problem that the
+// sequencing-graph reduction declares feasible synthesizes a plan that
+// passes full verification — funded transfers, per-step asset safety for
+// every principal, completion, conjunction acceptability, trusted
+// neutrality. This is the paper's Section 4/5 promise, checked over a
+// broad random family (including poor brokers and direct-trust
+// personas).
+func TestRandomFeasiblePlansAlwaysVerify(t *testing.T) {
+	t.Parallel()
+	rng := rand.New(rand.NewSource(123))
+	feasibleSeen := 0
+	for i := 0; i < 120; i++ {
+		p := gen.Random(rng, gen.Options{
+			Consumers:       1 + rng.Intn(2),
+			Brokers:         1 + rng.Intn(3),
+			Producers:       1 + rng.Intn(3),
+			MaxPrice:        80,
+			PoorBroker:      i%5 == 0,
+			DirectTrustProb: 0.35,
+		})
+		plan, err := Synthesize(p)
+		if err != nil {
+			t.Fatalf("instance %d: Synthesize = %v", i, err)
+		}
+		if !plan.Feasible {
+			continue
+		}
+		feasibleSeen++
+		if err := plan.Verify(); err != nil {
+			t.Fatalf("instance %d: Verify = %v\n%s", i, err, plan.ExecutionSequence())
+		}
+	}
+	if feasibleSeen < 10 {
+		t.Fatalf("only %d feasible instances — generator drift?", feasibleSeen)
+	}
+}
+
+// Plans over chains of every depth verify, and their step counts follow
+// the closed form: 5 actions per hop (deposit ×2, notify, deliver ×2).
+func TestChainPlanShape(t *testing.T) {
+	t.Parallel()
+	for k := 0; k <= 6; k++ {
+		plan, err := Synthesize(gen.Chain(k, model.Money(100+k)))
+		if err != nil {
+			t.Fatalf("chain %d: %v", k, err)
+		}
+		if !plan.Feasible {
+			t.Fatalf("chain %d infeasible", k)
+		}
+		if err := plan.Verify(); err != nil {
+			t.Fatalf("chain %d: Verify = %v", k, err)
+		}
+		want := 5 * (k + 1)
+		if got := len(plan.ActionSteps()); got != want {
+			t.Errorf("chain %d: %d action steps, want %d", k, got, want)
+		}
+	}
+}
+
+// Stars with greedy indemnification verify for k = 2..5 pieces.
+func TestStarPlansVerifyAfterIndemnification(t *testing.T) {
+	t.Parallel()
+	for k := 2; k <= 5; k++ {
+		prices := make([]model.Money, k)
+		for i := range prices {
+			prices[i] = model.Money(10 * (i + 1))
+		}
+		p := gen.Star(prices)
+		// Indemnify all but the cheapest piece (the greedy optimum).
+		for i := k - 1; i >= 1; i-- {
+			ei := gen.ConsumerStarIndices(k)[i]
+			p.Indemnities = append(p.Indemnities, model.IndemnityOffer{
+				By:     p.Exchanges[ei+1].Principal, // the selling broker
+				Covers: ei,
+				Via:    p.Exchanges[ei].Trusted,
+			})
+		}
+		plan, err := Synthesize(p)
+		if err != nil {
+			t.Fatalf("star %d: %v", k, err)
+		}
+		if !plan.Feasible {
+			t.Fatalf("star %d infeasible after full indemnification", k)
+		}
+		if err := plan.Verify(); err != nil {
+			t.Fatalf("star %d: Verify = %v", k, err)
+		}
+	}
+}
+
+// Parallel bundles verify at every width.
+func TestParallelPlansVerify(t *testing.T) {
+	t.Parallel()
+	for k := 1; k <= 6; k++ {
+		plan, err := Synthesize(gen.Parallel(k, 10))
+		if err != nil || !plan.Feasible {
+			t.Fatalf("parallel %d: %v", k, err)
+		}
+		if err := plan.Verify(); err != nil {
+			t.Fatalf("parallel %d: Verify = %v", k, err)
+		}
+	}
+}

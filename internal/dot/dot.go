@@ -1,0 +1,90 @@
+// Package dot renders graphs in Graphviz DOT syntax. It is a minimal
+// writer shared by the interaction and sequencing graph packages so that
+// every figure of the paper can be regenerated as a .dot file.
+package dot
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Graph accumulates nodes and edges and serializes them deterministically
+// (nodes and edges are emitted sorted, so output is diff-stable).
+type Graph struct {
+	name     string
+	directed bool
+	attrs    []string
+	nodes    map[string]string // id -> attribute list
+	edges    []edge
+}
+
+type edge struct {
+	from, to string
+	attrs    string
+}
+
+// New returns an empty graph. Directed graphs use "->" edges.
+func New(name string, directed bool) *Graph {
+	return &Graph{name: name, directed: directed, nodes: make(map[string]string)}
+}
+
+// SetAttr adds a graph-level attribute line, e.g. "rankdir=LR".
+func (g *Graph) SetAttr(attr string) { g.attrs = append(g.attrs, attr) }
+
+// Node declares a node with raw attributes, e.g. `label="c", shape=circle`.
+func (g *Graph) Node(id, attrs string) { g.nodes[id] = attrs }
+
+// Edge declares an edge with raw attributes (may be empty).
+func (g *Graph) Edge(from, to, attrs string) {
+	g.edges = append(g.edges, edge{from: from, to: to, attrs: attrs})
+}
+
+// Quote escapes a string for use inside a DOT double-quoted literal.
+func Quote(s string) string {
+	return `"` + strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`).Replace(s) + `"`
+}
+
+// String serializes the graph.
+func (g *Graph) String() string {
+	var b strings.Builder
+	kind, arrow := "graph", "--"
+	if g.directed {
+		kind, arrow = "digraph", "->"
+	}
+	fmt.Fprintf(&b, "%s %s {\n", kind, Quote(g.name))
+	for _, a := range g.attrs {
+		fmt.Fprintf(&b, "  %s;\n", a)
+	}
+	ids := make([]string, 0, len(g.nodes))
+	for id := range g.nodes {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		if g.nodes[id] == "" {
+			fmt.Fprintf(&b, "  %s;\n", Quote(id))
+		} else {
+			fmt.Fprintf(&b, "  %s [%s];\n", Quote(id), g.nodes[id])
+		}
+	}
+	edges := append([]edge(nil), g.edges...)
+	sort.Slice(edges, func(i, j int) bool {
+		if edges[i].from != edges[j].from {
+			return edges[i].from < edges[j].from
+		}
+		if edges[i].to != edges[j].to {
+			return edges[i].to < edges[j].to
+		}
+		return edges[i].attrs < edges[j].attrs
+	})
+	for _, e := range edges {
+		if e.attrs == "" {
+			fmt.Fprintf(&b, "  %s %s %s;\n", Quote(e.from), arrow, Quote(e.to))
+		} else {
+			fmt.Fprintf(&b, "  %s %s %s [%s];\n", Quote(e.from), arrow, Quote(e.to), e.attrs)
+		}
+	}
+	b.WriteString("}\n")
+	return b.String()
+}

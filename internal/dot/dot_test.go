@@ -1,0 +1,73 @@
+package dot
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestGraphSerialization(t *testing.T) {
+	t.Parallel()
+	g := New("demo", false)
+	g.SetAttr("rankdir=LR")
+	g.Node("b", "shape=circle")
+	g.Node("a", "")
+	g.Edge("b", "a", "color=red")
+	g.Edge("a", "b", "")
+	out := g.String()
+	if !strings.HasPrefix(out, `graph "demo" {`) {
+		t.Errorf("header wrong: %q", out)
+	}
+	if !strings.Contains(out, "rankdir=LR;") {
+		t.Errorf("attr missing")
+	}
+	// Deterministic: nodes sorted, a before b.
+	if strings.Index(out, `"a";`) > strings.Index(out, `"b" [shape=circle];`) {
+		t.Errorf("nodes not sorted:\n%s", out)
+	}
+	if !strings.Contains(out, `"b" -- "a" [color=red];`) {
+		t.Errorf("edge missing:\n%s", out)
+	}
+	if out != g.String() {
+		t.Errorf("serialization nondeterministic")
+	}
+}
+
+func TestDirectedGraph(t *testing.T) {
+	t.Parallel()
+	g := New("d", true)
+	g.Edge("x", "y", "")
+	out := g.String()
+	if !strings.HasPrefix(out, `digraph "d" {`) || !strings.Contains(out, `"x" -> "y";`) {
+		t.Errorf("directed output wrong:\n%s", out)
+	}
+}
+
+func TestQuote(t *testing.T) {
+	t.Parallel()
+	tests := []struct{ in, want string }{
+		{`plain`, `"plain"`},
+		{`has "quotes"`, `"has \"quotes\""`},
+		{`back\slash`, `"back\\slash"`},
+		{"new\nline", `"new\nline"`},
+	}
+	for _, tt := range tests {
+		if got := Quote(tt.in); got != tt.want {
+			t.Errorf("Quote(%q) = %s, want %s", tt.in, got, tt.want)
+		}
+	}
+}
+
+func TestEdgeSortingStable(t *testing.T) {
+	t.Parallel()
+	g := New("s", false)
+	g.Edge("z", "a", "")
+	g.Edge("a", "z", "")
+	g.Edge("a", "b", "x=1")
+	out := g.String()
+	ab := strings.Index(out, `"a" -- "b"`)
+	az := strings.Index(out, `"a" -- "z"`)
+	za := strings.Index(out, `"z" -- "a"`)
+	if !(ab < az && az < za) {
+		t.Errorf("edges not sorted:\n%s", out)
+	}
+}

@@ -1,0 +1,135 @@
+package dsl
+
+import "trustseq/internal/model"
+
+// File is a parsed DSL file: one problem declaration.
+type File struct {
+	Name  string
+	Pos   Pos
+	Stmts []Stmt
+}
+
+// Stmt is a statement inside a problem block.
+type Stmt interface {
+	stmt()
+	Position() Pos
+}
+
+// PartyStmt declares a principal or trusted component:
+// `consumer c`, `broker b`, `producer p`, `trusted t1`.
+type PartyStmt struct {
+	Pos  Pos
+	Role model.Role
+	Name string
+}
+
+// EndowmentStmt bounds a party's funds: `endowment b $80`.
+type EndowmentStmt struct {
+	Pos    Pos
+	Party  string
+	Amount model.Money
+}
+
+// BundleExpr is a parsed asset bundle: money plus documents.
+type BundleExpr struct {
+	Pos    Pos
+	Amount model.Money
+	Items  []string
+}
+
+// Bundle converts to a model bundle.
+func (b BundleExpr) Bundle() model.Bundle {
+	out := model.Cash(b.Amount)
+	for _, it := range b.Items {
+		out = out.With(model.ItemID(it))
+	}
+	return out
+}
+
+// GiveClause is one side of an exchange: `c gives $100`.
+type GiveClause struct {
+	Pos    Pos
+	Party  string
+	Bundle BundleExpr
+}
+
+// ExchangeStmt declares a pairwise exchange through an intermediary:
+// `exchange c with b via t1 { c gives $100; b gives doc "d" }`.
+// It compiles into two model.Exchange records (one per principal).
+type ExchangeStmt struct {
+	Pos     Pos
+	A, B    string
+	Via     string
+	Clauses []GiveClause
+}
+
+// TrustStmt declares direct trust: `trust p -> b` (p trusts b).
+type TrustStmt struct {
+	Pos              Pos
+	Truster, Trustee string
+}
+
+// RedStmt forces a red edge: `red b via t2` marks broker b's commitment
+// through t2 as must-be-secured-first.
+type RedStmt struct {
+	Pos   Pos
+	Party string
+	Via   string
+}
+
+// ActionExpr is a parsed primitive action reference used in ordering
+// constraints: pay/give/notify with explicit endpoints.
+type ActionExpr struct {
+	Pos    Pos
+	Kind   string // "pay", "give", "notify"
+	From   string
+	To     string
+	Amount model.Money
+	Item   string
+}
+
+// Action converts to a model action.
+func (a ActionExpr) Action() model.Action {
+	switch a.Kind {
+	case "pay":
+		return model.Pay(model.PartyID(a.From), model.PartyID(a.To), a.Amount)
+	case "give":
+		return model.Give(model.PartyID(a.From), model.PartyID(a.To), model.ItemID(a.Item))
+	default:
+		return model.Notify(model.PartyID(a.From), model.PartyID(a.To))
+	}
+}
+
+// RequireStmt declares an explicit ordering constraint (Section 2.4):
+// `require <earlier action> before <later action>`.
+type RequireStmt struct {
+	Pos           Pos
+	Before, After ActionExpr
+}
+
+// IndemnifyStmt posts collateral:
+// `indemnify b covers c via t1` or with an explicit `amount $100`.
+type IndemnifyStmt struct {
+	Pos       Pos
+	By        string
+	Protected string
+	Via       string
+	Amount    model.Money // 0 = computed minimum
+}
+
+func (RequireStmt) stmt()   {}
+func (PartyStmt) stmt()     {}
+func (EndowmentStmt) stmt() {}
+func (ExchangeStmt) stmt()  {}
+func (TrustStmt) stmt()     {}
+func (RedStmt) stmt()       {}
+func (IndemnifyStmt) stmt() {}
+
+// Position implements Stmt.
+func (s RequireStmt) Position() Pos   { return s.Pos }
+func (s PartyStmt) Position() Pos     { return s.Pos }
+func (s EndowmentStmt) Position() Pos { return s.Pos }
+func (s ExchangeStmt) Position() Pos  { return s.Pos }
+func (s TrustStmt) Position() Pos     { return s.Pos }
+func (s RedStmt) Position() Pos       { return s.Pos }
+func (s IndemnifyStmt) Position() Pos { return s.Pos }

@@ -1,0 +1,202 @@
+package dsl
+
+import (
+	"strings"
+	"unicode"
+	"unicode/utf8"
+)
+
+// Lexer tokenizes DSL source. Use Lex to tokenize a whole input.
+type lexer struct {
+	src  string
+	off  int
+	line int
+	col  int
+}
+
+// Lex tokenizes the source, returning the token stream terminated by a
+// TokEOF token, or a positioned error on the first invalid input.
+func Lex(src string) ([]Token, error) {
+	l := &lexer{src: src, line: 1, col: 1}
+	var out []Token
+	for {
+		tok, err := l.next()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, tok)
+		if tok.Kind == TokEOF {
+			return out, nil
+		}
+	}
+}
+
+func (l *lexer) peek() (rune, int) {
+	if l.off >= len(l.src) {
+		return 0, 0
+	}
+	return utf8.DecodeRuneInString(l.src[l.off:])
+}
+
+func (l *lexer) advance() rune {
+	r, w := l.peek()
+	l.off += w
+	if r == '\n' {
+		l.line++
+		l.col = 1
+	} else {
+		l.col++
+	}
+	return r
+}
+
+func (l *lexer) pos() Pos { return Pos{Line: l.line, Col: l.col} }
+
+func (l *lexer) skipSpaceAndComments() error {
+	for {
+		r, _ := l.peek()
+		switch {
+		case r == 0:
+			return nil
+		case unicode.IsSpace(r):
+			l.advance()
+		case r == '/' && strings.HasPrefix(l.src[l.off:], "//"):
+			for {
+				r, _ := l.peek()
+				if r == 0 || r == '\n' {
+					break
+				}
+				l.advance()
+			}
+		case r == '/' && strings.HasPrefix(l.src[l.off:], "/*"):
+			start := l.pos()
+			l.advance() // '/'
+			l.advance() // '*'
+			closed := false
+			for !closed {
+				r, _ := l.peek()
+				if r == 0 {
+					return errf(start, "unterminated block comment")
+				}
+				if r == '*' && strings.HasPrefix(l.src[l.off:], "*/") {
+					l.advance()
+					l.advance()
+					closed = true
+					continue
+				}
+				l.advance()
+			}
+		default:
+			return nil
+		}
+	}
+}
+
+func (l *lexer) next() (Token, error) {
+	if err := l.skipSpaceAndComments(); err != nil {
+		return Token{}, err
+	}
+	pos := l.pos()
+	r, _ := l.peek()
+	switch {
+	case r == 0:
+		return Token{Kind: TokEOF, Pos: pos}, nil
+	case r == '{':
+		l.advance()
+		return Token{Kind: TokLBrace, Pos: pos}, nil
+	case r == '}':
+		l.advance()
+		return Token{Kind: TokRBrace, Pos: pos}, nil
+	case r == ';':
+		l.advance()
+		return Token{Kind: TokSemi, Pos: pos}, nil
+	case r == ',':
+		l.advance()
+		return Token{Kind: TokComma, Pos: pos}, nil
+	case r == '+':
+		l.advance()
+		return Token{Kind: TokPlus, Pos: pos}, nil
+	case r == '-':
+		l.advance()
+		if r2, _ := l.peek(); r2 == '>' {
+			l.advance()
+			return Token{Kind: TokArrow, Pos: pos}, nil
+		}
+		return Token{}, errf(pos, "unexpected '-' (did you mean '->'?)")
+	case r == '$':
+		l.advance()
+		digits := l.lexDigits()
+		if digits == "" {
+			return Token{}, errf(pos, "'$' must be followed by digits")
+		}
+		return Token{Kind: TokMoney, Text: digits, Pos: pos}, nil
+	case r >= '0' && r <= '9':
+		return Token{Kind: TokNumber, Text: l.lexDigits(), Pos: pos}, nil
+	case r == '"':
+		return l.lexString(pos)
+	case unicode.IsLetter(r) || r == '_':
+		var b strings.Builder
+		for {
+			r, w := l.peek()
+			if unicode.IsLetter(r) || unicode.IsDigit(r) || r == '_' {
+				b.WriteRune(l.advance())
+				continue
+			}
+			// A '-' continues an identifier only when followed by an
+			// identifier character; "a->b" still lexes as ident, arrow,
+			// ident.
+			if r == '-' {
+				if n, _ := utf8.DecodeRuneInString(l.src[l.off+w:]); unicode.IsLetter(n) || unicode.IsDigit(n) || n == '_' {
+					b.WriteRune(l.advance())
+					continue
+				}
+			}
+			break
+		}
+		return Token{Kind: TokIdent, Text: b.String(), Pos: pos}, nil
+	default:
+		return Token{}, errf(pos, "unexpected character %q", r)
+	}
+}
+
+func (l *lexer) lexDigits() string {
+	var b strings.Builder
+	for {
+		r, _ := l.peek()
+		if r < '0' || r > '9' {
+			break
+		}
+		b.WriteRune(l.advance())
+	}
+	return b.String()
+}
+
+func (l *lexer) lexString(pos Pos) (Token, error) {
+	l.advance() // opening quote
+	var b strings.Builder
+	for {
+		r, _ := l.peek()
+		switch r {
+		case 0, '\n':
+			return Token{}, errf(pos, "unterminated string")
+		case '"':
+			l.advance()
+			return Token{Kind: TokString, Text: b.String(), Pos: pos}, nil
+		case '\\':
+			l.advance()
+			esc := l.advance()
+			switch esc {
+			case '"', '\\':
+				b.WriteRune(esc)
+			case 'n':
+				b.WriteByte('\n')
+			case 't':
+				b.WriteByte('\t')
+			default:
+				return Token{}, errf(pos, "unknown escape \\%c", esc)
+			}
+		default:
+			b.WriteRune(l.advance())
+		}
+	}
+}

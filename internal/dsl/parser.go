@@ -1,0 +1,348 @@
+package dsl
+
+import (
+	"strconv"
+
+	"trustseq/internal/model"
+)
+
+// Parse lexes and parses DSL source into a File.
+func Parse(src string) (*File, error) {
+	toks, err := Lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	return p.parseFile()
+}
+
+type parser struct {
+	toks []Token
+	pos  int
+}
+
+func (p *parser) cur() Token  { return p.toks[p.pos] }
+func (p *parser) next() Token { t := p.toks[p.pos]; p.pos++; return t }
+
+func (p *parser) expect(kind Kind) (Token, error) {
+	t := p.cur()
+	if t.Kind != kind {
+		return Token{}, errf(t.Pos, "expected %s, found %s", kind, t)
+	}
+	return p.next(), nil
+}
+
+func (p *parser) expectKeyword(kw string) (Token, error) {
+	t := p.cur()
+	if t.Kind != TokIdent || t.Text != kw {
+		return Token{}, errf(t.Pos, "expected %q, found %s", kw, t)
+	}
+	return p.next(), nil
+}
+
+func (p *parser) ident() (string, Pos, error) {
+	t, err := p.expect(TokIdent)
+	if err != nil {
+		return "", Pos{}, err
+	}
+	return t.Text, t.Pos, nil
+}
+
+func (p *parser) money() (model.Money, error) {
+	t, err := p.expect(TokMoney)
+	if err != nil {
+		return 0, err
+	}
+	n, err := strconv.ParseInt(t.Text, 10, 64)
+	if err != nil {
+		return 0, errf(t.Pos, "invalid amount $%s", t.Text)
+	}
+	return model.Money(n), nil
+}
+
+func (p *parser) parseFile() (*File, error) {
+	if _, err := p.expectKeyword("problem"); err != nil {
+		return nil, err
+	}
+	name, pos, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokLBrace); err != nil {
+		return nil, err
+	}
+	f := &File{Name: name, Pos: pos}
+	for p.cur().Kind != TokRBrace {
+		if p.cur().Kind == TokEOF {
+			return nil, errf(p.cur().Pos, "unexpected end of input: missing '}'")
+		}
+		st, err := p.parseStmt()
+		if err != nil {
+			return nil, err
+		}
+		f.Stmts = append(f.Stmts, st)
+	}
+	p.next() // '}'
+	if _, err := p.expect(TokEOF); err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+func (p *parser) parseStmt() (Stmt, error) {
+	t := p.cur()
+	if t.Kind != TokIdent {
+		return nil, errf(t.Pos, "expected a statement keyword, found %s", t)
+	}
+	switch t.Text {
+	case "consumer", "producer", "broker", "trusted":
+		return p.parseParty()
+	case "endowment":
+		return p.parseEndowment()
+	case "exchange":
+		return p.parseExchange()
+	case "trust":
+		return p.parseTrust()
+	case "red":
+		return p.parseRed()
+	case "indemnify":
+		return p.parseIndemnify()
+	case "require":
+		return p.parseRequire()
+	default:
+		return nil, errf(t.Pos, "unknown statement %q", t.Text)
+	}
+}
+
+func (p *parser) parseParty() (Stmt, error) {
+	kw := p.next()
+	role, err := model.ParseRole(kw.Text)
+	if err != nil {
+		return nil, errf(kw.Pos, "%v", err)
+	}
+	name, _, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	return PartyStmt{Pos: kw.Pos, Role: role, Name: name}, nil
+}
+
+func (p *parser) parseEndowment() (Stmt, error) {
+	kw := p.next()
+	party, _, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	amount, err := p.money()
+	if err != nil {
+		return nil, err
+	}
+	return EndowmentStmt{Pos: kw.Pos, Party: party, Amount: amount}, nil
+}
+
+// exchange A with B via T { A gives <bundle>; B gives <bundle> }
+func (p *parser) parseExchange() (Stmt, error) {
+	kw := p.next()
+	a, _, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expectKeyword("with"); err != nil {
+		return nil, err
+	}
+	b, _, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expectKeyword("via"); err != nil {
+		return nil, err
+	}
+	via, _, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokLBrace); err != nil {
+		return nil, err
+	}
+	st := ExchangeStmt{Pos: kw.Pos, A: a, B: b, Via: via}
+	for p.cur().Kind != TokRBrace {
+		party, pos, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expectKeyword("gives"); err != nil {
+			return nil, err
+		}
+		bundle, err := p.parseBundle()
+		if err != nil {
+			return nil, err
+		}
+		st.Clauses = append(st.Clauses, GiveClause{Pos: pos, Party: party, Bundle: bundle})
+		if p.cur().Kind == TokSemi {
+			p.next()
+		}
+	}
+	p.next() // '}'
+	return st, nil
+}
+
+// bundle := asset ('+' asset)*
+// asset  := $N | doc "name"
+func (p *parser) parseBundle() (BundleExpr, error) {
+	be := BundleExpr{Pos: p.cur().Pos}
+	for {
+		t := p.cur()
+		switch {
+		case t.Kind == TokMoney:
+			amount, err := p.money()
+			if err != nil {
+				return BundleExpr{}, err
+			}
+			be.Amount += amount
+		case t.Kind == TokIdent && t.Text == "doc":
+			p.next()
+			s, err := p.expect(TokString)
+			if err != nil {
+				return BundleExpr{}, err
+			}
+			be.Items = append(be.Items, s.Text)
+		case t.Kind == TokIdent && t.Text == "nothing":
+			p.next()
+		default:
+			return BundleExpr{}, errf(t.Pos, "expected an asset ($N, doc \"name\" or nothing), found %s", t)
+		}
+		if p.cur().Kind == TokPlus {
+			p.next()
+			continue
+		}
+		return be, nil
+	}
+}
+
+// require <action> before <action>
+// action := pay A -> B $N | give A -> B doc "x" | notify A -> B
+func (p *parser) parseRequire() (Stmt, error) {
+	kw := p.next()
+	before, err := p.parseActionExpr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expectKeyword("before"); err != nil {
+		return nil, err
+	}
+	after, err := p.parseActionExpr()
+	if err != nil {
+		return nil, err
+	}
+	return RequireStmt{Pos: kw.Pos, Before: before, After: after}, nil
+}
+
+func (p *parser) parseActionExpr() (ActionExpr, error) {
+	t := p.cur()
+	if t.Kind != TokIdent {
+		return ActionExpr{}, errf(t.Pos, "expected an action (pay/give/notify), found %s", t)
+	}
+	switch t.Text {
+	case "pay", "give", "notify":
+	default:
+		return ActionExpr{}, errf(t.Pos, "unknown action %q (want pay, give or notify)", t.Text)
+	}
+	p.next()
+	out := ActionExpr{Pos: t.Pos, Kind: t.Text}
+	from, _, err := p.ident()
+	if err != nil {
+		return ActionExpr{}, err
+	}
+	out.From = from
+	if _, err := p.expect(TokArrow); err != nil {
+		return ActionExpr{}, err
+	}
+	to, _, err := p.ident()
+	if err != nil {
+		return ActionExpr{}, err
+	}
+	out.To = to
+	switch out.Kind {
+	case "pay":
+		amount, err := p.money()
+		if err != nil {
+			return ActionExpr{}, err
+		}
+		out.Amount = amount
+	case "give":
+		if _, err := p.expectKeyword("doc"); err != nil {
+			return ActionExpr{}, err
+		}
+		s, err := p.expect(TokString)
+		if err != nil {
+			return ActionExpr{}, err
+		}
+		out.Item = s.Text
+	}
+	return out, nil
+}
+
+func (p *parser) parseTrust() (Stmt, error) {
+	kw := p.next()
+	truster, _, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokArrow); err != nil {
+		return nil, err
+	}
+	trustee, _, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	return TrustStmt{Pos: kw.Pos, Truster: truster, Trustee: trustee}, nil
+}
+
+func (p *parser) parseRed() (Stmt, error) {
+	kw := p.next()
+	party, _, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expectKeyword("via"); err != nil {
+		return nil, err
+	}
+	via, _, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	return RedStmt{Pos: kw.Pos, Party: party, Via: via}, nil
+}
+
+// indemnify B covers C via T [amount $N]
+func (p *parser) parseIndemnify() (Stmt, error) {
+	kw := p.next()
+	by, _, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expectKeyword("covers"); err != nil {
+		return nil, err
+	}
+	protected, _, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expectKeyword("via"); err != nil {
+		return nil, err
+	}
+	via, _, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	st := IndemnifyStmt{Pos: kw.Pos, By: by, Protected: protected, Via: via}
+	if p.cur().Kind == TokIdent && p.cur().Text == "amount" {
+		p.next()
+		amount, err := p.money()
+		if err != nil {
+			return nil, err
+		}
+		st.Amount = amount
+	}
+	return st, nil
+}

@@ -1,0 +1,154 @@
+package dsl
+
+import (
+	"strings"
+	"testing"
+
+	"trustseq/internal/core"
+	"trustseq/internal/model"
+)
+
+const constrainedSrc = `
+problem constrained {
+    consumer c
+    broker   b
+    producer p
+    trusted  t1
+    trusted  t2
+
+    exchange c with b via t1 { c gives $100; b gives doc "d" }
+    exchange b with p via t2 { b gives $80;  p gives doc "d" }
+
+    // Section 2.4's example: the producer-to-broker transfer must precede
+    // the broker-to-consumer transfer (here via the intermediaries).
+    require give p -> t2 doc "d" before give b -> t1 doc "d"
+    // The broker may only pay the producer's side after being notified.
+    require notify t1 -> b before pay b -> t2 $80
+}
+`
+
+func TestRequireCompilesToConstraints(t *testing.T) {
+	t.Parallel()
+	p, err := Load(constrainedSrc)
+	if err != nil {
+		t.Fatalf("Load = %v", err)
+	}
+	if len(p.Constraints) != 2 {
+		t.Fatalf("constraints = %d", len(p.Constraints))
+	}
+	want := model.Constraint{
+		Before: model.Give("p", "t2", "d"),
+		After:  model.Give("b", "t1", "d"),
+	}
+	if p.Constraints[0] != want {
+		t.Errorf("constraint[0] = %v, want %v", p.Constraints[0], want)
+	}
+}
+
+// The synthesized Example 1 plan naturally satisfies both Section 2.4
+// constraints; Verify (which now includes CheckConstraints) passes.
+func TestPlanSatisfiesDeclaredConstraints(t *testing.T) {
+	t.Parallel()
+	p, err := Load(constrainedSrc)
+	if err != nil {
+		t.Fatalf("Load = %v", err)
+	}
+	plan, err := core.Synthesize(p)
+	if err != nil {
+		t.Fatalf("Synthesize = %v", err)
+	}
+	if !plan.Feasible {
+		t.Fatalf("infeasible")
+	}
+	if err := plan.CheckConstraints(); err != nil {
+		t.Fatalf("CheckConstraints = %v", err)
+	}
+	if err := plan.Verify(); err != nil {
+		t.Fatalf("Verify = %v", err)
+	}
+}
+
+// An unsatisfiable constraint (reversing the resale order) is caught.
+func TestViolatedConstraintDetected(t *testing.T) {
+	t.Parallel()
+	src := strings.Replace(constrainedSrc,
+		`require give p -> t2 doc "d" before give b -> t1 doc "d"`,
+		`require give b -> t1 doc "d" before give p -> t2 doc "d"`, 1)
+	p, err := Load(src)
+	if err != nil {
+		t.Fatalf("Load = %v", err)
+	}
+	plan, err := core.Synthesize(p)
+	if err != nil {
+		t.Fatalf("Synthesize = %v", err)
+	}
+	err = plan.CheckConstraints()
+	if err == nil || !strings.Contains(err.Error(), "violated") {
+		t.Fatalf("CheckConstraints = %v, want violation", err)
+	}
+	if err := plan.Verify(); err == nil {
+		t.Fatalf("Verify passed despite violated constraint")
+	}
+}
+
+// A constraint whose later action never occurs is vacuous.
+func TestVacuousConstraint(t *testing.T) {
+	t.Parallel()
+	src := strings.Replace(constrainedSrc,
+		`require notify t1 -> b before pay b -> t2 $80`,
+		`require notify t1 -> b before pay b -> t2 $9999`, 1)
+	p, err := Load(src)
+	if err != nil {
+		t.Fatalf("Load = %v", err)
+	}
+	plan, err := core.Synthesize(p)
+	if err != nil {
+		t.Fatalf("Synthesize = %v", err)
+	}
+	if err := plan.CheckConstraints(); err != nil {
+		t.Fatalf("vacuous constraint rejected: %v", err)
+	}
+}
+
+func TestRequireParseErrors(t *testing.T) {
+	t.Parallel()
+	tests := []struct{ name, src, want string }{
+		{"bad action", `problem x { consumer c producer p trusted t exchange c with p via t { c gives $1; p gives doc "d" } require teleport c -> p before pay c -> t $1 }`, "unknown action"},
+		{"missing before", `problem x { consumer c producer p trusted t exchange c with p via t { c gives $1; p gives doc "d" } require pay c -> t $1 after pay c -> t $1 }`, `expected "before"`},
+		{"undeclared party", `problem x { consumer c producer p trusted t exchange c with p via t { c gives $1; p gives doc "d" } require pay z -> t $1 before pay c -> t $1 }`, "undeclared party"},
+		{"invalid amount", `problem x { consumer c producer p trusted t exchange c with p via t { c gives $1; p gives doc "d" } require pay c -> t $0 before pay c -> t $1 }`, "invalid constraint action"},
+	}
+	for _, tt := range tests {
+		tt := tt
+		t.Run(tt.name, func(t *testing.T) {
+			t.Parallel()
+			_, err := Load(tt.src)
+			if err == nil || !strings.Contains(err.Error(), tt.want) {
+				t.Fatalf("Load = %v, want %q", err, tt.want)
+			}
+		})
+	}
+}
+
+// Constraints round-trip through the printer.
+func TestRequireRoundTrip(t *testing.T) {
+	t.Parallel()
+	p, err := Load(constrainedSrc)
+	if err != nil {
+		t.Fatalf("Load = %v", err)
+	}
+	src, err := Print(p)
+	if err != nil {
+		t.Fatalf("Print = %v", err)
+	}
+	if !strings.Contains(src, `require give p -> t2 doc "d" before give b -> t1 doc "d"`) {
+		t.Fatalf("printed source missing constraint:\n%s", src)
+	}
+	back, err := Load(src)
+	if err != nil {
+		t.Fatalf("Load(Print) = %v\n%s", err, src)
+	}
+	if len(back.Constraints) != len(p.Constraints) {
+		t.Fatalf("constraints lost in round trip")
+	}
+}

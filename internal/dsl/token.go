@@ -1,0 +1,120 @@
+// Package dsl implements the specification language the paper introduces
+// for commercial exchange problems ("We introduce a language for
+// specifying these commercial exchange problems", Section 1): a lexer,
+// recursive-descent parser, semantic analysis, a compiler to
+// model.Problem, and a pretty-printer that round-trips.
+//
+// A problem file looks like:
+//
+//	problem example1 {
+//	    consumer c
+//	    broker   b
+//	    producer p
+//	    trusted  t1
+//	    trusted  t2
+//
+//	    exchange c with b via t1 { c gives $100; b gives doc "d" }
+//	    exchange b with p via t2 { b gives $80;  p gives doc "d" }
+//
+//	    // optional clauses:
+//	    // endowment b $80
+//	    // trust p -> b
+//	    // red b via t2
+//	    // indemnify b covers c via t1 amount $100
+//	}
+package dsl
+
+import "fmt"
+
+// Kind classifies tokens.
+type Kind int
+
+// Token kinds.
+const (
+	TokInvalid Kind = iota
+	TokEOF
+	TokIdent
+	TokString // "..."
+	TokMoney  // $123
+	TokNumber // 123
+	TokLBrace // {
+	TokRBrace // }
+	TokSemi   // ;
+	TokComma  // ,
+	TokPlus   // +
+	TokArrow  // ->
+)
+
+// String names the kind.
+func (k Kind) String() string {
+	switch k {
+	case TokEOF:
+		return "end of input"
+	case TokIdent:
+		return "identifier"
+	case TokString:
+		return "string"
+	case TokMoney:
+		return "money"
+	case TokNumber:
+		return "number"
+	case TokLBrace:
+		return "'{'"
+	case TokRBrace:
+		return "'}'"
+	case TokSemi:
+		return "';'"
+	case TokComma:
+		return "','"
+	case TokPlus:
+		return "'+'"
+	case TokArrow:
+		return "'->'"
+	default:
+		return "invalid token"
+	}
+}
+
+// Pos is a 1-based source position.
+type Pos struct {
+	Line, Col int
+}
+
+// String renders "line:col".
+func (p Pos) String() string { return fmt.Sprintf("%d:%d", p.Line, p.Col) }
+
+// Token is one lexeme with its source position.
+type Token struct {
+	Kind Kind
+	Text string // identifier name, string contents, or number digits
+	Pos  Pos
+}
+
+// String renders the token for error messages.
+func (t Token) String() string {
+	switch t.Kind {
+	case TokIdent:
+		return fmt.Sprintf("%q", t.Text)
+	case TokString:
+		return fmt.Sprintf("%q", `"`+t.Text+`"`)
+	case TokMoney:
+		return "$" + t.Text
+	case TokNumber:
+		return t.Text
+	default:
+		return t.Kind.String()
+	}
+}
+
+// Error is a positioned DSL error.
+type Error struct {
+	Pos Pos
+	Msg string
+}
+
+// Error implements the error interface.
+func (e *Error) Error() string { return fmt.Sprintf("dsl: %s: %s", e.Pos, e.Msg) }
+
+func errf(pos Pos, format string, args ...interface{}) error {
+	return &Error{Pos: pos, Msg: fmt.Sprintf(format, args...)}
+}

@@ -1,0 +1,228 @@
+// Package gen generates synthetic commercial-exchange problems — chains,
+// stars and randomized brokered markets — for property tests, the
+// exhaustive-search cross-validation (E10) and the scaling benchmarks
+// (E13). All generators are deterministic in their parameters.
+package gen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"trustseq/internal/model"
+)
+
+// Pair builds the simplest exchange: one consumer buying one document
+// from one producer through one trusted intermediary.
+func Pair(price model.Money) *model.Problem {
+	return &model.Problem{
+		Name: "pair",
+		Parties: []model.Party{
+			{ID: "c", Role: model.RoleConsumer},
+			{ID: "p", Role: model.RoleProducer},
+			{ID: "t", Role: model.RoleTrusted},
+		},
+		Exchanges: []model.Exchange{
+			{Principal: "c", Trusted: "t", Gives: model.Cash(price), Gets: model.Goods("d")},
+			{Principal: "p", Trusted: "t", Gives: model.Goods("d"), Gets: model.Cash(price)},
+		},
+	}
+}
+
+// Chain builds a resale chain of depth k: a consumer buys a document
+// that passes through k brokers from a single producer, each hop through
+// its own trusted intermediary. Chain(0) is Pair. Prices decrease along
+// the chain toward the producer, giving each broker a margin. Feasible
+// for every k when brokers are funded.
+func Chain(k int, retail model.Money) *model.Problem {
+	if retail < model.Money(k+1) {
+		retail = model.Money(k + 1) // keep every hop's price positive
+	}
+	p := &model.Problem{Name: fmt.Sprintf("chain-%d", k)}
+	p.Parties = append(p.Parties,
+		model.Party{ID: "c", Role: model.RoleConsumer},
+		model.Party{ID: "p", Role: model.RoleProducer},
+	)
+	doc := model.ItemID("d")
+	// Participants along the chain: c, b1..bk, p.
+	chain := []model.PartyID{"c"}
+	for i := 1; i <= k; i++ {
+		id := model.PartyID(fmt.Sprintf("b%d", i))
+		p.Parties = append(p.Parties, model.Party{ID: id, Role: model.RoleBroker})
+		chain = append(chain, id)
+	}
+	chain = append(chain, "p")
+	price := retail
+	for i := 0; i+1 < len(chain); i++ {
+		t := model.PartyID(fmt.Sprintf("t%d", i+1))
+		p.Parties = append(p.Parties, model.Party{ID: t, Role: model.RoleTrusted})
+		buyer, seller := chain[i], chain[i+1]
+		p.Exchanges = append(p.Exchanges,
+			model.Exchange{Principal: buyer, Trusted: t, Gives: model.Cash(price), Gets: model.Goods(doc)},
+			model.Exchange{Principal: seller, Trusted: t, Gives: model.Goods(doc), Gets: model.Cash(price)},
+		)
+		price-- // each downstream hop is cheaper
+	}
+	return p
+}
+
+// Star builds the Figure 7 shape with k brokers: a consumer needs k
+// documents, each resold by its own broker from its own source, all
+// conjoined (all-or-nothing). Infeasible without indemnities for k ≥ 2.
+// Prices[i] is the retail price of document i; wholesale is 80% of it.
+func Star(prices []model.Money) *model.Problem {
+	p := &model.Problem{Name: fmt.Sprintf("star-%d", len(prices))}
+	p.Parties = append(p.Parties, model.Party{ID: "c", Role: model.RoleConsumer})
+	for i, retail := range prices {
+		b := model.PartyID(fmt.Sprintf("b%d", i+1))
+		s := model.PartyID(fmt.Sprintf("s%d", i+1))
+		tr := model.PartyID(fmt.Sprintf("tr%d", i+1)) // retail intermediary
+		tw := model.PartyID(fmt.Sprintf("tw%d", i+1)) // wholesale intermediary
+		doc := model.ItemID(fmt.Sprintf("d%d", i+1))
+		wholesale := retail * 4 / 5
+		if wholesale < 1 {
+			wholesale = 1
+		}
+		p.Parties = append(p.Parties,
+			model.Party{ID: b, Role: model.RoleBroker},
+			model.Party{ID: s, Role: model.RoleProducer},
+			model.Party{ID: tr, Role: model.RoleTrusted},
+			model.Party{ID: tw, Role: model.RoleTrusted},
+		)
+		p.Exchanges = append(p.Exchanges,
+			model.Exchange{Principal: "c", Trusted: tr, Gives: model.Cash(retail), Gets: model.Goods(doc)},
+			model.Exchange{Principal: b, Trusted: tr, Gives: model.Goods(doc), Gets: model.Cash(retail)},
+			model.Exchange{Principal: b, Trusted: tw, Gives: model.Cash(wholesale), Gets: model.Goods(doc)},
+			model.Exchange{Principal: s, Trusted: tw, Gives: model.Goods(doc), Gets: model.Cash(wholesale)},
+		)
+	}
+	return p
+}
+
+// ConsumerStarIndices returns the indices of the consumer's exchanges in
+// a Star problem (piece i at 4*i).
+func ConsumerStarIndices(k int) []int {
+	out := make([]int, k)
+	for i := range out {
+		out[i] = 4 * i
+	}
+	return out
+}
+
+// Options configures Random.
+type Options struct {
+	Consumers  int
+	Brokers    int
+	Producers  int
+	MaxPrice   model.Money
+	PoorBroker bool // mark brokers LimitedFunds with zero endowment
+	// DirectTrustProb is the probability (0..1) that a broker–source pair
+	// gets a direct-trust declaration (source trusts broker), enabling
+	// persona reductions.
+	DirectTrustProb float64
+}
+
+// Random generates a randomized brokered market: each consumer requests
+// one or more documents; each document is resold by a randomly chosen
+// broker from a randomly chosen producer; every pairing gets its own
+// trusted intermediary. The result is always a valid problem; its
+// feasibility varies with the drawn shape, which is the point for the
+// cross-validation experiments.
+func Random(rng *rand.Rand, opts Options) *model.Problem {
+	if opts.Consumers < 1 {
+		opts.Consumers = 1
+	}
+	if opts.Brokers < 1 {
+		opts.Brokers = 1
+	}
+	if opts.Producers < 1 {
+		opts.Producers = 1
+	}
+	if opts.MaxPrice < 2 {
+		opts.MaxPrice = 100
+	}
+	p := &model.Problem{Name: "random"}
+	for i := 0; i < opts.Consumers; i++ {
+		p.Parties = append(p.Parties, model.Party{ID: model.PartyID(fmt.Sprintf("c%d", i+1)), Role: model.RoleConsumer})
+	}
+	for i := 0; i < opts.Brokers; i++ {
+		pa := model.Party{ID: model.PartyID(fmt.Sprintf("b%d", i+1)), Role: model.RoleBroker}
+		if opts.PoorBroker {
+			pa.LimitedFunds = true
+		}
+		p.Parties = append(p.Parties, pa)
+	}
+	for i := 0; i < opts.Producers; i++ {
+		p.Parties = append(p.Parties, model.Party{ID: model.PartyID(fmt.Sprintf("s%d", i+1)), Role: model.RoleProducer})
+	}
+
+	docCount := 0
+	trustCount := 0
+	newTrusted := func() model.PartyID {
+		trustCount++
+		id := model.PartyID(fmt.Sprintf("t%d", trustCount))
+		p.Parties = append(p.Parties, model.Party{ID: id, Role: model.RoleTrusted})
+		return id
+	}
+
+	for ci := 0; ci < opts.Consumers; ci++ {
+		consumer := model.PartyID(fmt.Sprintf("c%d", ci+1))
+		pieces := 1 + rng.Intn(3)
+		for k := 0; k < pieces; k++ {
+			docCount++
+			doc := model.ItemID(fmt.Sprintf("d%d", docCount))
+			retail := model.Money(2 + rng.Int63n(int64(opts.MaxPrice-1)))
+			wholesale := retail * model.Money(50+rng.Intn(40)) / 100
+			if wholesale < 1 {
+				wholesale = 1
+			}
+			broker := model.PartyID(fmt.Sprintf("b%d", 1+rng.Intn(opts.Brokers)))
+			source := model.PartyID(fmt.Sprintf("s%d", 1+rng.Intn(opts.Producers)))
+			tr := newTrusted()
+			tw := newTrusted()
+			p.Exchanges = append(p.Exchanges,
+				model.Exchange{Principal: consumer, Trusted: tr, Gives: model.Cash(retail), Gets: model.Goods(doc)},
+				model.Exchange{Principal: broker, Trusted: tr, Gives: model.Goods(doc), Gets: model.Cash(retail)},
+				model.Exchange{Principal: broker, Trusted: tw, Gives: model.Cash(wholesale), Gets: model.Goods(doc)},
+				model.Exchange{Principal: source, Trusted: tw, Gives: model.Goods(doc), Gets: model.Cash(wholesale)},
+			)
+			if rng.Float64() < opts.DirectTrustProb {
+				decl := model.TrustDecl{Truster: source, Trustee: broker}
+				dup := false
+				for _, d := range p.DirectTrust {
+					if d == decl {
+						dup = true
+					}
+				}
+				if !dup {
+					p.DirectTrust = append(p.DirectTrust, decl)
+				}
+			}
+		}
+	}
+	return p
+}
+
+// Parallel builds k independent consumer–producer pair exchanges in one
+// problem (distinct parties, documents and intermediaries). The
+// sequencing graph grows linearly in k while the exhaustive search's
+// state space grows exponentially (every interleaving of the k
+// exchanges) — the E13 scaling family.
+func Parallel(k int, price model.Money) *model.Problem {
+	p := &model.Problem{Name: fmt.Sprintf("parallel-%d", k)}
+	for i := 1; i <= k; i++ {
+		c := model.PartyID(fmt.Sprintf("c%d", i))
+		s := model.PartyID(fmt.Sprintf("s%d", i))
+		t := model.PartyID(fmt.Sprintf("t%d", i))
+		doc := model.ItemID(fmt.Sprintf("d%d", i))
+		p.Parties = append(p.Parties,
+			model.Party{ID: c, Role: model.RoleConsumer},
+			model.Party{ID: s, Role: model.RoleProducer},
+			model.Party{ID: t, Role: model.RoleTrusted},
+		)
+		p.Exchanges = append(p.Exchanges,
+			model.Exchange{Principal: c, Trusted: t, Gives: model.Cash(price), Gets: model.Goods(doc)},
+			model.Exchange{Principal: s, Trusted: t, Gives: model.Goods(doc), Gets: model.Cash(price)},
+		)
+	}
+	return p
+}

@@ -1,0 +1,142 @@
+// Package ledger tracks asset ownership during a simulated exchange: a
+// set of accounts holding money and documents, an append-only transfer
+// journal, and conservation auditing. The simulator refuses transfers
+// the payer cannot fund, so double-spends are structurally impossible.
+package ledger
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"trustseq/internal/model"
+)
+
+// Transfer is one journal entry.
+type Transfer struct {
+	Seq      int
+	From, To model.PartyID
+	Bundle   model.Bundle
+	Memo     string
+}
+
+// String renders the entry.
+func (t Transfer) String() string {
+	return fmt.Sprintf("#%d %s → %s: %s (%s)", t.Seq, t.From, t.To, t.Bundle, t.Memo)
+}
+
+// Ledger is the account book. Create with New.
+type Ledger struct {
+	accounts map[model.PartyID]*model.Holding
+	journal  []Transfer
+
+	totalCash model.Money
+	totalDocs map[model.ItemID]int
+}
+
+// New builds a ledger with the given opening balances. The opening
+// snapshot fixes the conservation invariants.
+func New(initial map[model.PartyID]*model.Holding) *Ledger {
+	l := &Ledger{
+		accounts:  make(map[model.PartyID]*model.Holding, len(initial)),
+		totalDocs: make(map[model.ItemID]int),
+	}
+	for id, h := range initial {
+		l.accounts[id] = h.Clone()
+		l.totalCash += h.Cash
+		for it, n := range h.Items {
+			l.totalDocs[it] += n
+		}
+	}
+	return l
+}
+
+// ForProblem builds a ledger from a problem's inferred initial holdings.
+func ForProblem(p *model.Problem) *Ledger {
+	return New(model.InitialHoldings(p))
+}
+
+// Balance returns a copy of a party's holding.
+func (l *Ledger) Balance(id model.PartyID) *model.Holding {
+	h, ok := l.accounts[id]
+	if !ok {
+		return model.NewHolding()
+	}
+	return h.Clone()
+}
+
+// CanPay reports whether the party holds the bundle.
+func (l *Ledger) CanPay(id model.PartyID, b model.Bundle) bool {
+	h, ok := l.accounts[id]
+	return ok && h.Contains(b)
+}
+
+// Transfer moves a bundle between accounts, journaling the entry. It
+// fails without mutation when the payer cannot fund it.
+func (l *Ledger) Transfer(from, to model.PartyID, b model.Bundle, memo string) error {
+	if b.IsEmpty() {
+		return nil
+	}
+	src, ok := l.accounts[from]
+	if !ok {
+		return fmt.Errorf("ledger: unknown account %s", from)
+	}
+	dst, ok := l.accounts[to]
+	if !ok {
+		return fmt.Errorf("ledger: unknown account %s", to)
+	}
+	if err := src.Remove(b); err != nil {
+		return fmt.Errorf("ledger: %s cannot pay %s: %w", from, b, err)
+	}
+	dst.Add(b)
+	l.journal = append(l.journal, Transfer{
+		Seq: len(l.journal), From: from, To: to, Bundle: b.Clone(), Memo: memo,
+	})
+	return nil
+}
+
+// Journal returns a copy of the transfer journal.
+func (l *Ledger) Journal() []Transfer {
+	return append([]Transfer(nil), l.journal...)
+}
+
+// Audit checks conservation: total money and per-document counts match
+// the opening snapshot exactly.
+func (l *Ledger) Audit() error {
+	var cash model.Money
+	docs := make(map[model.ItemID]int)
+	for _, h := range l.accounts {
+		cash += h.Cash
+		for it, n := range h.Items {
+			docs[it] += n
+		}
+	}
+	if cash != l.totalCash {
+		return fmt.Errorf("ledger: money not conserved: %v != opening %v", cash, l.totalCash)
+	}
+	for it, n := range l.totalDocs {
+		if docs[it] != n {
+			return fmt.Errorf("ledger: document %s count %d != opening %d", it, docs[it], n)
+		}
+	}
+	for it, n := range docs {
+		if l.totalDocs[it] != n {
+			return fmt.Errorf("ledger: document %s appeared from nowhere (%d)", it, n)
+		}
+	}
+	return nil
+}
+
+// String renders all balances deterministically.
+func (l *Ledger) String() string {
+	ids := make([]string, 0, len(l.accounts))
+	for id := range l.accounts {
+		ids = append(ids, string(id))
+	}
+	sort.Strings(ids)
+	var b strings.Builder
+	for _, id := range ids {
+		fmt.Fprintf(&b, "%s: %s\n", id, l.accounts[model.PartyID(id)])
+	}
+	return b.String()
+}

@@ -1,0 +1,155 @@
+package model
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestActionConstructors(t *testing.T) {
+	t.Parallel()
+	give := Give("a", "b", "d")
+	if give.Kind != ActionGive || give.From != "a" || give.To != "b" || give.Item != "d" {
+		t.Fatalf("Give built %+v", give)
+	}
+	pay := Pay("b", "a", 30)
+	if pay.Kind != ActionPay || pay.Amount != 30 {
+		t.Fatalf("Pay built %+v", pay)
+	}
+	n := Notify("t", "b")
+	if n.Kind != ActionNotify || n.From != "t" || n.To != "b" {
+		t.Fatalf("Notify built %+v", n)
+	}
+}
+
+func TestActionCompensation(t *testing.T) {
+	t.Parallel()
+	give := Give("a", "t", "d")
+	inv := give.Compensation()
+	if !inv.Inverse {
+		t.Fatalf("compensation not marked inverse: %+v", inv)
+	}
+	if inv.From != give.From || inv.To != give.To || inv.Item != give.Item {
+		t.Fatalf("compensation changed identity: %+v vs %+v", inv, give)
+	}
+	// The asset flows back: mover is the original recipient.
+	if inv.Mover() != "t" || inv.Receiver() != "a" {
+		t.Fatalf("compensation flow wrong: mover=%s receiver=%s", inv.Mover(), inv.Receiver())
+	}
+}
+
+func TestActionCompensationPanics(t *testing.T) {
+	t.Parallel()
+	tests := []struct {
+		name string
+		act  Action
+	}{
+		{"notify", Notify("t", "b")},
+		{"double inverse", Give("a", "t", "d").Compensation()},
+	}
+	for _, tt := range tests {
+		tt := tt
+		t.Run(tt.name, func(t *testing.T) {
+			t.Parallel()
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("Compensation(%v) did not panic", tt.act)
+				}
+			}()
+			tt.act.Compensation()
+		})
+	}
+}
+
+func TestActionString(t *testing.T) {
+	t.Parallel()
+	tests := []struct {
+		act  Action
+		want string
+	}{
+		{Give("b", "t1", "d"), "give_{b→t1}(d)"},
+		{Pay("c", "t1", 100), "pay_{c→t1}($100)"},
+		{Pay("c", "t1", 100).Compensation(), "pay⁻¹_{c→t1}($100)"},
+		{Give("b", "t1", "d").Compensation(), "give⁻¹_{b→t1}(d)"},
+		{Notify("t1", "b"), "notify(t1→b)"},
+	}
+	for _, tt := range tests {
+		if got := tt.act.String(); got != tt.want {
+			t.Errorf("String() = %q, want %q", got, tt.want)
+		}
+	}
+}
+
+func TestActionValidate(t *testing.T) {
+	t.Parallel()
+	tests := []struct {
+		name    string
+		act     Action
+		wantErr string
+	}{
+		{"valid give", Give("a", "b", "d"), ""},
+		{"valid pay", Pay("a", "b", 1), ""},
+		{"valid notify", Notify("a", "b"), ""},
+		{"empty endpoint", Action{Kind: ActionGive, From: "a", Item: "d"}, "empty endpoint"},
+		{"self transfer", Give("a", "a", "d"), "self-transfer"},
+		{"give without item", Action{Kind: ActionGive, From: "a", To: "b"}, "without item"},
+		{"give with money", Action{Kind: ActionGive, From: "a", To: "b", Item: "d", Amount: 5}, "carries money"},
+		{"pay zero", Action{Kind: ActionPay, From: "a", To: "b"}, "non-positive"},
+		{"pay negative", Action{Kind: ActionPay, From: "a", To: "b", Amount: -3}, "non-positive"},
+		{"pay with item", Action{Kind: ActionPay, From: "a", To: "b", Amount: 3, Item: "d"}, "carries an item"},
+		{"inverse notify", Action{Kind: ActionNotify, From: "a", To: "b", Inverse: true}, "cannot be inverse"},
+		{"notify with asset", Action{Kind: ActionNotify, From: "a", To: "b", Amount: 1}, "carries an asset"},
+		{"invalid kind", Action{From: "a", To: "b"}, "invalid kind"},
+	}
+	for _, tt := range tests {
+		tt := tt
+		t.Run(tt.name, func(t *testing.T) {
+			t.Parallel()
+			err := tt.act.Validate()
+			if tt.wantErr == "" {
+				if err != nil {
+					t.Fatalf("Validate() = %v, want nil", err)
+				}
+				return
+			}
+			if err == nil || !strings.Contains(err.Error(), tt.wantErr) {
+				t.Fatalf("Validate() = %v, want error containing %q", err, tt.wantErr)
+			}
+		})
+	}
+}
+
+func TestActionMoverReceiver(t *testing.T) {
+	t.Parallel()
+	fwd := Pay("c", "t", 10)
+	if fwd.Mover() != "c" || fwd.Receiver() != "t" {
+		t.Fatalf("forward flow wrong")
+	}
+	if fwd.Actor() != "c" {
+		t.Fatalf("forward actor = %s, want c", fwd.Actor())
+	}
+	inv := fwd.Compensation()
+	if inv.Actor() != "t" {
+		t.Fatalf("inverse actor = %s, want t (the refunder)", inv.Actor())
+	}
+}
+
+func TestActionInvolves(t *testing.T) {
+	t.Parallel()
+	a := Give("x", "y", "d")
+	if !a.Involves("x") || !a.Involves("y") || a.Involves("z") {
+		t.Fatalf("Involves wrong for %v", a)
+	}
+}
+
+func TestActionAsset(t *testing.T) {
+	t.Parallel()
+	if got := Give("a", "b", "d").Asset(); !got.Equal(Goods("d")) {
+		t.Errorf("give asset = %v", got)
+	}
+	if got := Pay("a", "b", 7).Asset(); !got.Equal(Cash(7)) {
+		t.Errorf("pay asset = %v", got)
+	}
+	if got := Notify("a", "b").Asset(); !got.IsEmpty() {
+		t.Errorf("notify asset = %v, want empty", got)
+	}
+}

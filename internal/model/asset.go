@@ -1,0 +1,200 @@
+package model
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Money is a currency amount in indivisible units (the paper speaks in
+// dollars; we keep integer cents-free dollars for determinism).
+type Money int64
+
+// String renders the amount the way the paper writes it, e.g. "$30".
+func (m Money) String() string { return fmt.Sprintf("$%d", int64(m)) }
+
+// ItemID names a good — a digital document in the paper's running
+// examples, or a unit of computation in the subcontracting scenario.
+type ItemID string
+
+// Bundle is a multiset of money plus distinct items: what one side of an
+// exchange hands over or expects to receive. Exchanges in Section 8's
+// universal-intermediary construction move several documents at once, so
+// a bundle may hold any number of items.
+//
+// The zero value is the empty bundle, ready to use.
+type Bundle struct {
+	Amount Money
+	Items  []ItemID // kept sorted and deduplicated by normalize
+}
+
+// Cash returns a bundle holding only money.
+func Cash(amount Money) Bundle { return Bundle{Amount: amount} }
+
+// Goods returns a bundle holding only the given items.
+func Goods(items ...ItemID) Bundle {
+	b := Bundle{Items: append([]ItemID(nil), items...)}
+	b.normalize()
+	return b
+}
+
+// With returns a copy of b that also carries the given items.
+func (b Bundle) With(items ...ItemID) Bundle {
+	out := b.Clone()
+	out.Items = append(out.Items, items...)
+	out.normalize()
+	return out
+}
+
+// WithCash returns a copy of b with amount added to its money component.
+func (b Bundle) WithCash(amount Money) Bundle {
+	out := b.Clone()
+	out.Amount += amount
+	return out
+}
+
+// Clone returns a deep copy (Uber style: copy slices at boundaries).
+func (b Bundle) Clone() Bundle {
+	return Bundle{Amount: b.Amount, Items: append([]ItemID(nil), b.Items...)}
+}
+
+func (b *Bundle) normalize() {
+	sort.Slice(b.Items, func(i, j int) bool { return b.Items[i] < b.Items[j] })
+	b.Items = dedupItems(b.Items)
+}
+
+func dedupItems(items []ItemID) []ItemID {
+	out := items[:0]
+	for i, it := range items {
+		if i == 0 || items[i-1] != it {
+			out = append(out, it)
+		}
+	}
+	return out
+}
+
+// IsEmpty reports whether the bundle transfers nothing.
+func (b Bundle) IsEmpty() bool { return b.Amount == 0 && len(b.Items) == 0 }
+
+// HasItem reports whether the bundle carries the item.
+func (b Bundle) HasItem(item ItemID) bool {
+	for _, it := range b.Items {
+		if it == item {
+			return true
+		}
+	}
+	return false
+}
+
+// Equal reports whether two bundles transfer the same money and items.
+func (b Bundle) Equal(other Bundle) bool {
+	if b.Amount != other.Amount || len(b.Items) != len(other.Items) {
+		return false
+	}
+	bi := append([]ItemID(nil), b.Items...)
+	oi := append([]ItemID(nil), other.Items...)
+	sort.Slice(bi, func(i, j int) bool { return bi[i] < bi[j] })
+	sort.Slice(oi, func(i, j int) bool { return oi[i] < oi[j] })
+	for i := range bi {
+		if bi[i] != oi[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the bundle in DSL syntax, e.g. `$30 + doc "text"`.
+func (b Bundle) String() string {
+	var parts []string
+	if b.Amount != 0 {
+		parts = append(parts, b.Amount.String())
+	}
+	for _, it := range b.Items {
+		parts = append(parts, fmt.Sprintf("doc %q", string(it)))
+	}
+	if len(parts) == 0 {
+		return "nothing"
+	}
+	return strings.Join(parts, " + ")
+}
+
+// Holding is a mutable multiset of assets owned by one party: a money
+// balance plus item counts. Unlike Bundle it may go negative only for
+// money (debt detection); item counts are guarded.
+type Holding struct {
+	Cash  Money
+	Items map[ItemID]int
+}
+
+// NewHolding returns an empty holding ready for deposits.
+func NewHolding() *Holding { return &Holding{Items: make(map[ItemID]int)} }
+
+// Add deposits a bundle into the holding.
+func (h *Holding) Add(b Bundle) {
+	h.Cash += b.Amount
+	for _, it := range b.Items {
+		h.Items[it]++
+	}
+}
+
+// Remove withdraws a bundle. It reports an error (without mutating) when
+// the holding does not contain the bundle.
+func (h *Holding) Remove(b Bundle) error {
+	if !h.Contains(b) {
+		return fmt.Errorf("model: holding %v does not contain %v", h, b)
+	}
+	h.Cash -= b.Amount
+	for _, it := range b.Items {
+		h.Items[it]--
+		if h.Items[it] == 0 {
+			delete(h.Items, it)
+		}
+	}
+	return nil
+}
+
+// Contains reports whether the holding covers the bundle.
+func (h *Holding) Contains(b Bundle) bool {
+	if h.Cash < b.Amount {
+		return false
+	}
+	need := make(map[ItemID]int, len(b.Items))
+	for _, it := range b.Items {
+		need[it]++
+	}
+	for it, n := range need {
+		if h.Items[it] < n {
+			return false
+		}
+	}
+	return true
+}
+
+// Clone returns a deep copy of the holding.
+func (h *Holding) Clone() *Holding {
+	out := &Holding{Cash: h.Cash, Items: make(map[ItemID]int, len(h.Items))}
+	for it, n := range h.Items {
+		out.Items[it] = n
+	}
+	return out
+}
+
+// IsEmpty reports whether the holding owns nothing.
+func (h *Holding) IsEmpty() bool { return h.Cash == 0 && len(h.Items) == 0 }
+
+// String renders the holding deterministically (items sorted).
+func (h *Holding) String() string {
+	items := make([]string, 0, len(h.Items))
+	for it, n := range h.Items {
+		if n == 1 {
+			items = append(items, string(it))
+		} else {
+			items = append(items, fmt.Sprintf("%s×%d", it, n))
+		}
+	}
+	sort.Strings(items)
+	if len(items) == 0 {
+		return h.Cash.String()
+	}
+	return fmt.Sprintf("%s {%s}", h.Cash, strings.Join(items, ", "))
+}

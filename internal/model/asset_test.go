@@ -1,0 +1,188 @@
+package model
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestBundleConstructors(t *testing.T) {
+	t.Parallel()
+	if got := Cash(30); got.Amount != 30 || len(got.Items) != 0 {
+		t.Fatalf("Cash(30) = %v", got)
+	}
+	g := Goods("b", "a", "a")
+	if len(g.Items) != 2 || g.Items[0] != "a" || g.Items[1] != "b" {
+		t.Fatalf("Goods dedup/sort failed: %v", g.Items)
+	}
+}
+
+func TestBundleWith(t *testing.T) {
+	t.Parallel()
+	base := Cash(10)
+	withItems := base.With("x")
+	if base.HasItem("x") {
+		t.Fatalf("With mutated receiver")
+	}
+	if !withItems.HasItem("x") || withItems.Amount != 10 {
+		t.Fatalf("With result wrong: %v", withItems)
+	}
+	more := withItems.WithCash(5)
+	if more.Amount != 15 || withItems.Amount != 10 {
+		t.Fatalf("WithCash wrong: %v / %v", more, withItems)
+	}
+}
+
+func TestBundleEqual(t *testing.T) {
+	t.Parallel()
+	tests := []struct {
+		name string
+		a, b Bundle
+		want bool
+	}{
+		{"both empty", Bundle{}, Bundle{}, true},
+		{"same cash", Cash(5), Cash(5), true},
+		{"diff cash", Cash(5), Cash(6), false},
+		{"same items unordered", Goods("a", "b"), Goods("b", "a"), true},
+		{"diff items", Goods("a"), Goods("b"), false},
+		{"cash vs goods", Cash(1), Goods("a"), false},
+		{"mixed equal", Cash(3).With("x"), Goods("x").WithCash(3), true},
+	}
+	for _, tt := range tests {
+		if got := tt.a.Equal(tt.b); got != tt.want {
+			t.Errorf("%s: Equal = %v, want %v", tt.name, got, tt.want)
+		}
+		if got := tt.b.Equal(tt.a); got != tt.want {
+			t.Errorf("%s: Equal not symmetric", tt.name)
+		}
+	}
+}
+
+func TestBundleString(t *testing.T) {
+	t.Parallel()
+	tests := []struct {
+		b    Bundle
+		want string
+	}{
+		{Bundle{}, "nothing"},
+		{Cash(30), "$30"},
+		{Goods("d"), `doc "d"`},
+		{Cash(30).With("d"), `$30 + doc "d"`},
+	}
+	for _, tt := range tests {
+		if got := tt.b.String(); got != tt.want {
+			t.Errorf("String() = %q, want %q", got, tt.want)
+		}
+	}
+}
+
+func TestHoldingAddRemove(t *testing.T) {
+	t.Parallel()
+	h := NewHolding()
+	h.Add(Cash(10).With("d"))
+	if !h.Contains(Cash(10)) || !h.Contains(Goods("d")) {
+		t.Fatalf("holding missing deposits: %v", h)
+	}
+	if err := h.Remove(Cash(11)); err == nil {
+		t.Fatalf("Remove beyond balance succeeded")
+	}
+	if err := h.Remove(Goods("e")); err == nil {
+		t.Fatalf("Remove missing item succeeded")
+	}
+	if err := h.Remove(Cash(10).With("d")); err != nil {
+		t.Fatalf("Remove = %v", err)
+	}
+	if !h.IsEmpty() {
+		t.Fatalf("holding not empty after removal: %v", h)
+	}
+}
+
+func TestHoldingFailedRemoveDoesNotMutate(t *testing.T) {
+	t.Parallel()
+	h := NewHolding()
+	h.Add(Cash(5))
+	_ = h.Remove(Cash(5).With("missing"))
+	if h.Cash != 5 {
+		t.Fatalf("failed Remove mutated holding: %v", h)
+	}
+}
+
+func TestHoldingDuplicateItems(t *testing.T) {
+	t.Parallel()
+	h := NewHolding()
+	h.Add(Goods("d"))
+	h.Add(Goods("d"))
+	if h.Items["d"] != 2 {
+		t.Fatalf("duplicate count = %d, want 2", h.Items["d"])
+	}
+	if err := h.Remove(Goods("d")); err != nil {
+		t.Fatalf("Remove = %v", err)
+	}
+	if h.Items["d"] != 1 {
+		t.Fatalf("count after one removal = %d", h.Items["d"])
+	}
+}
+
+func TestHoldingClone(t *testing.T) {
+	t.Parallel()
+	h := NewHolding()
+	h.Add(Cash(3).With("x"))
+	c := h.Clone()
+	c.Add(Goods("y"))
+	if h.Items["y"] != 0 {
+		t.Fatalf("Clone shares item map")
+	}
+}
+
+func TestHoldingString(t *testing.T) {
+	t.Parallel()
+	h := NewHolding()
+	if got := h.String(); got != "$0" {
+		t.Errorf("empty holding = %q", got)
+	}
+	h.Add(Cash(7).With("b", "a"))
+	h.Add(Goods("a"))
+	if got := h.String(); got != "$7 {a×2, b}" {
+		t.Errorf("holding = %q", got)
+	}
+}
+
+// Property: Add then Remove of the same bundle restores the holding.
+func TestHoldingAddRemoveRoundTrip(t *testing.T) {
+	t.Parallel()
+	rng := rand.New(rand.NewSource(1))
+	f := func(amount uint16, nItems uint8) bool {
+		h := NewHolding()
+		h.Add(Cash(1000))
+		before := h.String()
+		items := make([]ItemID, 0, nItems%8)
+		for i := 0; i < int(nItems%8); i++ {
+			items = append(items, ItemID(string(rune('a'+rng.Intn(4)))))
+		}
+		b := Bundle{Amount: Money(amount % 1000), Items: items}
+		h.Add(b)
+		if err := h.Remove(b); err != nil {
+			return false
+		}
+		return h.String() == before
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Contains is monotone — a holding containing bundle b also
+// contains any sub-bundle of b.
+func TestHoldingContainsMonotone(t *testing.T) {
+	t.Parallel()
+	f := func(amount uint8, sub uint8) bool {
+		h := NewHolding()
+		b := Cash(Money(amount)).With("x", "y")
+		h.Add(b)
+		smaller := Cash(Money(int(sub) % (int(amount) + 1))).With("x")
+		return h.Contains(smaller)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,68 @@
+package model
+
+// InitialHoldings infers what every party owns before the transaction
+// begins:
+//
+//   - Items: a principal initially owns each item it gives on some
+//     exchange but acquires on none (it must be the item's origin — the
+//     producer). Brokers reselling an item acquire it mid-transaction and
+//     start without it.
+//   - Cash: LimitedFunds parties start with exactly their endowment.
+//     Other parties are assumed amply funded: they start with the total
+//     money they could ever need — their outgoing payments plus any
+//     indemnity collateral they offer.
+//
+// Trusted components start empty: they are conduits (Section 2.5).
+func InitialHoldings(p *Problem) map[PartyID]*Holding {
+	out := make(map[PartyID]*Holding, len(p.Parties))
+	for _, pa := range p.Parties {
+		out[pa.ID] = NewHolding()
+	}
+
+	for _, pa := range p.Parties {
+		if pa.IsTrusted() {
+			continue
+		}
+		h := out[pa.ID]
+
+		acquires := make(map[ItemID]bool)
+		for _, ei := range p.ExchangesOf(pa.ID) {
+			e := p.Exchanges[ei]
+			if e.Principal != pa.ID {
+				continue
+			}
+			for _, it := range e.Gets.Items {
+				acquires[it] = true
+			}
+		}
+		var needed Money
+		for _, ei := range p.ExchangesOf(pa.ID) {
+			e := p.Exchanges[ei]
+			if e.Principal != pa.ID {
+				continue
+			}
+			needed += e.Gives.Amount
+			for _, it := range e.Gives.Items {
+				if !acquires[it] {
+					h.Add(Goods(it))
+				}
+			}
+		}
+		for _, off := range p.Indemnities {
+			if off.By != pa.ID {
+				continue
+			}
+			amount := off.Amount
+			if amount == 0 {
+				amount = RequiredIndemnity(p, off.Covers)
+			}
+			needed += amount
+		}
+		if pa.LimitedFunds {
+			h.Cash = pa.Endowment
+		} else {
+			h.Cash = needed
+		}
+	}
+	return out
+}

@@ -1,0 +1,104 @@
+// Package model defines the action/state formalism of Ketchpel &
+// Garcia-Molina's "Making Trust Explicit in Distributed Commerce
+// Transactions" (ICDCS 1996), Section 2: principals, trusted components,
+// transfer actions (give/pay and their compensations), notifications,
+// exchange states as unordered action sets, acceptable-state predicates,
+// and ordering constraints.
+//
+// Everything downstream — interaction graphs, sequencing graphs, protocol
+// synthesis, the simulator, and the baselines — is expressed in terms of
+// this package.
+package model
+
+import "fmt"
+
+// PartyID names a participant in a distributed commerce transaction.
+// IDs are scoped to a single Problem.
+type PartyID string
+
+// Role classifies a party per Section 2.1 of the paper. Producers,
+// consumers and brokers are principals; trusted components are the
+// intermediaries of Section 2.5.
+type Role int
+
+// The recognized roles. RoleInvalid is the zero value so that an
+// uninitialized Party is detectably invalid (Uber style: start enums at
+// one when zero is meaningless).
+const (
+	RoleInvalid Role = iota
+	RoleConsumer
+	RoleProducer
+	RoleBroker
+	RoleTrusted
+)
+
+var roleNames = map[Role]string{
+	RoleInvalid:  "invalid",
+	RoleConsumer: "consumer",
+	RoleProducer: "producer",
+	RoleBroker:   "broker",
+	RoleTrusted:  "trusted",
+}
+
+// String returns the lower-case role name used by the DSL.
+func (r Role) String() string {
+	if s, ok := roleNames[r]; ok {
+		return s
+	}
+	return fmt.Sprintf("role(%d)", int(r))
+}
+
+// ParseRole converts a DSL keyword into a Role.
+func ParseRole(s string) (Role, error) {
+	for r, name := range roleNames {
+		if name == s && r != RoleInvalid {
+			return r, nil
+		}
+	}
+	return RoleInvalid, fmt.Errorf("model: unknown role %q", s)
+}
+
+// IsPrincipal reports whether the role is one of the three principal
+// classes (consumer, producer, broker).
+func (r Role) IsPrincipal() bool {
+	switch r {
+	case RoleConsumer, RoleProducer, RoleBroker:
+		return true
+	default:
+		return false
+	}
+}
+
+// Party is one participant: a principal or a trusted component.
+type Party struct {
+	ID   PartyID
+	Role Role
+
+	// LimitedFunds marks a party whose pre-transaction cash is bounded by
+	// Endowment. A broker whose endowment cannot cover its purchases is
+	// the "poor broker" of Section 5: it must secure incoming payment
+	// before committing to outgoing payment. Parties without LimitedFunds
+	// are assumed amply funded (the paper's default).
+	LimitedFunds bool
+
+	// Endowment is the money the party holds before the transaction
+	// begins; meaningful only when LimitedFunds is set.
+	Endowment Money
+}
+
+// IsTrusted reports whether the party is a trusted component.
+func (p Party) IsTrusted() bool { return p.Role == RoleTrusted }
+
+// Validate checks structural invariants on the party record.
+func (p Party) Validate() error {
+	if p.ID == "" {
+		return fmt.Errorf("model: party with empty ID")
+	}
+	if p.Role == RoleInvalid {
+		return fmt.Errorf("model: party %s has no role", p.ID)
+	}
+	if p.Endowment < 0 {
+		return fmt.Errorf("model: party %s has negative endowment %v", p.ID, p.Endowment)
+	}
+	return nil
+}

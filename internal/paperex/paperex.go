@@ -1,0 +1,259 @@
+// Package paperex constructs the worked examples of the paper as model
+// problems. Every figure and variant discussed in Sections 3–6 has a
+// constructor here; tests, benchmarks, the figures command and the
+// examples all build on these fixtures so that the reproduction is keyed
+// to a single source of truth.
+package paperex
+
+import "trustseq/internal/model"
+
+// Party IDs used across the examples, matching the paper's labels.
+const (
+	Consumer = model.PartyID("c")
+	Broker   = model.PartyID("b")
+	Producer = model.PartyID("p")
+	Trusted1 = model.PartyID("t1")
+	Trusted2 = model.PartyID("t2")
+	Trusted3 = model.PartyID("t3")
+	Trusted4 = model.PartyID("t4")
+	Trusted5 = model.PartyID("t5")
+	Trusted6 = model.PartyID("t6")
+	Broker1  = model.PartyID("b1")
+	Broker2  = model.PartyID("b2")
+	Broker3  = model.PartyID("b3")
+	Source1  = model.PartyID("s1")
+	Source2  = model.PartyID("s2")
+	Source3  = model.PartyID("s3")
+)
+
+// Document IDs.
+const (
+	Doc  = model.ItemID("d")
+	Doc1 = model.ItemID("d1")
+	Doc2 = model.ItemID("d2")
+	Doc3 = model.ItemID("d3")
+)
+
+// Prices used where the paper leaves them unstated (Example 1).
+const (
+	RetailPrice    = model.Money(100)
+	WholesalePrice = model.Money(80)
+)
+
+// Example1 is Figure 1 / Section 3.1: a consumer buys a document from a
+// producer through a broker; consumer–broker share t1, broker–producer
+// share t2. All parties are mutually distrustful.
+func Example1() *model.Problem {
+	return &model.Problem{
+		Name: "example1",
+		Parties: []model.Party{
+			{ID: Consumer, Role: model.RoleConsumer},
+			{ID: Broker, Role: model.RoleBroker},
+			{ID: Producer, Role: model.RoleProducer},
+			{ID: Trusted1, Role: model.RoleTrusted},
+			{ID: Trusted2, Role: model.RoleTrusted},
+		},
+		Exchanges: []model.Exchange{
+			{Principal: Consumer, Trusted: Trusted1, Gives: model.Cash(RetailPrice), Gets: model.Goods(Doc)},
+			{Principal: Broker, Trusted: Trusted1, Gives: model.Goods(Doc), Gets: model.Cash(RetailPrice)},
+			{Principal: Broker, Trusted: Trusted2, Gives: model.Cash(WholesalePrice), Gets: model.Goods(Doc)},
+			{Principal: Producer, Trusted: Trusted2, Gives: model.Goods(Doc), Gets: model.Cash(WholesalePrice)},
+		},
+	}
+}
+
+// Example1SaleIdx and friends index Example1's exchanges by their role.
+const (
+	Example1ConsumerIdx   = 0 // consumer pays t1
+	Example1SaleIdx       = 1 // broker sells doc via t1 (the red edge's commitment)
+	Example1PurchaseIdx   = 2 // broker buys doc via t2
+	Example1ProducerIdx   = 3 // producer provides doc via t2
+	Example1ExchangeCount = 4
+)
+
+// PoorBroker is the Section 5 variant of Example 1: the broker has no
+// funds of its own and would need the consumer's payment to buy the
+// document, adding the constraint pay_{b→p} → pay_{c→b} and making the
+// exchange infeasible (two red edges at the broker's conjunction).
+func PoorBroker() *model.Problem {
+	p := Example1()
+	p.Name = "example1-poor-broker"
+	for i := range p.Parties {
+		if p.Parties[i].ID == Broker {
+			p.Parties[i].LimitedFunds = true
+			p.Parties[i].Endowment = 0
+		}
+	}
+	return p
+}
+
+// Example2 is Figure 2 / Section 3.2: a consumer needs two documents,
+// each resold by a different broker from a different source, and is
+// unwilling to buy either alone. Four trusted intermediaries, no shared
+// trust. The exchange is infeasible.
+func Example2() *model.Problem {
+	return &model.Problem{
+		Name: "example2",
+		Parties: []model.Party{
+			{ID: Consumer, Role: model.RoleConsumer},
+			{ID: Broker1, Role: model.RoleBroker},
+			{ID: Broker2, Role: model.RoleBroker},
+			{ID: Source1, Role: model.RoleProducer},
+			{ID: Source2, Role: model.RoleProducer},
+			{ID: Trusted1, Role: model.RoleTrusted},
+			{ID: Trusted2, Role: model.RoleTrusted},
+			{ID: Trusted3, Role: model.RoleTrusted},
+			{ID: Trusted4, Role: model.RoleTrusted},
+		},
+		Exchanges: exchangesForBrokeredDocs([]brokeredDoc{
+			{doc: Doc1, retail: 100, wholesale: 80, broker: Broker1, source: Source1, retailT: Trusted1, wholesaleT: Trusted2},
+			{doc: Doc2, retail: 100, wholesale: 80, broker: Broker2, source: Source2, retailT: Trusted3, wholesaleT: Trusted4},
+		}),
+	}
+}
+
+// Exchange indices within Example2 (and the prefix of Figure7).
+const (
+	Example2ConsumerDoc1 = 0 // c pays for d1 via t1
+	Example2B1Sale       = 1 // b1 sells d1 via t1
+	Example2B1Purchase   = 2 // b1 buys d1 via t2
+	Example2S1Provide    = 3 // s1 provides d1 via t2
+	Example2ConsumerDoc2 = 4 // c pays for d2 via t3
+	Example2B2Sale       = 5 // b2 sells d2 via t3
+	Example2B2Purchase   = 6 // b2 buys d2 via t4
+	Example2S2Provide    = 7 // s2 provides d2 via t4
+)
+
+// Example2Variant1 is Section 4.2.3's first variant: Source1 directly
+// trusts Broker1, so Broker1 plays the role of Trusted2. The exchange
+// becomes feasible.
+func Example2Variant1() *model.Problem {
+	p := Example2()
+	p.Name = "example2-source1-trusts-broker1"
+	p.DirectTrust = append(p.DirectTrust, model.TrustDecl{Truster: Source1, Trustee: Broker1})
+	return p
+}
+
+// Example2Variant2 is the second variant: Broker1 directly trusts
+// Source1, so Source1 plays the role of Trusted2. The exchange remains
+// infeasible — trust is not symmetric in its effects.
+func Example2Variant2() *model.Problem {
+	p := Example2()
+	p.Name = "example2-broker1-trusts-source1"
+	p.DirectTrust = append(p.DirectTrust, model.TrustDecl{Truster: Broker1, Trustee: Source1})
+	return p
+}
+
+// Example2Indemnified is the Section 6 resolution of Example 2: Broker1
+// posts the price of document 2 as collateral with Trusted1, splitting
+// the consumer's conjunction; the exchange becomes feasible even though
+// Broker2 offers no indemnity.
+func Example2Indemnified() *model.Problem {
+	p := Example2()
+	p.Name = "example2-indemnified"
+	p.Indemnities = append(p.Indemnities, model.IndemnityOffer{
+		By:     Broker1,
+		Covers: Example2ConsumerDoc1,
+		Via:    Trusted1,
+	})
+	return p
+}
+
+// Figure7 is the three-broker, three-source example of Section 6 with
+// document prices $10, $20 and $30 used to study indemnification orders.
+func Figure7() *model.Problem {
+	return &model.Problem{
+		Name: "figure7",
+		Parties: []model.Party{
+			{ID: Consumer, Role: model.RoleConsumer},
+			{ID: Broker1, Role: model.RoleBroker},
+			{ID: Broker2, Role: model.RoleBroker},
+			{ID: Broker3, Role: model.RoleBroker},
+			{ID: Source1, Role: model.RoleProducer},
+			{ID: Source2, Role: model.RoleProducer},
+			{ID: Source3, Role: model.RoleProducer},
+			{ID: Trusted1, Role: model.RoleTrusted},
+			{ID: Trusted2, Role: model.RoleTrusted},
+			{ID: Trusted3, Role: model.RoleTrusted},
+			{ID: Trusted4, Role: model.RoleTrusted},
+			{ID: Trusted5, Role: model.RoleTrusted},
+			{ID: Trusted6, Role: model.RoleTrusted},
+		},
+		Exchanges: exchangesForBrokeredDocs([]brokeredDoc{
+			{doc: Doc1, retail: 10, wholesale: 8, broker: Broker1, source: Source1, retailT: Trusted1, wholesaleT: Trusted2},
+			{doc: Doc2, retail: 20, wholesale: 16, broker: Broker2, source: Source2, retailT: Trusted3, wholesaleT: Trusted4},
+			{doc: Doc3, retail: 30, wholesale: 24, broker: Broker3, source: Source3, retailT: Trusted5, wholesaleT: Trusted6},
+		}),
+	}
+}
+
+// Figure7 consumer-side exchange indices (the splittable conjunction).
+const (
+	Figure7ConsumerDoc1 = 0
+	Figure7ConsumerDoc2 = 4
+	Figure7ConsumerDoc3 = 8
+)
+
+// UniversalTrust rewrites any problem so that a single trusted
+// intermediary "u" mediates every exchange (Section 8). All original
+// trusted components are replaced.
+func UniversalTrust(p *model.Problem) *model.Problem {
+	const universal = model.PartyID("u")
+	out := p.Clone()
+	out.Name = p.Name + "-universal"
+	var parties []model.Party
+	for _, pa := range out.Parties {
+		if !pa.IsTrusted() {
+			parties = append(parties, pa)
+		}
+	}
+	parties = append(parties, model.Party{ID: universal, Role: model.RoleTrusted})
+	out.Parties = parties
+	for i := range out.Exchanges {
+		out.Exchanges[i].Trusted = universal
+	}
+	for i := range out.Indemnities {
+		out.Indemnities[i].Via = universal
+	}
+	return out
+}
+
+type brokeredDoc struct {
+	doc               model.ItemID
+	retail, wholesale model.Money
+	broker, source    model.PartyID
+	retailT           model.PartyID
+	wholesaleT        model.PartyID
+}
+
+// exchangesForBrokeredDocs emits, per document, the four exchanges of the
+// consumer–broker–source chain: consumer buys retail via the retail
+// intermediary; broker sells retail and buys wholesale; source provides
+// wholesale.
+func exchangesForBrokeredDocs(docs []brokeredDoc) []model.Exchange {
+	consumer := Consumer
+	var out []model.Exchange
+	for _, d := range docs {
+		out = append(out,
+			model.Exchange{Principal: consumer, Trusted: d.retailT, Gives: model.Cash(d.retail), Gets: model.Goods(d.doc)},
+			model.Exchange{Principal: d.broker, Trusted: d.retailT, Gives: model.Goods(d.doc), Gets: model.Cash(d.retail)},
+			model.Exchange{Principal: d.broker, Trusted: d.wholesaleT, Gives: model.Cash(d.wholesale), Gets: model.Goods(d.doc)},
+			model.Exchange{Principal: d.source, Trusted: d.wholesaleT, Gives: model.Goods(d.doc), Gets: model.Cash(d.wholesale)},
+		)
+	}
+	return out
+}
+
+// All returns every named example, for sweep-style tests.
+func All() map[string]*model.Problem {
+	return map[string]*model.Problem{
+		"example1":              Example1(),
+		"example1-poor-broker":  PoorBroker(),
+		"example2":              Example2(),
+		"example2-variant1":     Example2Variant1(),
+		"example2-variant2":     Example2Variant2(),
+		"example2-indemnified":  Example2Indemnified(),
+		"figure7":               Figure7(),
+		"example2-universal-ti": UniversalTrust(Example2()),
+	}
+}

@@ -1,0 +1,292 @@
+// Package petri is a place/transition Petri-net substrate with firing,
+// bounded reachability, and Karp–Miller coverability. Section 7.4 of the
+// paper relates exchange feasibility to subset coverability of a Petri
+// net in which "consumable resources (such as money) are modeled very
+// naturally in the tokens"; FromProblem performs that encoding and
+// CompletedTarget gives the "exchange completed" sub-marking whose
+// coverability witnesses a completing execution.
+package petri
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// PlaceID indexes a place.
+type PlaceID int
+
+// Omega is the Karp–Miller unbounded-token marker.
+const Omega = -1
+
+// Net is an immutable place/transition net.
+type Net struct {
+	placeNames []string
+	placeIndex map[string]PlaceID
+	trans      []Transition
+}
+
+// Transition consumes In tokens and produces Out tokens.
+type Transition struct {
+	Name string
+	In   map[PlaceID]int
+	Out  map[PlaceID]int
+}
+
+// NewNet returns an empty net.
+func NewNet() *Net {
+	return &Net{placeIndex: make(map[string]PlaceID)}
+}
+
+// Place interns a named place and returns its ID.
+func (n *Net) Place(name string) PlaceID {
+	if id, ok := n.placeIndex[name]; ok {
+		return id
+	}
+	id := PlaceID(len(n.placeNames))
+	n.placeNames = append(n.placeNames, name)
+	n.placeIndex[name] = id
+	return id
+}
+
+// PlaceName returns the interned name.
+func (n *Net) PlaceName(id PlaceID) string {
+	if int(id) < 0 || int(id) >= len(n.placeNames) {
+		return fmt.Sprintf("place(%d)", int(id))
+	}
+	return n.placeNames[id]
+}
+
+// Places returns the number of places.
+func (n *Net) Places() int { return len(n.placeNames) }
+
+// AddTransition registers a transition. Maps are copied.
+func (n *Net) AddTransition(name string, in, out map[PlaceID]int) {
+	t := Transition{Name: name, In: make(map[PlaceID]int, len(in)), Out: make(map[PlaceID]int, len(out))}
+	for p, w := range in {
+		if w > 0 {
+			t.In[p] = w
+		}
+	}
+	for p, w := range out {
+		if w > 0 {
+			t.Out[p] = w
+		}
+	}
+	n.trans = append(n.trans, t)
+}
+
+// Transitions returns the transition count.
+func (n *Net) Transitions() int { return len(n.trans) }
+
+// TransitionName returns a transition's name.
+func (n *Net) TransitionName(i int) string { return n.trans[i].Name }
+
+// Marking is a token assignment; Omega means "arbitrarily many".
+type Marking []int
+
+// NewMarking returns the zero marking for the net.
+func (n *Net) NewMarking() Marking { return make(Marking, n.Places()) }
+
+// Clone copies the marking.
+func (m Marking) Clone() Marking { return append(Marking(nil), m...) }
+
+// Key is a canonical map key for the marking.
+func (m Marking) Key() string {
+	var b strings.Builder
+	for i, v := range m {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		if v == Omega {
+			b.WriteByte('w')
+		} else {
+			fmt.Fprintf(&b, "%d", v)
+		}
+	}
+	return b.String()
+}
+
+// Covers reports whether m ≥ target pointwise (ω covers everything).
+func (m Marking) Covers(target Marking) bool {
+	for i, want := range target {
+		if want <= 0 {
+			continue
+		}
+		if m[i] != Omega && m[i] < want {
+			return false
+		}
+	}
+	return true
+}
+
+// GE reports m ≥ other pointwise.
+func (m Marking) GE(other Marking) bool {
+	for i := range m {
+		if m[i] == Omega {
+			continue
+		}
+		if other[i] == Omega {
+			return false
+		}
+		if m[i] < other[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders non-zero places.
+func (n *Net) FormatMarking(m Marking) string {
+	var parts []string
+	for i, v := range m {
+		if v == 0 {
+			continue
+		}
+		if v == Omega {
+			parts = append(parts, n.placeNames[i]+":ω")
+		} else {
+			parts = append(parts, fmt.Sprintf("%s:%d", n.placeNames[i], v))
+		}
+	}
+	sort.Strings(parts)
+	return "{" + strings.Join(parts, ", ") + "}"
+}
+
+// Enabled reports whether transition ti can fire from m.
+func (n *Net) Enabled(m Marking, ti int) bool {
+	for p, w := range n.trans[ti].In {
+		if m[p] != Omega && m[p] < w {
+			return false
+		}
+	}
+	return true
+}
+
+// Fire fires transition ti from m, returning the new marking. It panics
+// when the transition is not enabled (programming error).
+func (n *Net) Fire(m Marking, ti int) Marking {
+	if !n.Enabled(m, ti) {
+		panic(fmt.Sprintf("petri: transition %s not enabled at %s", n.trans[ti].Name, n.FormatMarking(m)))
+	}
+	out := m.Clone()
+	for p, w := range n.trans[ti].In {
+		if out[p] != Omega {
+			out[p] -= w
+		}
+	}
+	for p, w := range n.trans[ti].Out {
+		if out[p] != Omega {
+			out[p] += w
+		}
+	}
+	return out
+}
+
+// ReachabilityResult reports a bounded exploration.
+type ReachabilityResult struct {
+	Found    bool
+	Explored int
+	Capped   bool // the state budget was exhausted before a verdict
+}
+
+// ReachableCover explores the exact state space (no ω-acceleration) up
+// to maxStates markings, looking for one covering target.
+func (n *Net) ReachableCover(initial, target Marking, maxStates int) ReachabilityResult {
+	if maxStates <= 0 {
+		maxStates = 1 << 20
+	}
+	seen := map[string]bool{initial.Key(): true}
+	queue := []Marking{initial}
+	res := ReachabilityResult{}
+	for len(queue) > 0 {
+		m := queue[0]
+		queue = queue[1:]
+		res.Explored++
+		if m.Covers(target) {
+			res.Found = true
+			return res
+		}
+		if res.Explored >= maxStates {
+			res.Capped = true
+			return res
+		}
+		for ti := range n.trans {
+			if !n.Enabled(m, ti) {
+				continue
+			}
+			next := n.Fire(m, ti)
+			k := next.Key()
+			if !seen[k] {
+				seen[k] = true
+				queue = append(queue, next)
+			}
+		}
+	}
+	return res
+}
+
+// Coverable runs the Karp–Miller coverability construction: along each
+// path, a strictly dominating successor accelerates the strictly larger
+// places to ω. It answers whether some reachable marking covers target.
+// The node budget guards against pathological growth; Capped is set when
+// it is exhausted.
+func (n *Net) Coverable(initial, target Marking, maxNodes int) ReachabilityResult {
+	if maxNodes <= 0 {
+		maxNodes = 1 << 18
+	}
+	type node struct {
+		m        Marking
+		ancestry []Marking
+	}
+	res := ReachabilityResult{}
+	seen := map[string]bool{}
+	stack := []node{{m: initial, ancestry: nil}}
+	for len(stack) > 0 {
+		cur := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		key := cur.m.Key()
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		res.Explored++
+		if cur.m.Covers(target) {
+			res.Found = true
+			return res
+		}
+		if res.Explored >= maxNodes {
+			res.Capped = true
+			return res
+		}
+		for ti := range n.trans {
+			if !n.Enabled(cur.m, ti) {
+				continue
+			}
+			next := n.Fire(cur.m, ti)
+			// ω-acceleration against ancestors.
+			accelerated := next.Clone()
+			for _, anc := range cur.ancestry {
+				if accelerated.GE(anc) && !markingEqual(accelerated, anc) {
+					for i := range accelerated {
+						if anc[i] != Omega && accelerated[i] != Omega && accelerated[i] > anc[i] {
+							accelerated[i] = Omega
+						}
+					}
+				}
+			}
+			ancestry := append(append([]Marking(nil), cur.ancestry...), cur.m)
+			stack = append(stack, node{m: accelerated, ancestry: ancestry})
+		}
+	}
+	return res
+}
+
+func markingEqual(a, b Marking) bool {
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,229 @@
+package petri
+
+import (
+	"math/rand"
+	"testing"
+
+	"trustseq/internal/gen"
+	"trustseq/internal/paperex"
+	"trustseq/internal/search"
+)
+
+// A tiny producer/consumer net: p produces tokens, c consumes two at a
+// time. Exercises firing and enabledness.
+func TestFireAndEnabled(t *testing.T) {
+	t.Parallel()
+	n := NewNet()
+	a, b := n.Place("a"), n.Place("b")
+	n.AddTransition("move2", map[PlaceID]int{a: 2}, map[PlaceID]int{b: 1})
+	m := n.NewMarking()
+	m[a] = 3
+	if !n.Enabled(m, 0) {
+		t.Fatalf("move2 not enabled at a=3")
+	}
+	m2 := n.Fire(m, 0)
+	if m2[a] != 1 || m2[b] != 1 {
+		t.Fatalf("after fire: %s", n.FormatMarking(m2))
+	}
+	if n.Enabled(m2, 0) {
+		t.Fatalf("move2 enabled at a=1")
+	}
+	// Fire on disabled transition panics.
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("Fire on disabled transition did not panic")
+		}
+	}()
+	n.Fire(m2, 0)
+}
+
+func TestMarkingCoversAndKey(t *testing.T) {
+	t.Parallel()
+	m := Marking{2, 0, Omega}
+	if !m.Covers(Marking{1, 0, 5}) {
+		t.Errorf("covers failed with omega")
+	}
+	if m.Covers(Marking{3, 0, 0}) {
+		t.Errorf("covers over-approximated")
+	}
+	if m.Key() != "2,0,w" {
+		t.Errorf("Key = %q", m.Key())
+	}
+	if !m.GE(Marking{2, 0, 7}) {
+		t.Errorf("GE with omega failed")
+	}
+	if (Marking{1, 0, 3}).GE(m) {
+		t.Errorf("finite GE omega succeeded")
+	}
+}
+
+// Karp–Miller detects unbounded growth: a generator transition gives ω,
+// making any finite target coverable.
+func TestCoverableUnboundedGenerator(t *testing.T) {
+	t.Parallel()
+	n := NewNet()
+	src, sink := n.Place("src"), n.Place("sink")
+	n.AddTransition("gen", map[PlaceID]int{src: 1}, map[PlaceID]int{src: 1, sink: 1})
+	init := n.NewMarking()
+	init[src] = 1
+	target := n.NewMarking()
+	target[sink] = 1_000_000
+	res := n.Coverable(init, target, 10_000)
+	if !res.Found {
+		t.Fatalf("omega acceleration failed: %+v", res)
+	}
+	// The exact search cannot decide this within its budget.
+	exact := n.ReachableCover(init, target, 1000)
+	if exact.Found {
+		t.Fatalf("exact search claims coverage it cannot reach in budget")
+	}
+	if !exact.Capped {
+		t.Fatalf("exact search should hit its cap")
+	}
+}
+
+func TestCoverableNegative(t *testing.T) {
+	t.Parallel()
+	n := NewNet()
+	a, b := n.Place("a"), n.Place("b")
+	n.AddTransition("step", map[PlaceID]int{a: 1}, map[PlaceID]int{b: 1})
+	init := n.NewMarking()
+	init[a] = 2
+	target := n.NewMarking()
+	target[b] = 3 // only 2 tokens exist
+	if res := n.Coverable(init, target, 10_000); res.Found {
+		t.Fatalf("covered an unreachable target")
+	}
+	if res := n.ReachableCover(init, target, 10_000); res.Found || res.Capped {
+		t.Fatalf("exact search wrong: %+v", res)
+	}
+}
+
+// E10 (Petri leg): the encoding of every paper example is completable
+// exactly when the asset-mode exhaustive search finds a completing
+// execution (the Section 7.4 correspondence at the asset level).
+func TestEncodingMatchesAssetSearchOnExamples(t *testing.T) {
+	t.Parallel()
+	for name, p := range paperex.All() {
+		name, p := name, p
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			enc, err := FromProblem(p)
+			if err != nil {
+				t.Fatalf("FromProblem = %v", err)
+			}
+			res := enc.Completable(1 << 20)
+			if res.Capped {
+				t.Fatalf("state budget exhausted")
+			}
+			v, err := search.Feasible(p, search.ModeAssets)
+			if err != nil {
+				t.Fatalf("search = %v", err)
+			}
+			if res.Found != v.Feasible {
+				t.Errorf("petri completable=%v, asset search=%v", res.Found, v.Feasible)
+			}
+		})
+	}
+}
+
+// The same correspondence on random problems.
+func TestEncodingMatchesAssetSearchRandom(t *testing.T) {
+	t.Parallel()
+	rng := rand.New(rand.NewSource(99))
+	for i := 0; i < 15; i++ {
+		p := gen.Random(rng, gen.Options{Consumers: 1, Brokers: 2, Producers: 2, MaxPrice: 8})
+		if len(p.Exchanges) > 8 {
+			continue
+		}
+		enc, err := FromProblem(p)
+		if err != nil {
+			t.Fatalf("FromProblem = %v", err)
+		}
+		res := enc.Completable(1 << 21)
+		if res.Capped {
+			continue // budget-bound instances are inconclusive
+		}
+		v, err := search.Feasible(p, search.ModeAssets)
+		if err != nil {
+			t.Fatalf("search = %v", err)
+		}
+		if res.Found != v.Feasible {
+			t.Errorf("instance %d: petri=%v search=%v", i, res.Found, v.Feasible)
+		}
+	}
+}
+
+// The poor broker's funding shortfall appears as token shortage.
+func TestPoorBrokerNotCompletable(t *testing.T) {
+	t.Parallel()
+	enc, err := FromProblem(paperex.PoorBroker())
+	if err != nil {
+		t.Fatalf("FromProblem = %v", err)
+	}
+	if res := enc.Completable(1 << 20); res.Found {
+		t.Fatalf("poor broker completable despite empty pockets")
+	}
+	// Funding the broker restores completability.
+	p := paperex.PoorBroker()
+	for i := range p.Parties {
+		if p.Parties[i].ID == paperex.Broker {
+			p.Parties[i].Endowment = paperex.WholesalePrice
+		}
+	}
+	enc2, err := FromProblem(p)
+	if err != nil {
+		t.Fatalf("FromProblem = %v", err)
+	}
+	if res := enc2.Completable(1 << 20); !res.Found {
+		t.Fatalf("funded broker not completable")
+	}
+}
+
+func TestFromProblemRejectsInvalid(t *testing.T) {
+	t.Parallel()
+	p := paperex.Example1()
+	p.Exchanges[0].Principal = "ghost"
+	if _, err := FromProblem(p); err == nil {
+		t.Fatalf("invalid problem accepted")
+	}
+}
+
+func TestFormatMarkingAndNames(t *testing.T) {
+	t.Parallel()
+	n := NewNet()
+	a := n.Place("alpha")
+	if n.PlaceName(a) != "alpha" || n.PlaceName(PlaceID(99)) != "place(99)" {
+		t.Errorf("PlaceName wrong")
+	}
+	m := n.NewMarking()
+	m[a] = 2
+	if got := n.FormatMarking(m); got != "{alpha:2}" {
+		t.Errorf("FormatMarking = %q", got)
+	}
+	n.AddTransition("t", nil, map[PlaceID]int{a: 1})
+	if n.Transitions() != 1 || n.TransitionName(0) != "t" {
+		t.Errorf("transition accessors wrong")
+	}
+}
+
+// Net encoding structure sanity for Example 1: 4 deposit transitions + 2
+// completion transitions; initial tokens match the endowments.
+func TestEncodingStructureExample1(t *testing.T) {
+	t.Parallel()
+	enc, err := FromProblem(paperex.Example1())
+	if err != nil {
+		t.Fatalf("FromProblem = %v", err)
+	}
+	if got := enc.Net.Transitions(); got != 6 {
+		t.Errorf("transitions = %d, want 6", got)
+	}
+	cash := enc.Initial[enc.Net.Place("cash:"+string(paperex.Consumer))]
+	if cash != int(paperex.RetailPrice) {
+		t.Errorf("consumer tokens = %d", cash)
+	}
+	doc := enc.Initial[enc.Net.Place("item:"+string(paperex.Producer)+":"+string(paperex.Doc))]
+	if doc != 1 {
+		t.Errorf("producer document tokens = %d", doc)
+	}
+}

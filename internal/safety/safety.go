@@ -1,0 +1,782 @@
+// Package safety implements the risk semantics behind the paper's notion
+// of feasibility: "a feasible exchange can be carried out in such a way
+// that no participant ever risks losing money or goods without receiving
+// everything promised in exchange" (Section 1).
+//
+// The central predicate is SafeFor: after any prefix of an execution, a
+// principal x is safe iff x — acting alone, with every other principal
+// stopped and trusted components honouring their Section 2.5 guarantees —
+// can still steer the exchange into a state acceptable to x. A whole
+// execution sequence is safe iff every principal is safe after every
+// prefix. This is the property the sequencing-graph reduction promises
+// for feasible graphs, and the property the exhaustive-search baseline
+// optimizes over directly.
+package safety
+
+import (
+	"fmt"
+
+	"trustseq/internal/model"
+)
+
+// Exec tracks the evolving execution of an exchange problem: the action
+// state plus derived holdings for funding checks.
+type Exec struct {
+	Problem  *model.Problem
+	State    model.State
+	holdings map[model.PartyID]*model.Holding
+}
+
+// NewExec returns the execution at the status quo, with inferred initial
+// holdings.
+func NewExec(p *model.Problem) *Exec {
+	return &Exec{
+		Problem:  p,
+		State:    model.NewState(),
+		holdings: model.InitialHoldings(p),
+	}
+}
+
+// Clone returns an independent copy.
+func (x *Exec) Clone() *Exec {
+	out := &Exec{
+		Problem:  x.Problem,
+		State:    x.State.Clone(),
+		holdings: make(map[model.PartyID]*model.Holding, len(x.holdings)),
+	}
+	for id, h := range x.holdings {
+		out.holdings[id] = h.Clone()
+	}
+	return out
+}
+
+// Holding returns the current holding of a party.
+func (x *Exec) Holding(id model.PartyID) *model.Holding { return x.holdings[id] }
+
+// Apply executes one transfer or notify action, moving assets between
+// holdings. It fails if the mover cannot fund the transfer or the action
+// already occurred.
+func (x *Exec) Apply(a model.Action) error {
+	if a.IsTransfer() {
+		mover := x.holdings[a.Mover()]
+		if mover == nil {
+			return fmt.Errorf("safety: unknown mover %s", a.Mover())
+		}
+		if err := mover.Remove(a.Asset()); err != nil {
+			return fmt.Errorf("safety: %s cannot fund %v: %w", a.Mover(), a, err)
+		}
+		x.holdings[a.Receiver()].Add(a.Asset())
+	}
+	if err := x.State.Add(a); err != nil {
+		return err
+	}
+	return nil
+}
+
+// MustApply is Apply for statically valid sequences.
+func (x *Exec) MustApply(a model.Action) {
+	if err := x.Apply(a); err != nil {
+		panic(err)
+	}
+}
+
+// Deposited reports whether every deposit action of exchange ei has
+// occurred and none has been compensated.
+func (x *Exec) Deposited(ei int) bool {
+	for _, d := range model.DepositActions(x.Problem.Exchanges[ei]) {
+		if !x.State.Has(d) || x.State.Has(d.Compensation()) {
+			return false
+		}
+	}
+	return true
+}
+
+// Delivered reports whether every receipt action of exchange ei has
+// occurred and none has been compensated (a returned early withdrawal
+// leaves the exchange undelivered).
+func (x *Exec) Delivered(ei int) bool {
+	for _, r := range model.ReceiptActions(x.Problem.Exchanges[ei]) {
+		if !x.State.Has(r) || x.State.Has(r.Compensation()) {
+			return false
+		}
+	}
+	return true
+}
+
+// PartialDeposit reports whether some but not all deposit actions of ei
+// occurred without compensation.
+func (x *Exec) PartialDeposit(ei int) bool {
+	some, all := false, true
+	for _, d := range model.DepositActions(x.Problem.Exchanges[ei]) {
+		if x.State.Has(d) && !x.State.Has(d.Compensation()) {
+			some = true
+		} else {
+			all = false
+		}
+	}
+	return some && !all
+}
+
+// TrustedReady reports whether the trusted component holds every deposit
+// of every adjacent exchange and still has something to deliver.
+func (x *Exec) TrustedReady(t model.PartyID) bool {
+	any, undelivered := false, false
+	for _, ei := range x.Problem.ExchangesOf(t) {
+		if x.Problem.Exchanges[ei].Trusted != t {
+			continue
+		}
+		any = true
+		if !x.Deposited(ei) {
+			return false
+		}
+		if !x.Delivered(ei) {
+			undelivered = true
+		}
+	}
+	return any && undelivered
+}
+
+// EarlyWithdraw lets the persona principal of a trusted component take
+// the goods escrowed for it before paying — Section 4.2.3's "risk-free
+// access to document #1". The receipts of the principal's exchange at
+// its persona trusted are applied without the principal's deposit; the
+// principal thereafter owes either the goods' return or its deposit.
+func (x *Exec) EarlyWithdraw(ei int) error {
+	e := x.Problem.Exchanges[ei]
+	q, ok := x.Problem.PersonaOf(e.Trusted)
+	if !ok || q != e.Principal {
+		return fmt.Errorf("safety: exchange %d is not at a persona trusted of its principal", ei)
+	}
+	for _, r := range model.ReceiptActions(e) {
+		if x.State.Has(r) {
+			continue
+		}
+		if err := x.Apply(r); err != nil {
+			return fmt.Errorf("safety: early withdrawal for exchange %d: %w", ei, err)
+		}
+	}
+	return nil
+}
+
+// CompleteTrusted makes the trusted component forward every adjacent
+// Gets bundle to its principal.
+func (x *Exec) CompleteTrusted(t model.PartyID) error {
+	for _, ei := range x.Problem.ExchangesOf(t) {
+		e := x.Problem.Exchanges[ei]
+		if e.Trusted != t {
+			continue
+		}
+		for _, r := range model.ReceiptActions(e) {
+			if x.State.Has(r) {
+				continue
+			}
+			if err := x.Apply(r); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// RefundTrusted compensates every uncompensated deposit held by the
+// trusted component for exchanges that were not delivered.
+func (x *Exec) RefundTrusted(t model.PartyID) error {
+	for _, ei := range x.Problem.ExchangesOf(t) {
+		e := x.Problem.Exchanges[ei]
+		if e.Trusted != t || x.Delivered(ei) {
+			continue
+		}
+		for _, d := range model.DepositActions(e) {
+			if x.State.Has(d) && !x.State.Has(d.Compensation()) {
+				if err := x.Apply(d.Compensation()); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// indemnityAmount resolves an offer's amount.
+func indemnityAmount(p *model.Problem, off model.IndemnityOffer) model.Money {
+	if off.Amount != 0 {
+		return off.Amount
+	}
+	return model.RequiredIndemnity(p, off.Covers)
+}
+
+// IndemnityPostAction returns the pay action that places the collateral.
+func IndemnityPostAction(p *model.Problem, off model.IndemnityOffer) model.Action {
+	return model.Pay(off.By, off.Via, indemnityAmount(p, off))
+}
+
+// IndemnityPayoutAction returns the pay action that forfeits the
+// collateral to the protected principal.
+func IndemnityPayoutAction(p *model.Problem, off model.IndemnityOffer) model.Action {
+	return model.Pay(off.Via, p.Exchanges[off.Covers].Principal, indemnityAmount(p, off))
+}
+
+// DepositAttempted reports whether every deposit action of exchange ei
+// occurred, compensated or not — the paper's forfeit condition cares that
+// the protected principal "provides payment", even if the escrow was
+// later returned.
+func (x *Exec) DepositAttempted(ei int) bool {
+	for _, d := range model.DepositActions(x.Problem.Exchanges[ei]) {
+		if !x.State.Has(d) {
+			return false
+		}
+	}
+	return true
+}
+
+// settleIndemnities resolves posted collateral at the end of a closure:
+// if the protected principal provided its payment for the covered
+// exchange and the goods were not delivered within the deadline, the
+// collateral is forfeited to the principal (Section 6); otherwise it is
+// refunded to the offerer.
+func (x *Exec) settleIndemnities() error {
+	for _, off := range x.Problem.Indemnities {
+		post := IndemnityPostAction(x.Problem, off)
+		if !x.State.Has(post) || x.State.Has(post.Compensation()) {
+			continue
+		}
+		payout := IndemnityPayoutAction(x.Problem, off)
+		if x.State.Has(payout) {
+			continue
+		}
+		if x.DepositAttempted(off.Covers) && !x.Delivered(off.Covers) {
+			if err := x.Apply(payout); err != nil {
+				return err
+			}
+			continue
+		}
+		if err := x.Apply(post.Compensation()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// indemnityProtected reports whether the principal holds live collateral
+// covering exchange ei: depositing on ei is then risk-free — either the
+// exchange completes or the penalty is forfeited to the principal.
+func (x *Exec) indemnityProtected(principal model.PartyID, ei int) bool {
+	if x.Problem.Exchanges[ei].Principal != principal {
+		return false
+	}
+	for _, off := range x.Problem.Indemnities {
+		if off.Covers != ei {
+			continue
+		}
+		post := IndemnityPostAction(x.Problem, off)
+		if x.State.Has(post) && !x.State.Has(post.Compensation()) {
+			return true
+		}
+	}
+	return false
+}
+
+// SafeFor reports whether principal x is safe in the current execution:
+// there EXISTS a continuation — using only x's own deposits plus the
+// trusted components' guaranteed behaviour, with every other principal
+// stopped — that ends in a state acceptable to x. Doing nothing is a
+// valid continuation; x is never forced to act.
+//
+// The environment is deterministic but not passive: a trusted component
+// holding every deposit is *bound* to complete (Section 2.5), so
+// completions are forced after each of x's moves. x's available moves
+// are deposits on exchanges whose trusted component holds every other
+// deposit (the notification guarantee: providing the missing component
+// assures completion) or on exchanges covered by live indemnity
+// collateral, when x can fund them. The search explores x's choices and
+// accepts if any wind-down (refund every pending escrow, settle
+// indemnities) is acceptable to x.
+func SafeFor(x *Exec, principal model.PartyID) bool {
+	seen := make(map[string]bool)
+	return safeSearch(x.Clone(), principal, seen, model.Acceptable)
+}
+
+// AssetSafe is the per-exchange asset-integrity variant of SafeFor: the
+// paper's hard runtime guarantee. It asks whether x — acting alone, with
+// every other principal stopped and trusted components honouring their
+// guarantees — can steer to a state where none of its assets is lost
+// without the promised counter-asset: each exchange individually
+// untouched, refunded or completed, with the Section 6 indemnity rules
+// applied. Conjunction (all-or-nothing) preferences are deliberately NOT
+// enforced here; they are commit-ordering constraints checked on final
+// states.
+func AssetSafe(x *Exec, principal model.PartyID) bool {
+	seen := make(map[string]bool)
+	return safeSearch(x.Clone(), principal, seen, model.AcceptableAssets)
+}
+
+type acceptFunc func(*model.Problem, model.PartyID, model.State) bool
+
+func safeSearch(c *Exec, principal model.PartyID, seen map[string]bool, accept acceptFunc) bool {
+	if err := c.forceCompletions(principal); err != nil {
+		return false
+	}
+	key := depositKey(c, principal)
+	if seen[key] {
+		return false
+	}
+	seen[key] = true
+	if windDownAcceptable(c, principal, accept) {
+		return true
+	}
+	for ei, e := range c.Problem.Exchanges {
+		if e.Principal != principal || c.Deposited(ei) || c.Delivered(ei) {
+			continue
+		}
+		if !c.othersDeposited(e.Trusted, ei) && !c.indemnityProtected(principal, ei) {
+			continue
+		}
+		if !c.canFund(principal, ei) {
+			continue
+		}
+		next := c.Clone()
+		ok := true
+		for _, d := range model.DepositActions(e) {
+			if next.State.Has(d) {
+				continue
+			}
+			if err := next.Apply(d); err != nil {
+				ok = false
+				break
+			}
+		}
+		if ok && safeSearch(next, principal, seen, accept) {
+			return true
+		}
+	}
+	// Move: early withdrawal from an own persona trusted.
+	for ei, e := range c.Problem.Exchanges {
+		if e.Principal != principal || c.Delivered(ei) {
+			continue
+		}
+		if q, ok := c.Problem.PersonaOf(e.Trusted); !ok || q != principal {
+			continue
+		}
+		if !c.Holding(e.Trusted).Contains(e.Gets) {
+			continue
+		}
+		next := c.Clone()
+		if err := next.EarlyWithdraw(ei); err == nil && safeSearch(next, principal, seen, accept) {
+			return true
+		}
+	}
+	return false
+}
+
+// forceCompletions completes every ready trusted component to fixpoint —
+// completions are the environment's guaranteed (not optional) moves. A
+// trusted component played by the analysed principal itself is exempt:
+// its completion is that principal's own optional move.
+func (x *Exec) forceCompletions(analysed model.PartyID) error {
+	for {
+		progress := false
+		for _, pa := range x.Problem.Parties {
+			if !pa.IsTrusted() || !x.TrustedReady(pa.ID) {
+				continue
+			}
+			if q, ok := x.Problem.PersonaOf(pa.ID); ok && q == analysed {
+				continue
+			}
+			if err := x.CompleteTrusted(pa.ID); err != nil {
+				return err
+			}
+			progress = true
+		}
+		if !progress {
+			return nil
+		}
+	}
+}
+
+// depositKey fingerprints the principal's deposit choices (forced
+// completions are a deterministic function of them during the search).
+func depositKey(x *Exec, principal model.PartyID) string {
+	var b []byte
+	for ei, e := range x.Problem.Exchanges {
+		if e.Principal != principal {
+			continue
+		}
+		switch {
+		case x.DepositAttempted(ei) && x.Delivered(ei):
+			b = append(b, '3')
+		case x.DepositAttempted(ei):
+			b = append(b, '2')
+		case x.Delivered(ei):
+			b = append(b, '1')
+		default:
+			b = append(b, '0')
+		}
+	}
+	return string(b)
+}
+
+// windDownAcceptable evaluates the stop-now outcome. Winding down is a
+// cascade, not a single pass: a trusted component can only refund assets
+// it physically holds, and a persona trustee that withdrew goods early
+// owes their return — or, if it can no longer return them (they were sold
+// on), their payment. The cascade runs to fixpoint:
+//
+//  1. persona trustees settle outstanding early withdrawals: return the
+//     goods if held, otherwise pay the owed deposit and complete;
+//  2. ready trusted components complete (bound by their guarantee);
+//  3. trusted components refund every pending escrow they can fund.
+//
+// Afterwards indemnities settle and x's acceptability is evaluated. An
+// escrow that could not be refunded leaves its depositor with an
+// uncompensated, undelivered deposit, which Acceptable rejects — so a
+// genuinely stuck wind-down reads as unsafe.
+func windDownAcceptable(x *Exec, principal model.PartyID, accept acceptFunc) bool {
+	c := x.Clone()
+	for {
+		progress := false
+
+		// Step 1: persona trustee duties.
+		for ei, e := range c.Problem.Exchanges {
+			q, ok := c.Problem.PersonaOf(e.Trusted)
+			if !ok || q != e.Principal {
+				continue
+			}
+			withdrawn := c.Delivered(ei) && !c.Deposited(ei)
+			if !withdrawn {
+				continue
+			}
+			if c.Holding(q).Contains(e.Gets) {
+				// Return the goods.
+				okAll := true
+				for _, r := range model.ReceiptActions(e) {
+					if c.State.Has(r.Compensation()) {
+						continue
+					}
+					if err := c.Apply(r.Compensation()); err != nil {
+						okAll = false
+						break
+					}
+				}
+				if okAll {
+					progress = true
+				}
+				continue
+			}
+			// Pay instead, if fundable.
+			if c.canFund(q, ei) {
+				funded := true
+				for _, d := range model.DepositActions(e) {
+					if c.State.Has(d) {
+						continue
+					}
+					if err := c.Apply(d); err != nil {
+						funded = false
+						break
+					}
+				}
+				if funded {
+					progress = true
+				}
+			}
+		}
+
+		// Step 2: forced completions (everyone honours guarantees in a
+		// wind-down; the analysed principal has already made its choices).
+		for _, pa := range c.Problem.Parties {
+			if pa.IsTrusted() && c.TrustedReady(pa.ID) {
+				if err := c.CompleteTrusted(pa.ID); err != nil {
+					return false
+				}
+				progress = true
+			}
+		}
+
+		// Step 3: fundable refunds.
+		for _, pa := range c.Problem.Parties {
+			if !pa.IsTrusted() {
+				continue
+			}
+			for _, ei := range c.Problem.ExchangesOf(pa.ID) {
+				e := c.Problem.Exchanges[ei]
+				if e.Trusted != pa.ID || c.Delivered(ei) {
+					continue
+				}
+				for _, d := range model.DepositActions(e) {
+					if !c.State.Has(d) || c.State.Has(d.Compensation()) {
+						continue
+					}
+					if !c.Holding(pa.ID).Contains(d.Asset()) {
+						continue
+					}
+					if err := c.Apply(d.Compensation()); err != nil {
+						return false
+					}
+					progress = true
+				}
+			}
+		}
+
+		if !progress {
+			break
+		}
+	}
+	if err := c.settleIndemnities(); err != nil {
+		return false
+	}
+	return accept(c.Problem, principal, c.State)
+}
+
+// othersDeposited reports whether every exchange at the trusted component
+// other than `except` is fully deposited and undelivered.
+func (x *Exec) othersDeposited(t model.PartyID, except int) bool {
+	for _, ei := range x.Problem.ExchangesOf(t) {
+		if x.Problem.Exchanges[ei].Trusted != t || ei == except {
+			continue
+		}
+		if !x.Deposited(ei) || x.Delivered(ei) {
+			return false
+		}
+	}
+	return true
+}
+
+// canFund reports whether the principal currently holds the exchange's
+// Gives bundle (partially made deposits count as already funded).
+func (x *Exec) canFund(principal model.PartyID, ei int) bool {
+	need := model.NewHolding()
+	for _, d := range model.DepositActions(x.Problem.Exchanges[ei]) {
+		if !x.State.Has(d) {
+			need.Add(d.Asset())
+		}
+	}
+	h := x.holdings[principal]
+	return h.Contains(model.Bundle{Amount: need.Cash, Items: itemsOf(need)})
+}
+
+func itemsOf(h *model.Holding) []model.ItemID {
+	var out []model.ItemID
+	for it, n := range h.Items {
+		for i := 0; i < n; i++ {
+			out = append(out, it)
+		}
+	}
+	return out
+}
+
+// SafeForCommitted evaluates safety under the paper's commitment
+// semantics (Section 4.1): a commitment, once made, is a binding promise
+// enforced through the trusted intermediaries, even if the physical
+// deposit comes later (red edges commit first, execute last — Section 5).
+//
+// The adversary model: every OTHER principal honours its commitments in
+// `committed` (deposits and persona withdrawals execute as soon as they
+// are fundable — forced environment moves, like trusted completions) and
+// takes no uncommitted action. The analysed principal chooses its own
+// moves freely (depositing under the notification guarantee, under live
+// indemnity protection, or on a committed exchange; withdrawing early
+// from its own persona trusted). The principal is safe iff some choice
+// sequence ends, after wind-down, in a state acceptable to it.
+func SafeForCommitted(x *Exec, principal model.PartyID, committed map[int]bool) bool {
+	seen := make(map[string]bool)
+	return searchCommitted(x.Clone(), principal, committed, seen)
+}
+
+func searchCommitted(c *Exec, principal model.PartyID, committed map[int]bool, seen map[string]bool) bool {
+	if err := c.forceEnvironment(principal, committed); err != nil {
+		return false
+	}
+	key := globalDepositKey(c)
+	if seen[key] {
+		return false
+	}
+	seen[key] = true
+	if windDownAcceptable(c, principal, model.Acceptable) {
+		return true
+	}
+	for ei, e := range c.Problem.Exchanges {
+		if e.Principal != principal || c.Delivered(ei) {
+			continue
+		}
+		// Move: early withdrawal from own persona trusted.
+		if q, ok := c.Problem.PersonaOf(e.Trusted); ok && q == principal {
+			if !c.Delivered(ei) && c.Holding(e.Trusted).Contains(e.Gets) {
+				next := c.Clone()
+				if err := next.EarlyWithdraw(ei); err == nil &&
+					searchCommitted(next, principal, committed, seen) {
+					return true
+				}
+			}
+		}
+		// Move: deposit.
+		if c.DepositAttempted(ei) {
+			continue
+		}
+		if !c.othersDeposited(e.Trusted, ei) && !c.indemnityProtected(principal, ei) && !committed[ei] {
+			continue
+		}
+		if !c.canFund(principal, ei) {
+			continue
+		}
+		next := c.Clone()
+		ok := true
+		for _, d := range model.DepositActions(e) {
+			if next.State.Has(d) {
+				continue
+			}
+			if err := next.Apply(d); err != nil {
+				ok = false
+				break
+			}
+		}
+		if ok && searchCommitted(next, principal, committed, seen) {
+			return true
+		}
+	}
+	return false
+}
+
+// forceEnvironment runs the guaranteed moves to fixpoint: trusted
+// completions (except the analysed principal's own persona trusteds,
+// whose completion is that principal's choice) and the committed deposits
+// and persona withdrawals of every other principal.
+func (x *Exec) forceEnvironment(analysed model.PartyID, committed map[int]bool) error {
+	for {
+		progress := false
+		for _, pa := range x.Problem.Parties {
+			if !pa.IsTrusted() || !x.TrustedReady(pa.ID) {
+				continue
+			}
+			if q, ok := x.Problem.PersonaOf(pa.ID); ok && q == analysed {
+				continue
+			}
+			if err := x.CompleteTrusted(pa.ID); err != nil {
+				return err
+			}
+			progress = true
+		}
+		for ei, e := range x.Problem.Exchanges {
+			if !committed[ei] || e.Principal == analysed {
+				continue
+			}
+			if q, ok := x.Problem.PersonaOf(e.Trusted); ok && q == e.Principal {
+				if !x.Delivered(ei) && x.Holding(e.Trusted).Contains(e.Gets) {
+					if err := x.EarlyWithdraw(ei); err != nil {
+						return err
+					}
+					progress = true
+				}
+			}
+			if x.DepositAttempted(ei) || !x.canFund(e.Principal, ei) {
+				continue
+			}
+			for _, d := range model.DepositActions(e) {
+				if x.State.Has(d) {
+					continue
+				}
+				if err := x.Apply(d); err != nil {
+					return err
+				}
+			}
+			progress = true
+		}
+		if !progress {
+			return nil
+		}
+	}
+}
+
+// globalDepositKey fingerprints the full deposit/withdrawal pattern for
+// memoization during the committed-safety search.
+func globalDepositKey(x *Exec) string {
+	b := make([]byte, 0, len(x.Problem.Exchanges))
+	for ei := range x.Problem.Exchanges {
+		switch {
+		case x.DepositAttempted(ei) && x.Delivered(ei):
+			b = append(b, '3')
+		case x.DepositAttempted(ei):
+			b = append(b, '2')
+		case x.Delivered(ei):
+			b = append(b, '1')
+		default:
+			b = append(b, '0')
+		}
+	}
+	return string(b)
+}
+
+// ForceCompletionsAll completes every ready trusted component (persona or
+// not) to fixpoint — used by the exhaustive-search baseline, where the
+// searcher controls timing through deposit order alone.
+func (x *Exec) ForceCompletionsAll() error {
+	for {
+		progress := false
+		for _, pa := range x.Problem.Parties {
+			if pa.IsTrusted() && x.TrustedReady(pa.ID) {
+				if err := x.CompleteTrusted(pa.ID); err != nil {
+					return err
+				}
+				progress = true
+			}
+		}
+		if !progress {
+			return nil
+		}
+	}
+}
+
+// CanFund reports whether the principal currently holds what the
+// exchange's outstanding deposit actions require.
+func (x *Exec) CanFund(principal model.PartyID, ei int) bool {
+	return x.canFund(principal, ei)
+}
+
+// Fingerprint summarizes the execution state for memoization: the
+// deposit/delivery pattern of every exchange plus the posted-indemnity
+// pattern.
+func (x *Exec) Fingerprint() string {
+	b := make([]byte, 0, len(x.Problem.Exchanges)+len(x.Problem.Indemnities))
+	for ei := range x.Problem.Exchanges {
+		switch {
+		case x.DepositAttempted(ei) && x.Delivered(ei):
+			b = append(b, '3')
+		case x.DepositAttempted(ei):
+			b = append(b, '2')
+		case x.Delivered(ei):
+			b = append(b, '1')
+		default:
+			b = append(b, '0')
+		}
+	}
+	for _, off := range x.Problem.Indemnities {
+		if x.State.Has(IndemnityPostAction(x.Problem, off)) {
+			b = append(b, 'P')
+		} else {
+			b = append(b, '.')
+		}
+	}
+	return string(b)
+}
+
+// AllSafe reports whether every principal is safe in the execution.
+func AllSafe(x *Exec) bool {
+	for _, pa := range x.Problem.Parties {
+		if pa.IsTrusted() {
+			continue
+		}
+		if !SafeFor(x, pa.ID) {
+			return false
+		}
+	}
+	return true
+}
+
+// Completed reports whether every exchange has been delivered — the
+// preferred all-parties outcome.
+func Completed(x *Exec) bool {
+	for ei := range x.Problem.Exchanges {
+		if !x.Delivered(ei) {
+			return false
+		}
+	}
+	return true
+}

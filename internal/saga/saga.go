@@ -1,0 +1,95 @@
+// Package saga is the Section 7.2 baseline: a saga is a sequence of
+// steps that yields an acceptable final state when executed; on failure,
+// completed steps are compensated in reverse order. The paper's state
+// representation was motivated by sagas — "what we propose here is for
+// each agent to have its own set of acceptable sagas". This package
+// provides a generic saga executor plus an exchange adapter, so the
+// difference from the trust protocol is measurable: saga compensation
+// presumes every holder cooperates in giving assets back, which is
+// exactly what a defecting counterparty refuses.
+package saga
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Step is one forward action with its compensation.
+type Step struct {
+	Name       string
+	Forward    func() error
+	Compensate func() error
+}
+
+// Outcome reports a saga execution.
+type Outcome struct {
+	// Completed is the number of steps that ran forward successfully.
+	Completed int
+	// Compensated is the number of compensations that succeeded during
+	// rollback.
+	Compensated int
+	// ForwardErr is the error that stopped forward progress, if any.
+	ForwardErr error
+	// CompensationErrs records compensations that themselves failed —
+	// the stuck states a saga cannot repair.
+	CompensationErrs []error
+}
+
+// Succeeded reports full forward completion.
+func (o Outcome) Succeeded() bool { return o.ForwardErr == nil }
+
+// CleanlyRolledBack reports a failure that was fully compensated.
+func (o Outcome) CleanlyRolledBack() bool {
+	return o.ForwardErr != nil && len(o.CompensationErrs) == 0
+}
+
+// String renders the outcome.
+func (o Outcome) String() string {
+	switch {
+	case o.Succeeded():
+		return fmt.Sprintf("saga completed (%d steps)", o.Completed)
+	case o.CleanlyRolledBack():
+		return fmt.Sprintf("saga failed at step %d, fully compensated", o.Completed)
+	default:
+		return fmt.Sprintf("saga failed at step %d with %d stuck compensations",
+			o.Completed, len(o.CompensationErrs))
+	}
+}
+
+// Run executes the saga: forward until a step fails, then compensate the
+// completed prefix in reverse (LIFO) order.
+func Run(steps []Step) Outcome {
+	var out Outcome
+	for i, st := range steps {
+		if st.Forward == nil {
+			out.ForwardErr = fmt.Errorf("saga: step %d (%s) has no forward action", i, st.Name)
+			break
+		}
+		if err := st.Forward(); err != nil {
+			out.ForwardErr = fmt.Errorf("saga: step %d (%s): %w", i, st.Name, err)
+			break
+		}
+		out.Completed++
+	}
+	if out.ForwardErr == nil {
+		return out
+	}
+	for i := out.Completed - 1; i >= 0; i-- {
+		st := steps[i]
+		if st.Compensate == nil {
+			continue
+		}
+		if err := st.Compensate(); err != nil {
+			out.CompensationErrs = append(out.CompensationErrs,
+				fmt.Errorf("saga: compensating step %d (%s): %w", i, st.Name, err))
+			continue
+		}
+		out.Compensated++
+	}
+	return out
+}
+
+// ErrRefused is returned by steps standing in for a party that refuses
+// to act (forward or compensating) — the defection the paper's trusted
+// intermediaries are introduced to contain.
+var ErrRefused = errors.New("saga: party refuses to act")

@@ -1,0 +1,199 @@
+// Package search is the exhaustive baseline the paper does not provide:
+// it explores every interleaving of physical moves (deposits, persona
+// withdrawals; trusted completions are forced) and reports whether some
+// execution sequence completes every exchange while keeping every
+// principal safe after every prefix.
+//
+// Two safety semantics are supported, bracketing the paper's informal
+// guarantee:
+//
+//   - ModeAssets: per-exchange asset integrity (safety.AssetSafe) — "no
+//     participant ever risks losing money or goods without receiving
+//     everything promised in exchange". This is the weaker, purely
+//     physical reading.
+//   - ModeStrong: full conjunction acceptability (safety.SafeFor) — every
+//     principal can always steer to a state acceptable to its stated
+//     all-or-nothing preferences, assuming only physical deposits bind.
+//
+// Comparing the sequencing-graph verdict against both search verdicts
+// measures where the graph algorithm sits between the two semantics
+// (experiment E10): graph-feasible exchanges are always ModeAssets-
+// feasible; some (those leaning on binding commitments, like the Section
+// 4.2.3 persona variant) are not ModeStrong-feasible.
+package search
+
+import (
+	"fmt"
+
+	"trustseq/internal/model"
+	"trustseq/internal/safety"
+)
+
+// Mode selects the per-prefix safety predicate.
+type Mode int
+
+// The supported modes.
+const (
+	ModeAssets Mode = iota + 1
+	ModeStrong
+)
+
+// String names the mode.
+func (m Mode) String() string {
+	switch m {
+	case ModeAssets:
+		return "assets"
+	case ModeStrong:
+		return "strong"
+	default:
+		return fmt.Sprintf("mode(%d)", int(m))
+	}
+}
+
+// Move is one searchable step.
+type Move struct {
+	Deposit  int // exchange index; -1 if this is a withdrawal
+	Withdraw int // exchange index; -1 if this is a deposit
+	Post     int // indemnity offer index; -1 otherwise
+}
+
+// String renders the move.
+func (m Move) String() string {
+	switch {
+	case m.Deposit >= 0:
+		return fmt.Sprintf("deposit(e%d)", m.Deposit)
+	case m.Withdraw >= 0:
+		return fmt.Sprintf("withdraw(e%d)", m.Withdraw)
+	case m.Post >= 0:
+		return fmt.Sprintf("post(i%d)", m.Post)
+	default:
+		return "invalid move"
+	}
+}
+
+// Verdict is the search outcome.
+type Verdict struct {
+	Feasible bool
+	Sequence []Move // a witness when feasible
+	Explored int    // distinct states visited
+}
+
+// Feasible searches for a safe completing execution of the problem.
+func Feasible(p *model.Problem, mode Mode) (Verdict, error) {
+	if err := p.Validate(); err != nil {
+		return Verdict{}, err
+	}
+	s := &searcher{
+		problem: p,
+		mode:    mode,
+		memo:    make(map[string]bool),
+	}
+	exec := safety.NewExec(p)
+	if err := exec.ForceCompletionsAll(); err != nil {
+		return Verdict{}, err
+	}
+	found := s.dfs(exec, nil)
+	return Verdict{Feasible: found, Sequence: s.witness, Explored: len(s.memo)}, nil
+}
+
+type searcher struct {
+	problem *model.Problem
+	mode    Mode
+	memo    map[string]bool
+	witness []Move
+}
+
+func (s *searcher) safe(exec *safety.Exec) bool {
+	for _, pa := range s.problem.Parties {
+		if pa.IsTrusted() {
+			continue
+		}
+		ok := false
+		switch s.mode {
+		case ModeStrong:
+			ok = safety.SafeFor(exec, pa.ID)
+		default:
+			ok = safety.AssetSafe(exec, pa.ID)
+		}
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// dfs explores from exec (already completion-saturated). Returns true if
+// a safe completing continuation exists; the witness is recorded.
+func (s *searcher) dfs(exec *safety.Exec, trail []Move) bool {
+	key := exec.Fingerprint()
+	if done, ok := s.memo[key]; ok {
+		return done
+	}
+	// Mark in-progress as false to cut cycles; overwrite on success.
+	s.memo[key] = false
+
+	if !s.safe(exec) {
+		return false
+	}
+	if safety.Completed(exec) {
+		s.memo[key] = true
+		s.witness = append([]Move(nil), trail...)
+		return true
+	}
+
+	for _, mv := range s.moves(exec) {
+		next := exec.Clone()
+		if err := applyMove(next, s.problem, mv); err != nil {
+			continue
+		}
+		if err := next.ForceCompletionsAll(); err != nil {
+			continue
+		}
+		if s.dfs(next, append(trail, mv)) {
+			s.memo[key] = true
+			return true
+		}
+	}
+	return false
+}
+
+func (s *searcher) moves(exec *safety.Exec) []Move {
+	var out []Move
+	for ei, e := range s.problem.Exchanges {
+		if !exec.DepositAttempted(ei) && exec.CanFund(e.Principal, ei) {
+			out = append(out, Move{Deposit: ei, Withdraw: -1, Post: -1})
+		}
+		if q, ok := s.problem.PersonaOf(e.Trusted); ok && q == e.Principal &&
+			!exec.Delivered(ei) && exec.Holding(e.Trusted).Contains(e.Gets) {
+			out = append(out, Move{Deposit: -1, Withdraw: ei, Post: -1})
+		}
+	}
+	for oi, off := range s.problem.Indemnities {
+		post := safety.IndemnityPostAction(s.problem, off)
+		if !exec.State.Has(post) {
+			out = append(out, Move{Deposit: -1, Withdraw: -1, Post: oi})
+		}
+	}
+	return out
+}
+
+func applyMove(exec *safety.Exec, p *model.Problem, mv Move) error {
+	switch {
+	case mv.Deposit >= 0:
+		for _, d := range model.DepositActions(p.Exchanges[mv.Deposit]) {
+			if exec.State.Has(d) {
+				continue
+			}
+			if err := exec.Apply(d); err != nil {
+				return err
+			}
+		}
+		return nil
+	case mv.Withdraw >= 0:
+		return exec.EarlyWithdraw(mv.Withdraw)
+	case mv.Post >= 0:
+		return exec.Apply(safety.IndemnityPostAction(p, p.Indemnities[mv.Post]))
+	default:
+		return fmt.Errorf("search: invalid move")
+	}
+}

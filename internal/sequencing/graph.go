@@ -1,0 +1,264 @@
+// Package sequencing implements the sequencing graphs of Section 4 — the
+// paper's central contribution. A sequencing graph SG = (C, J, R, B) is
+// derived mechanically from an interaction graph: one commitment node per
+// interaction edge, one conjunction node per internal interaction node,
+// and red (ordered) or black (unordered) edges between them. Two
+// reduction rules remove edges; the exchange is declared feasible when
+// every edge can be removed (Section 4.2.4).
+package sequencing
+
+import (
+	"fmt"
+	"sort"
+
+	"trustseq/internal/dot"
+	"trustseq/internal/interaction"
+	"trustseq/internal/model"
+)
+
+// EdgeID identifies an edge by its endpoints: commitment node C and
+// conjunction node J (both indices into the graph's node slices).
+type EdgeID struct {
+	C int
+	J int
+}
+
+// Edge is one red or black edge of the sequencing graph.
+type Edge struct {
+	ID  EdgeID
+	Red bool
+}
+
+// Commitment is a commitment node: the decision to commit to one
+// pairwise exchange between a principal and a trusted component. Its ID
+// equals the index of the model.Exchange / interaction edge it
+// represents.
+type Commitment struct {
+	ID        int
+	Principal model.PartyID
+	Trusted   model.PartyID
+
+	// PersonaPrincipal is set when the trusted-agent role of this
+	// commitment is played by the commitment's own principal (direct
+	// trust, Section 4.2.3) — the escape hatch of Reduction Rule #1
+	// clause 2.
+	PersonaPrincipal bool
+}
+
+// Label renders the commitment the way the paper's figures do.
+func (c Commitment) Label() string {
+	return fmt.Sprintf("%s — %s", c.Trusted, c.Principal)
+}
+
+// Conjunction is a conjunction node ⋀agent: all commitments entered into
+// by one agent, to be done all-or-none (with red edges adding order).
+type Conjunction struct {
+	ID    int
+	Agent model.PartyID
+	// TrustedAgent distinguishes type-1 conjunctions (a trusted component
+	// conjoining the two sides it mediates) from principal conjunctions.
+	TrustedAgent bool
+}
+
+// Graph is the sequencing graph SG = (C, J, R, B).
+type Graph struct {
+	Problem      *model.Problem
+	Commitments  []Commitment
+	Conjunctions []Conjunction
+	Edges        []Edge
+
+	conjByAgent map[model.PartyID]int
+	edgesByC    map[int][]int // commitment -> edge indices
+	edgesByJ    map[int][]int // conjunction -> edge indices
+}
+
+// New derives the plain Definition-4.1 sequencing graph from an
+// interaction graph, applying the red-edge rules (resale, poor principal,
+// explicit override) and the persona flags from direct-trust
+// declarations. Indemnity offers are ignored; use NewSplit to apply the
+// Section 6 conjunction splitting.
+func New(ig *interaction.Graph) (*Graph, error) {
+	return build(ig, false)
+}
+
+// NewSplit derives the sequencing graph with the problem's indemnity
+// offers applied: each accepted indemnity splits the covered exchange out
+// of its principal's conjunction (Section 6 — "an indemnity allows a
+// conjunction node to be split"), detaching that commitment's edge. A
+// principal's conjunction survives only for groups that still hold at
+// least two commitments.
+func NewSplit(ig *interaction.Graph) (*Graph, error) {
+	return build(ig, true)
+}
+
+func build(ig *interaction.Graph, applySplits bool) (*Graph, error) {
+	p := ig.Problem
+	g := &Graph{
+		Problem:     p,
+		conjByAgent: make(map[model.PartyID]int),
+		edgesByC:    make(map[int][]int),
+		edgesByJ:    make(map[int][]int),
+	}
+
+	for _, e := range ig.Edges {
+		c := Commitment{ID: e.Exchange, Principal: e.Principal, Trusted: e.Trusted}
+		if q, ok := ig.PersonaOf(e.Trusted); ok && q == e.Principal {
+			c.PersonaPrincipal = true
+		}
+		g.Commitments = append(g.Commitments, c)
+	}
+	sort.Slice(g.Commitments, func(i, j int) bool { return g.Commitments[i].ID < g.Commitments[j].ID })
+	for i, c := range g.Commitments {
+		if c.ID != i {
+			return nil, fmt.Errorf("sequencing: non-contiguous exchange indices (%d at %d)", c.ID, i)
+		}
+	}
+
+	// For each party, the set of exchange indices that participate in a
+	// conjunction. Trusted components always conjoin all their edges
+	// (type-1). Principals conjoin per conjunction group; with splits
+	// applied (Section 6), singleton groups detach from the conjunction.
+	conjoined := make(map[model.PartyID]map[int]bool)
+	for _, pa := range p.Parties {
+		if !ig.Internal(pa.ID) {
+			continue
+		}
+		members := make(map[int]bool)
+		if pa.IsTrusted() {
+			for _, ei := range ig.EdgesOf(pa.ID) {
+				members[ig.Edges[ei].Exchange] = true
+			}
+		} else {
+			groups := p.ConjunctionGroups(pa.ID)
+			if !applySplits {
+				var all []int
+				for _, gr := range groups {
+					all = append(all, gr...)
+				}
+				groups = [][]int{all}
+			}
+			for _, gr := range groups {
+				if len(gr) < 2 {
+					continue
+				}
+				for _, ei := range gr {
+					members[ei] = true
+				}
+			}
+		}
+		if len(members) < 2 {
+			continue
+		}
+		j := Conjunction{ID: len(g.Conjunctions), Agent: pa.ID, TrustedAgent: pa.IsTrusted()}
+		g.conjByAgent[pa.ID] = j.ID
+		g.Conjunctions = append(g.Conjunctions, j)
+		conjoined[pa.ID] = members
+	}
+
+	red := p.RedExchanges()
+	for _, c := range g.Commitments {
+		for _, agent := range []model.PartyID{c.Principal, c.Trusted} {
+			j, ok := g.conjByAgent[agent]
+			if !ok || !conjoined[agent][c.ID] {
+				continue
+			}
+			isRed := agent == c.Principal && red[agent][c.ID]
+			g.addEdge(Edge{ID: EdgeID{C: c.ID, J: j}, Red: isRed})
+		}
+	}
+	return g, nil
+}
+
+func (g *Graph) addEdge(e Edge) {
+	idx := len(g.Edges)
+	g.Edges = append(g.Edges, e)
+	g.edgesByC[e.ID.C] = append(g.edgesByC[e.ID.C], idx)
+	g.edgesByJ[e.ID.J] = append(g.edgesByJ[e.ID.J], idx)
+}
+
+// EdgesAtCommitment returns indices into g.Edges of the edges at c.
+func (g *Graph) EdgesAtCommitment(c int) []int { return g.edgesByC[c] }
+
+// EdgesAtConjunction returns indices into g.Edges of the edges at j.
+func (g *Graph) EdgesAtConjunction(j int) []int { return g.edgesByJ[j] }
+
+// ConjunctionOf returns the conjunction node ID for an agent.
+func (g *Graph) ConjunctionOf(agent model.PartyID) (int, bool) {
+	j, ok := g.conjByAgent[agent]
+	return j, ok
+}
+
+// RedCount returns the number of red edges.
+func (g *Graph) RedCount() int {
+	n := 0
+	for _, e := range g.Edges {
+		if e.Red {
+			n++
+		}
+	}
+	return n
+}
+
+// Validate checks the structural invariants of Definition 4.1: the graph
+// is bipartite by construction; every edge connects an existing
+// commitment and conjunction; red edges only occur at principal
+// conjunctions.
+func (g *Graph) Validate() error {
+	for _, e := range g.Edges {
+		if e.ID.C < 0 || e.ID.C >= len(g.Commitments) {
+			return fmt.Errorf("sequencing: edge %v references unknown commitment", e.ID)
+		}
+		if e.ID.J < 0 || e.ID.J >= len(g.Conjunctions) {
+			return fmt.Errorf("sequencing: edge %v references unknown conjunction", e.ID)
+		}
+		j := g.Conjunctions[e.ID.J]
+		c := g.Commitments[e.ID.C]
+		if j.Agent != c.Principal && j.Agent != c.Trusted {
+			return fmt.Errorf("sequencing: edge %v connects commitment %s to foreign conjunction ⋀%s",
+				e.ID, c.Label(), j.Agent)
+		}
+		if e.Red && j.TrustedAgent {
+			return fmt.Errorf("sequencing: red edge %v at trusted conjunction ⋀%s", e.ID, j.Agent)
+		}
+	}
+	for ci := range g.Commitments {
+		if len(g.edgesByC[ci]) > 2 {
+			return fmt.Errorf("sequencing: commitment %d has %d edges (max 2: one per endpoint)",
+				ci, len(g.edgesByC[ci]))
+		}
+	}
+	return nil
+}
+
+// DOT renders the sequencing graph: hexagons for commitments, squares
+// for conjunctions, bold red edges for ordering constraints (the paper's
+// Figures 3 and 4). When a non-nil removed set is supplied, removed
+// edges are drawn dotted and grey — rendering the reduced graph
+// (Figures 5 and 6).
+func (g *Graph) DOT(removed map[EdgeID]bool) string {
+	d := dot.New("sequencing:"+g.Problem.Name, false)
+	d.SetAttr("rankdir=LR")
+	for _, c := range g.Commitments {
+		id := fmt.Sprintf("c%d", c.ID)
+		label := c.Label()
+		if c.PersonaPrincipal {
+			label += "\n(persona)"
+		}
+		d.Node(id, fmt.Sprintf("shape=hexagon, label=%s", dot.Quote(label)))
+	}
+	for _, j := range g.Conjunctions {
+		id := fmt.Sprintf("j%d", j.ID)
+		d.Node(id, fmt.Sprintf("shape=square, label=%s", dot.Quote("⋀"+string(j.Agent))))
+	}
+	for _, e := range g.Edges {
+		attrs := "color=black"
+		if e.Red {
+			attrs = "color=red, penwidth=2"
+		}
+		if removed != nil && removed[e.ID] {
+			attrs += ", style=dotted, color=grey"
+		}
+		d.Edge(fmt.Sprintf("c%d", e.ID.C), fmt.Sprintf("j%d", e.ID.J), attrs)
+	}
+	return d.String()
+}

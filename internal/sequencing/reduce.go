@@ -1,0 +1,345 @@
+package sequencing
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+)
+
+// Rule identifies which reduction rule removed an edge.
+type Rule int
+
+// The two reduction rules of Section 4.2.1.
+const (
+	RuleNone Rule = iota
+	Rule1         // commitment node on the fringe
+	Rule2         // conjunction node on the fringe
+)
+
+// String returns the paper's name for the rule.
+func (r Rule) String() string {
+	switch r {
+	case Rule1:
+		return "Rule #1"
+	case Rule2:
+		return "Rule #2"
+	default:
+		return "no rule"
+	}
+}
+
+// Removal records one reduction step: which edge was removed, by which
+// rule, and whether Rule #1's persona clause (clause 2) was required.
+type Removal struct {
+	Edge      Edge
+	Rule      Rule
+	ByPersona bool
+}
+
+// Reduction is the result of reducing a sequencing graph: the ordered
+// removal trace and the set of edges that could not be removed. Per
+// Section 4.2.4 the feasibility verdict is independent of the order in
+// which applicable reductions were applied (property-tested in
+// reduce_test.go).
+type Reduction struct {
+	Graph    *Graph
+	Removals []Removal
+	// Remaining holds the edges left when no further reduction applies.
+	Remaining []Edge
+}
+
+// Feasible implements the Section 4.2.4 feasibility test: the reduced
+// graph is feasible iff all edges have been removed (R' ∪ B' = ∅).
+func (r *Reduction) Feasible() bool { return len(r.Remaining) == 0 }
+
+// RemovedSet returns the removed edges keyed by ID, for DOT rendering.
+func (r *Reduction) RemovedSet() map[EdgeID]bool {
+	out := make(map[EdgeID]bool, len(r.Removals))
+	for _, rm := range r.Removals {
+		out[rm.Edge.ID] = true
+	}
+	return out
+}
+
+// String renders the trace in the style of the Section 4.2.2 walkthrough.
+func (r *Reduction) String() string {
+	var b strings.Builder
+	for i, rm := range r.Removals {
+		c := r.Graph.Commitments[rm.Edge.ID.C]
+		j := r.Graph.Conjunctions[rm.Edge.ID.J]
+		persona := ""
+		if rm.ByPersona {
+			persona = " (persona clause)"
+		}
+		fmt.Fprintf(&b, "%2d. %s removes edge between %q and ⋀%s%s\n",
+			i+1, rm.Rule, c.Label(), j.Agent, persona)
+	}
+	if len(r.Remaining) == 0 {
+		b.WriteString("feasible: all edges removed\n")
+	} else {
+		fmt.Fprintf(&b, "IMPASSE with %d edges remaining; not shown feasible\n", len(r.Remaining))
+	}
+	return b.String()
+}
+
+// state tracks remaining edges during a reduction.
+type state struct {
+	g       *Graph
+	present []bool // indexed like g.Edges
+	degC    []int  // remaining degree of each commitment node
+	degJ    []int  // remaining degree of each conjunction node
+	redAtJ  []int  // remaining red edges at each conjunction node
+}
+
+func newState(g *Graph) *state {
+	s := &state{
+		g:       g,
+		present: make([]bool, len(g.Edges)),
+		degC:    make([]int, len(g.Commitments)),
+		degJ:    make([]int, len(g.Conjunctions)),
+		redAtJ:  make([]int, len(g.Conjunctions)),
+	}
+	for i, e := range g.Edges {
+		s.present[i] = true
+		s.degC[e.ID.C]++
+		s.degJ[e.ID.J]++
+		if e.Red {
+			s.redAtJ[e.ID.J]++
+		}
+	}
+	return s
+}
+
+// applicable determines whether edge index ei may be removed now, and by
+// which rule. Rule #1 requires the commitment node on the fringe and
+// either no pre-empting red edge at the conjunction (a red edge other
+// than ei itself — the formal definition's ∄(b,j)∈R with b≠c, evaluated
+// against the remaining graph, as the Example 1 walkthrough requires) or
+// the persona clause. Rule #2 requires the conjunction on the fringe.
+func (s *state) applicable(ei int) (Rule, bool) {
+	if !s.present[ei] {
+		return RuleNone, false
+	}
+	e := s.g.Edges[ei]
+	// Rule #2: conjunction fringe.
+	if s.degJ[e.ID.J] == 1 {
+		return Rule2, false
+	}
+	// Rule #1: commitment fringe.
+	if s.degC[e.ID.C] != 1 {
+		return RuleNone, false
+	}
+	others := s.redAtJ[e.ID.J]
+	if e.Red {
+		others-- // the edge itself does not pre-empt its own removal
+	}
+	if others == 0 {
+		return Rule1, false
+	}
+	if s.g.Commitments[e.ID.C].PersonaPrincipal {
+		return Rule1, true
+	}
+	return RuleNone, false
+}
+
+func (s *state) remove(ei int) {
+	e := s.g.Edges[ei]
+	s.present[ei] = false
+	s.degC[e.ID.C]--
+	s.degJ[e.ID.J]--
+	if e.Red {
+		s.redAtJ[e.ID.J]--
+	}
+}
+
+func (s *state) remaining() []Edge {
+	var out []Edge
+	for i, p := range s.present {
+		if p {
+			out = append(out, s.g.Edges[i])
+		}
+	}
+	return out
+}
+
+// neighbors returns edge indices whose applicability may have changed
+// after removing edge ei: the other edges at both endpoints, and — since
+// removing a red edge can unblock Rule #1 anywhere at its conjunction —
+// all edges at the conjunction.
+func (s *state) neighbors(ei int) []int {
+	e := s.g.Edges[ei]
+	var out []int
+	out = append(out, s.g.EdgesAtCommitment(e.ID.C)...)
+	out = append(out, s.g.EdgesAtConjunction(e.ID.J)...)
+	// Removing the last sibling at a commitment can make that commitment
+	// a fringe node; its other-end conjunction edges are covered above.
+	// Removing an edge at a conjunction can make another commitment's
+	// edge removable via Rule #2 or unblock a pre-empted Rule #1; both
+	// are at the same conjunction, covered above. One more hop: when a
+	// commitment at this conjunction just became fringe, its *other* edge
+	// (at a different conjunction) may now be removable.
+	for _, sib := range s.g.EdgesAtConjunction(e.ID.J) {
+		c := s.g.Edges[sib].ID.C
+		out = append(out, s.g.EdgesAtCommitment(c)...)
+	}
+	for _, sib := range s.g.EdgesAtCommitment(e.ID.C) {
+		j := s.g.Edges[sib].ID.J
+		out = append(out, s.g.EdgesAtConjunction(j)...)
+	}
+	return out
+}
+
+// Reduce performs greedy reduction with a worklist, removing applicable
+// edges until none remains applicable. Section 4.2.4 licenses greediness:
+// any applicable reduction may be applied in any order without changing
+// the feasibility verdict.
+func Reduce(g *Graph) *Reduction {
+	s := newState(g)
+	red := &Reduction{Graph: g}
+	work := make([]int, len(g.Edges))
+	inWork := make([]bool, len(g.Edges))
+	for i := range work {
+		work[i] = i
+		inWork[i] = true
+	}
+	for len(work) > 0 {
+		ei := work[0]
+		work = work[1:]
+		inWork[ei] = false
+		rule, byPersona := s.applicable(ei)
+		if rule == RuleNone {
+			continue
+		}
+		s.remove(ei)
+		red.Removals = append(red.Removals, Removal{Edge: g.Edges[ei], Rule: rule, ByPersona: byPersona})
+		for _, n := range s.neighbors(ei) {
+			if s.present[n] && !inWork[n] {
+				work = append(work, n)
+				inWork[n] = true
+			}
+		}
+	}
+	red.Remaining = s.remaining()
+	return red
+}
+
+// ReduceNaive is the O(E²) baseline reducer used by the ablation
+// benchmark: it rescans every edge after each removal instead of keeping
+// a worklist. It must produce the same verdict as Reduce.
+func ReduceNaive(g *Graph) *Reduction {
+	s := newState(g)
+	red := &Reduction{Graph: g}
+	for {
+		removedAny := false
+		for ei := range g.Edges {
+			rule, byPersona := s.applicable(ei)
+			if rule == RuleNone {
+				continue
+			}
+			s.remove(ei)
+			red.Removals = append(red.Removals, Removal{Edge: g.Edges[ei], Rule: rule, ByPersona: byPersona})
+			removedAny = true
+			break // restart the scan — deliberately naive
+		}
+		if !removedAny {
+			break
+		}
+	}
+	red.Remaining = s.remaining()
+	return red
+}
+
+// ReduceRandomOrder applies applicable reductions in a random order drawn
+// from rng — the confluence property test (E9) uses it to confirm the
+// verdict is order-independent, as Section 4.2.4 asserts.
+func ReduceRandomOrder(g *Graph, rng *rand.Rand) *Reduction {
+	s := newState(g)
+	red := &Reduction{Graph: g}
+	for {
+		var candidates []int
+		for ei := range g.Edges {
+			if rule, _ := s.applicable(ei); rule != RuleNone {
+				candidates = append(candidates, ei)
+			}
+		}
+		if len(candidates) == 0 {
+			break
+		}
+		ei := candidates[rng.Intn(len(candidates))]
+		rule, byPersona := s.applicable(ei)
+		s.remove(ei)
+		red.Removals = append(red.Removals, Removal{Edge: g.Edges[ei], Rule: rule, ByPersona: byPersona})
+	}
+	red.Remaining = s.remaining()
+	return red
+}
+
+// Impasse describes why a reduction stopped, for diagnostics: the fringe
+// commitments blocked by red edges and the conjunctions with multiple red
+// edges (the Section 5 "two red edges" impossibility).
+func (r *Reduction) Impasse() string {
+	if r.Feasible() {
+		return ""
+	}
+	s := newState(r.Graph)
+	for _, rm := range r.Removals {
+		for i, e := range r.Graph.Edges {
+			if e.ID == rm.Edge.ID && s.present[i] {
+				s.remove(i)
+				break
+			}
+		}
+	}
+	var lines []string
+	for j := range r.Graph.Conjunctions {
+		if s.redAtJ[j] >= 2 {
+			lines = append(lines, fmt.Sprintf("conjunction ⋀%s has %d red edges, each required first",
+				r.Graph.Conjunctions[j].Agent, s.redAtJ[j]))
+		}
+	}
+	for i, present := range s.present {
+		if !present {
+			continue
+		}
+		e := r.Graph.Edges[i]
+		if s.degC[e.ID.C] == 1 && !e.Red && s.redAtJ[e.ID.J] > 0 {
+			c := r.Graph.Commitments[e.ID.C]
+			lines = append(lines, fmt.Sprintf("commitment %q blocked: pre-empted by a red edge at ⋀%s",
+				c.Label(), r.Graph.Conjunctions[e.ID.J].Agent))
+		}
+	}
+	sort.Strings(lines)
+	return strings.Join(lines, "\n")
+}
+
+// ReducePreferred applies applicable reductions in the order induced by
+// the supplied preference (smaller value = removed earlier among the
+// currently applicable edges). It reproduces specific published
+// reduction orders — e.g. the Section 4.2.2 walkthrough — while the
+// verdict stays order-independent (Section 4.2.4).
+func ReducePreferred(g *Graph, priority func(Edge) int) *Reduction {
+	s := newState(g)
+	red := &Reduction{Graph: g}
+	for {
+		best, bestPri := -1, 0
+		for ei := range g.Edges {
+			rule, _ := s.applicable(ei)
+			if rule == RuleNone {
+				continue
+			}
+			pri := priority(g.Edges[ei])
+			if best < 0 || pri < bestPri {
+				best, bestPri = ei, pri
+			}
+		}
+		if best < 0 {
+			break
+		}
+		rule, byPersona := s.applicable(best)
+		s.remove(best)
+		red.Removals = append(red.Removals, Removal{Edge: g.Edges[best], Rule: rule, ByPersona: byPersona})
+	}
+	red.Remaining = s.remaining()
+	return red
+}

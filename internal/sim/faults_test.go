@@ -1,0 +1,97 @@
+package sim
+
+import (
+	"testing"
+
+	"trustseq/internal/model"
+	"trustseq/internal/paperex"
+)
+
+// Control-plane message loss: dropped notifications can stall the
+// protocol, but the deadline machinery unwinds it and nobody loses
+// assets at ANY drop rate. (The §6 collateral poster is again the
+// contractual exception once the protected principal has paid — here we
+// use Example 1, which has no collateral.)
+func TestNotifyLossNeverLosesAssets(t *testing.T) {
+	t.Parallel()
+	pl := plan(t, paperex.Example1())
+	completedRuns, stalledRuns := 0, 0
+	for _, rate := range []float64{0.1, 0.3, 0.6, 1.0} {
+		for seed := int64(0); seed < 12; seed++ {
+			res, err := Run(pl, Options{
+				Seed:           seed,
+				Jitter:         4,
+				Deadline:       60,
+				NotifyDropRate: rate,
+			})
+			if err != nil {
+				t.Fatalf("rate %.1f seed %d: %v", rate, seed, err)
+			}
+			if res.Completed() {
+				completedRuns++
+			} else {
+				stalledRuns++
+			}
+			for _, id := range []model.PartyID{paperex.Consumer, paperex.Broker, paperex.Producer} {
+				if !res.AssetsSafeFor(id) {
+					t.Errorf("rate %.1f seed %d: %s lost assets:\n%s", rate, seed, id, res.Summary())
+				}
+			}
+		}
+	}
+	// A 100% drop rate must stall the broker-dependent protocol at least
+	// once, proving the fault injection is real.
+	if stalledRuns == 0 {
+		t.Errorf("no run ever stalled despite heavy notify loss")
+	}
+	// And light loss should still let some runs through.
+	if completedRuns == 0 {
+		t.Errorf("no run ever completed despite retries")
+	}
+}
+
+// Full notification loss: the broker never learns the money is waiting,
+// the deadlines expire, and the trusted components return everything.
+func TestTotalNotifyLossRefundsEverything(t *testing.T) {
+	t.Parallel()
+	pl := plan(t, paperex.Example1())
+	res, err := Run(pl, Options{Seed: 5, Deadline: 50, NotifyDropRate: 1.0})
+	if err != nil {
+		t.Fatalf("Run = %v", err)
+	}
+	if res.Completed() {
+		t.Fatalf("completed without any notifications")
+	}
+	if res.DroppedNotifies == 0 {
+		t.Fatalf("no notifications dropped at rate 1.0")
+	}
+	if got := res.Balances[paperex.Consumer].Cash; got != paperex.RetailPrice {
+		t.Errorf("consumer not fully refunded: %v", got)
+	}
+	if res.Balances[paperex.Producer].Items[paperex.Doc] != 1 {
+		t.Errorf("producer did not get the document back")
+	}
+	for _, id := range []model.PartyID{paperex.Trusted1, paperex.Trusted2} {
+		if !res.TrustedNeutral(id) {
+			t.Errorf("%s retained assets: %v", id, res.Balances[id])
+		}
+	}
+}
+
+// Drop statistics are reported and deterministic per seed.
+func TestDropAccountingDeterministic(t *testing.T) {
+	t.Parallel()
+	pl := plan(t, paperex.Example2Indemnified())
+	a, err := Run(pl, Options{Seed: 9, Deadline: 80, NotifyDropRate: 0.5})
+	if err != nil {
+		t.Fatalf("Run = %v", err)
+	}
+	b, err := Run(pl, Options{Seed: 9, Deadline: 80, NotifyDropRate: 0.5})
+	if err != nil {
+		t.Fatalf("Run = %v", err)
+	}
+	if a.DroppedNotifies != b.DroppedNotifies || a.Messages != b.Messages {
+		t.Fatalf("nondeterministic under drops: %d/%d vs %d/%d",
+			a.DroppedNotifies, a.Messages, b.DroppedNotifies, b.Messages)
+	}
+}

@@ -1,0 +1,303 @@
+// Package sim executes synthesized exchange protocols on a simulated
+// distributed system: every principal and trusted component is a node
+// exchanging messages over a lossless but latency-laden network with a
+// virtual clock, deposits carry deadlines, trusted components enforce
+// their Section 2.5 guarantees (complete when whole, unwind on expiry),
+// and any subset of principals can be replaced by defectors. The
+// simulation validates the paper's protection claim (E11): honest
+// parties never lose assets, whatever the defectors do — except when a
+// defector was *directly trusted* (a persona trustee), which is exactly
+// the risk a direct-trust declaration accepts.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+
+	"trustseq/internal/model"
+)
+
+// Time is virtual time in ticks.
+type Time int64
+
+// MsgKind classifies simulator messages.
+type MsgKind int
+
+// Message kinds. Transfers move assets through the ledger; notifies move
+// information; timers are self-scheduled wakeups.
+const (
+	MsgTransfer MsgKind = iota + 1
+	MsgNotify
+	MsgTimer
+)
+
+// String names the kind.
+func (k MsgKind) String() string {
+	switch k {
+	case MsgTransfer:
+		return "transfer"
+	case MsgNotify:
+		return "notify"
+	case MsgTimer:
+		return "timer"
+	default:
+		return fmt.Sprintf("msg(%d)", int(k))
+	}
+}
+
+// Message is one network event.
+type Message struct {
+	At       Time
+	From, To model.PartyID
+	Kind     MsgKind
+	// Action is the model action a transfer or notify performs.
+	Action model.Action
+	// Tag carries timer identification (e.g. "deadline:3").
+	Tag string
+
+	seq int // FIFO tiebreaker for equal delivery times
+}
+
+// String renders the message.
+func (m Message) String() string {
+	switch m.Kind {
+	case MsgTimer:
+		return fmt.Sprintf("@%d timer %s at %s", m.At, m.Tag, m.To)
+	case MsgNotify:
+		return fmt.Sprintf("@%d %v", m.At, m.Action)
+	default:
+		return fmt.Sprintf("@%d %v", m.At, m.Action)
+	}
+}
+
+type queue []*Message
+
+func (q queue) Len() int { return len(q) }
+func (q queue) Less(i, j int) bool {
+	if q[i].At != q[j].At {
+		return q[i].At < q[j].At
+	}
+	return q[i].seq < q[j].seq
+}
+func (q queue) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
+func (q *queue) Push(x interface{}) { *q = append(*q, x.(*Message)) }
+func (q *queue) Pop() interface{} {
+	old := *q
+	n := len(old)
+	item := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	return item
+}
+
+// Node is a simulated participant.
+type Node interface {
+	ID() model.PartyID
+	// Init runs before the first event; nodes schedule their opening
+	// moves here.
+	Init(ctx *Context)
+	// OnMessage handles one delivered message.
+	OnMessage(ctx *Context, m Message)
+}
+
+// Network is the deterministic discrete-event simulator core.
+type Network struct {
+	nodes    map[model.PartyID]Node
+	q        queue
+	now      Time
+	seq      int
+	rng      *rand.Rand
+	baseLat  Time
+	jitter   Time
+	trace    []Message
+	maxMsgs  int
+	dropRate float64
+	dropped  int
+
+	// sendHook runs when a transfer is sent (debit the sender);
+	// deliverHook runs when it is delivered (credit the receiver). The
+	// runner wires these to the ledger.
+	sendHook    func(Message) error
+	deliverHook func(Message) error
+}
+
+// SetHooks installs the asset-movement callbacks.
+func (n *Network) SetHooks(onSend, onDeliver func(Message) error) {
+	n.sendHook = onSend
+	n.deliverHook = onDeliver
+}
+
+// Config tunes the network.
+type Config struct {
+	Seed        int64
+	BaseLatency Time // per-message latency floor (default 1)
+	Jitter      Time // uniform extra latency in [0, Jitter] (default 3)
+	MaxMessages int  // runaway guard (default 100_000)
+	// NotifyDropRate is the probability in [0,1) that a notification
+	// (control-plane message) is lost. Transfers are never dropped: the
+	// value-transfer layer is assumed reliable, exactly as the paper
+	// scopes out payment-mechanism failures; loss of notifications is
+	// the distributed-systems failure the deadline machinery must
+	// absorb.
+	NotifyDropRate float64
+}
+
+// NewNetwork builds an empty network.
+func NewNetwork(cfg Config) *Network {
+	if cfg.BaseLatency <= 0 {
+		cfg.BaseLatency = 1
+	}
+	if cfg.Jitter < 0 {
+		cfg.Jitter = 0
+	}
+	if cfg.MaxMessages <= 0 {
+		cfg.MaxMessages = 100_000
+	}
+	return &Network{
+		nodes:    make(map[model.PartyID]Node),
+		rng:      rand.New(rand.NewSource(cfg.Seed)),
+		baseLat:  cfg.BaseLatency,
+		jitter:   cfg.Jitter,
+		maxMsgs:  cfg.MaxMessages,
+		dropRate: cfg.NotifyDropRate,
+	}
+}
+
+// AddNode registers a node.
+func (n *Network) AddNode(node Node) {
+	n.nodes[node.ID()] = node
+}
+
+// Now returns the current virtual time.
+func (n *Network) Now() Time { return n.now }
+
+// Trace returns every delivered message, in delivery order.
+func (n *Network) Trace() []Message { return append([]Message(nil), n.trace...) }
+
+func (n *Network) schedule(m *Message) {
+	m.seq = n.seq
+	n.seq++
+	heap.Push(&n.q, m)
+}
+
+// Dropped reports the number of notifications lost in transit.
+func (n *Network) Dropped() int { return n.dropped }
+
+// send schedules a message with network latency. Notifications may be
+// lost; transfers never are.
+func (n *Network) send(m Message) {
+	if m.Kind == MsgNotify && n.dropRate > 0 && n.rng.Float64() < n.dropRate {
+		n.dropped++
+		return
+	}
+	lat := n.baseLat
+	if n.jitter > 0 {
+		lat += Time(n.rng.Int63n(int64(n.jitter) + 1))
+	}
+	m.At = n.now + lat
+	n.schedule(&m)
+}
+
+// timer schedules a self-wakeup at an absolute time.
+func (n *Network) timer(to model.PartyID, at Time, tag string) {
+	n.schedule(&Message{At: at, From: to, To: to, Kind: MsgTimer, Tag: tag})
+}
+
+// Run initializes every node and processes events to quiescence.
+func (n *Network) Run() error {
+	ids := make([]model.PartyID, 0, len(n.nodes))
+	for id := range n.nodes {
+		ids = append(ids, id)
+	}
+	// Deterministic init order.
+	for i := 0; i < len(ids); i++ {
+		for j := i + 1; j < len(ids); j++ {
+			if ids[j] < ids[i] {
+				ids[i], ids[j] = ids[j], ids[i]
+			}
+		}
+	}
+	for _, id := range ids {
+		node := n.nodes[id]
+		node.Init(&Context{net: n, self: id})
+	}
+	processed := 0
+	for n.q.Len() > 0 {
+		m := heap.Pop(&n.q).(*Message)
+		if m.At > n.now {
+			n.now = m.At
+		}
+		processed++
+		if processed > n.maxMsgs {
+			return fmt.Errorf("sim: exceeded %d messages; likely livelock", n.maxMsgs)
+		}
+		node, ok := n.nodes[m.To]
+		if !ok {
+			return fmt.Errorf("sim: message to unknown node %s", m.To)
+		}
+		if m.Kind != MsgTimer {
+			n.trace = append(n.trace, *m)
+			if n.deliverHook != nil {
+				if err := n.deliverHook(*m); err != nil {
+					return fmt.Errorf("sim: delivering %v: %w", m, err)
+				}
+			}
+		}
+		node.OnMessage(&Context{net: n, self: m.To}, *m)
+	}
+	return nil
+}
+
+// Context is the API a node uses during a callback.
+type Context struct {
+	net  *Network
+	self model.PartyID
+}
+
+// Now returns the virtual time.
+func (c *Context) Now() Time { return c.net.now }
+
+// Self returns the node's ID.
+func (c *Context) Self() model.PartyID { return c.self }
+
+// SendTransfer performs and sends a transfer action. The sender is
+// debited immediately through the runner's ledger hook (so in-flight
+// assets cannot be double-spent); the receiver is credited at delivery.
+// It fails when the sender cannot fund the transfer.
+func (c *Context) SendTransfer(a model.Action) error {
+	m := Message{From: c.self, To: receiverNode(a), Kind: MsgTransfer, Action: a}
+	if c.net.sendHook != nil {
+		if err := c.net.sendHook(m); err != nil {
+			return err
+		}
+	}
+	c.net.send(m)
+	return nil
+}
+
+// SendNotify sends a notification action.
+func (c *Context) SendNotify(to model.PartyID) {
+	c.net.send(Message{From: c.self, To: to, Kind: MsgNotify, Action: model.Notify(c.self, to)})
+}
+
+// SendTagged sends a notification carrying a protocol tag (e.g. the
+// persona trustee's recall demand). Tagged notifies are control
+// messages; they do not enter the exchange state.
+func (c *Context) SendTagged(to model.PartyID, tag string) {
+	c.net.send(Message{From: c.self, To: to, Kind: MsgNotify, Tag: tag, Action: model.Notify(c.self, to)})
+}
+
+// SetTimer schedules a wakeup after delay.
+func (c *Context) SetTimer(delay Time, tag string) {
+	c.net.timer(c.self, c.net.now+delay, tag)
+}
+
+// receiverNode is the party that receives the message carrying the
+// action: the physical receiver of the asset.
+func receiverNode(a model.Action) model.PartyID {
+	if a.IsTransfer() {
+		return a.Receiver()
+	}
+	return a.To
+}

@@ -1,0 +1,593 @@
+package sim
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"trustseq/internal/core"
+	"trustseq/internal/model"
+)
+
+// TrustedNode implements the Section 2.5 trusted-component guarantee:
+// hold deposits in escrow, notify the counterpart when one side is whole,
+// complete (forward everything) when every adjacent exchange is whole,
+// and unwind (refund) whatever is held when a deadline expires first.
+// Indemnity collateral held at this node settles per Section 6.
+//
+// Honest is false when the component is a persona played by a defecting
+// principal: the node then absorbs everything and never completes nor
+// refunds — the exact risk a direct-trust declaration accepts.
+type TrustedNode struct {
+	Problem  *model.Problem
+	Self     model.PartyID
+	Deadline Time
+	Honest   bool
+	// PersonaOwner, when set, is the principal playing this trusted role.
+	// An honest persona forwards the owner's goods early (Section 4.2.3's
+	// risk-free access).
+	PersonaOwner model.PartyID
+
+	adjacent []int // exchange indices mediated here
+
+	received  map[model.Action]bool
+	refunded  map[model.Action]bool
+	delivered map[int]bool
+	aborted   bool
+
+	collateral map[int]bool // offer index -> currently held
+	settled    map[int]bool // offer index -> refunded or paid out
+}
+
+var _ Node = (*TrustedNode)(nil)
+
+// NewTrustedNode builds the node for one trusted component.
+func NewTrustedNode(p *model.Problem, self model.PartyID, deadline Time, honest bool) *TrustedNode {
+	n := &TrustedNode{
+		Problem:    p,
+		Self:       self,
+		Deadline:   deadline,
+		Honest:     honest,
+		received:   make(map[model.Action]bool),
+		refunded:   make(map[model.Action]bool),
+		delivered:  make(map[int]bool),
+		collateral: make(map[int]bool),
+		settled:    make(map[int]bool),
+	}
+	for _, ei := range p.ExchangesOf(self) {
+		if p.Exchanges[ei].Trusted == self {
+			n.adjacent = append(n.adjacent, ei)
+		}
+	}
+	if q, ok := p.PersonaOf(self); ok {
+		n.PersonaOwner = q
+	}
+	return n
+}
+
+// ID implements Node.
+func (n *TrustedNode) ID() model.PartyID { return n.Self }
+
+// Init implements Node.
+func (n *TrustedNode) Init(*Context) {}
+
+// OnMessage implements Node.
+func (n *TrustedNode) OnMessage(ctx *Context, m Message) {
+	if !n.Honest {
+		return // absorb silently: the defecting trustee
+	}
+	switch m.Kind {
+	case MsgTimer:
+		if strings.HasPrefix(m.Tag, "deadline") {
+			n.onDeadline(ctx)
+		}
+	case MsgTransfer:
+		n.onTransfer(ctx, m.Action)
+	case MsgNotify:
+		// Trusted components ignore notifications.
+	}
+}
+
+func (n *TrustedNode) onTransfer(ctx *Context, a model.Action) {
+	// Returned goods: the compensation of a receipt this node forwarded
+	// (a persona owner answering a recall). Un-deliver and retry refunds.
+	if a.Inverse {
+		for _, ei := range n.adjacent {
+			for _, r := range model.ReceiptActions(n.Problem.Exchanges[ei]) {
+				if r.Compensation() == a && n.delivered[ei] {
+					n.delivered[ei] = false
+					n.retryRefunds(ctx)
+					return
+				}
+			}
+		}
+		return // other inverses (stray refunds) are final
+	}
+	if oi, ok := n.matchCollateral(a); ok {
+		n.collateral[oi] = true
+		n.received[a] = true
+		ctx.SetTimer(n.Deadline, "deadline:collateral")
+		// Confirm the indemnity account to the protected principal: its
+		// split-dependent deposits wait for this (Section 6 — the
+		// customer treats the transfers as separate transactions only
+		// once the collateral exists).
+		off := n.Problem.Indemnities[oi]
+		ctx.SendTagged(n.Problem.Exchanges[off.Covers].Principal, "posted:"+strconv.Itoa(oi))
+		return
+	}
+	ei, ok := n.matchDeposit(a)
+	if !ok {
+		// Unsolicited transfer: return it.
+		n.refundAction(ctx, a)
+		return
+	}
+	if n.aborted {
+		if n.delivered[ei] {
+			// A persona owner settling its withdrawal with payment after
+			// the unwind: accept and finish the counterpart sides.
+			n.received[a] = true
+			n.settleAfterAbort(ctx)
+			return
+		}
+		// Late deposit to an unwound exchange: bounce it.
+		n.refundAction(ctx, a)
+		return
+	}
+	first := !n.anyDepositReceived()
+	n.received[a] = true
+	if first {
+		ctx.SetTimer(n.Deadline, "deadline:"+strconv.Itoa(ei))
+	}
+	if n.exchangeWhole(ei) {
+		// Notify the principals of the still-missing sides.
+		for _, ej := range n.adjacent {
+			if ej != ei && !n.exchangeWhole(ej) {
+				ctx.SendNotify(n.Problem.Exchanges[ej].Principal)
+			}
+		}
+	}
+	n.maybeForwardPersona(ctx)
+	n.maybeComplete(ctx)
+}
+
+// retryRefunds refunds held, unrefunded deposits of undelivered
+// exchanges during an unwind, as returned assets make them fundable.
+func (n *TrustedNode) retryRefunds(ctx *Context) {
+	for _, ei := range n.adjacent {
+		if n.delivered[ei] {
+			continue
+		}
+		for _, d := range model.DepositActions(n.Problem.Exchanges[ei]) {
+			if n.received[d] && !n.refunded[d] {
+				if err := ctx.SendTransfer(d.Compensation()); err == nil {
+					n.refunded[d] = true
+				}
+			}
+		}
+	}
+}
+
+// settleAfterAbort completes counterpart sides once a withdrawn persona
+// exchange has been paid for after the deadline.
+func (n *TrustedNode) settleAfterAbort(ctx *Context) {
+	for _, ei := range n.adjacent {
+		if !n.exchangeWhole(ei) {
+			return
+		}
+	}
+	for _, ei := range n.adjacent {
+		if n.delivered[ei] {
+			continue
+		}
+		allSent := true
+		for _, r := range model.ReceiptActions(n.Problem.Exchanges[ei]) {
+			if err := ctx.SendTransfer(r); err != nil {
+				allSent = false
+			}
+		}
+		if allSent {
+			n.delivered[ei] = true
+		}
+	}
+}
+
+// maybeForwardPersona implements the honest persona's early forwarding:
+// the owner may take goods destined for it before paying.
+func (n *TrustedNode) maybeForwardPersona(ctx *Context) {
+	if n.PersonaOwner == "" {
+		return
+	}
+	for _, ei := range n.adjacent {
+		e := n.Problem.Exchanges[ei]
+		if e.Principal != n.PersonaOwner || n.delivered[ei] {
+			continue
+		}
+		// Forward when every item of the owner's Gets has arrived from
+		// the counterpart side.
+		ready := true
+		for _, r := range model.ReceiptActions(e) {
+			if r.Kind == model.ActionGive && !n.holdsItem(r.Item) {
+				ready = false
+			}
+		}
+		if !ready {
+			continue
+		}
+		n.delivered[ei] = true
+		for _, r := range model.ReceiptActions(e) {
+			if err := ctx.SendTransfer(r); err != nil {
+				n.delivered[ei] = false
+				return
+			}
+		}
+	}
+}
+
+func (n *TrustedNode) holdsItem(item model.ItemID) bool {
+	for a := range n.received {
+		if a.Kind == model.ActionGive && a.Item == item && !n.refunded[a] {
+			return true
+		}
+	}
+	return false
+}
+
+func (n *TrustedNode) maybeComplete(ctx *Context) {
+	for _, ei := range n.adjacent {
+		if !n.exchangeWhole(ei) {
+			return
+		}
+	}
+	for _, ei := range n.adjacent {
+		if n.delivered[ei] {
+			continue
+		}
+		n.delivered[ei] = true
+		for _, r := range model.ReceiptActions(n.Problem.Exchanges[ei]) {
+			if err := ctx.SendTransfer(r); err != nil {
+				// Completion failure indicates a runner bug; surface via
+				// the runner's fault channel through a refund.
+				n.delivered[ei] = false
+				return
+			}
+		}
+	}
+	// Everything delivered: refund live collateral to its offerers.
+	for oi, off := range n.Problem.Indemnities {
+		if off.Via != n.Self || !n.collateral[oi] || n.settled[oi] {
+			continue
+		}
+		n.settled[oi] = true
+		post := model.Pay(off.By, n.Self, n.offerAmount(off))
+		_ = ctx.SendTransfer(post.Compensation())
+	}
+}
+
+func (n *TrustedNode) onDeadline(ctx *Context) {
+	if n.aborted {
+		return
+	}
+	complete := true
+	for _, ei := range n.adjacent {
+		if !n.delivered[ei] {
+			complete = false
+		}
+	}
+	if complete {
+		return
+	}
+	n.aborted = true
+	// Settle collateral first: a covered, attempted, undelivered exchange
+	// forfeits the collateral to the protected principal.
+	for oi, off := range n.Problem.Indemnities {
+		if off.Via != n.Self || !n.collateral[oi] || n.settled[oi] {
+			continue
+		}
+		n.settled[oi] = true
+		amount := n.offerAmount(off)
+		if n.depositAttempted(off.Covers) && !n.delivered[off.Covers] {
+			_ = ctx.SendTransfer(model.Pay(n.Self, n.Problem.Exchanges[off.Covers].Principal, amount))
+			continue
+		}
+		post := model.Pay(off.By, n.Self, amount)
+		_ = ctx.SendTransfer(post.Compensation())
+	}
+	// Refund every held, undelivered deposit the node can still fund.
+	n.retryRefunds(ctx)
+	// Withdrawn-but-unpaid persona exchanges: demand return or payment.
+	for _, ei := range n.adjacent {
+		e := n.Problem.Exchanges[ei]
+		if e.Principal == n.PersonaOwner && n.delivered[ei] && !n.exchangeWhole(ei) {
+			ctx.SendTagged(n.PersonaOwner, "recall:"+strconv.Itoa(ei))
+		}
+	}
+}
+
+func (n *TrustedNode) offerAmount(off model.IndemnityOffer) model.Money {
+	if off.Amount != 0 {
+		return off.Amount
+	}
+	return model.RequiredIndemnity(n.Problem, off.Covers)
+}
+
+func (n *TrustedNode) depositAttempted(ei int) bool {
+	for _, d := range model.DepositActions(n.Problem.Exchanges[ei]) {
+		if !n.received[d] {
+			return false
+		}
+	}
+	return true
+}
+
+func (n *TrustedNode) anyDepositReceived() bool {
+	for a, ok := range n.received {
+		if ok && a.Kind != model.ActionNotify {
+			return true
+		}
+	}
+	return false
+}
+
+func (n *TrustedNode) exchangeWhole(ei int) bool {
+	for _, d := range model.DepositActions(n.Problem.Exchanges[ei]) {
+		if !n.received[d] || n.refunded[d] {
+			return false
+		}
+	}
+	return true
+}
+
+func (n *TrustedNode) matchDeposit(a model.Action) (int, bool) {
+	for _, ei := range n.adjacent {
+		for _, d := range model.DepositActions(n.Problem.Exchanges[ei]) {
+			if d == a {
+				return ei, true
+			}
+		}
+	}
+	return 0, false
+}
+
+func (n *TrustedNode) matchCollateral(a model.Action) (int, bool) {
+	for oi, off := range n.Problem.Indemnities {
+		if off.Via != n.Self {
+			continue
+		}
+		if model.Pay(off.By, n.Self, n.offerAmount(off)) == a {
+			return oi, true
+		}
+	}
+	return 0, false
+}
+
+func (n *TrustedNode) refundAction(ctx *Context, a model.Action) {
+	if !a.IsTransfer() || a.Inverse {
+		return
+	}
+	_ = ctx.SendTransfer(a.Compensation())
+}
+
+// PrincipalNode executes one principal's slice of a synthesized plan.
+// Its script is the ordered list of the principal's own action steps;
+// each step waits for the notifications and deliveries addressed to the
+// principal that precede it in the plan (the causal prerequisites), then
+// fires.
+//
+// StopAfter bounds the number of script steps performed: a value < 0
+// means honest (no bound); 0 is a fully silent defector; k > 0 defects
+// after k steps.
+type PrincipalNode struct {
+	Problem   *model.Problem
+	Self      model.PartyID
+	StopAfter int
+
+	script   []scriptStep
+	next     int
+	seen     map[model.Action]bool
+	seenTags map[string]bool
+	fired    int
+	faults   []error
+}
+
+var _ Node = (*PrincipalNode)(nil)
+
+type scriptStep struct {
+	actions []model.Action
+	// waitFor are actions addressed to this principal that must have
+	// been observed before the step fires.
+	waitFor []model.Action
+	// waitTags are control confirmations (collateral postings) that must
+	// have been observed.
+	waitTags []string
+	// waitAny holds groups of alternatives: for each group, at least one
+	// of its actions must have been observed (e.g. "the wholesale
+	// intermediary notified me" OR "it already delivered the item").
+	waitAny [][]model.Action
+}
+
+// NewPrincipalNode derives the principal's script from the plan.
+func NewPrincipalNode(plan *core.Plan, self model.PartyID, stopAfter int) *PrincipalNode {
+	n := &PrincipalNode{
+		Problem:   plan.Problem,
+		Self:      self,
+		StopAfter: stopAfter,
+		seen:      make(map[model.Action]bool),
+		seenTags:  make(map[string]bool),
+	}
+	var observed []model.Action
+	var observedTags []string
+	for _, st := range plan.Steps {
+		switch st.Kind {
+		case core.StepNotify, core.StepDeliver, core.StepIndemnityRefund:
+			for _, a := range st.Actions {
+				if a.Receiver() == self || (a.Kind == model.ActionNotify && a.To == self) {
+					observed = append(observed, a)
+				}
+			}
+		case core.StepIndemnityPost:
+			off := plan.Problem.Indemnities[st.Offer]
+			if plan.Problem.Exchanges[off.Covers].Principal == self {
+				observedTags = append(observedTags, "posted:"+strconv.Itoa(st.Offer))
+			}
+			if st.From != self {
+				continue
+			}
+			// A self-insured offerer posts only once it observes that the
+			// covered goods are secured ("once it has obtained a promise
+			// from the seller", Section 6): for each covered item, either
+			// the wholesale intermediary's notification or the item's
+			// actual delivery.
+			var anyOf [][]model.Action
+			if model.SelfInsured(plan.Problem, off) {
+				anyOf = securingSignals(plan.Problem, self, off)
+			}
+			n.script = append(n.script, scriptStep{
+				actions:  append([]model.Action(nil), st.Actions...),
+				waitFor:  append([]model.Action(nil), observed...),
+				waitTags: append([]string(nil), observedTags...),
+				waitAny:  anyOf,
+			})
+		case core.StepDeposit:
+			if st.From != self {
+				continue
+			}
+			n.script = append(n.script, scriptStep{
+				actions:  append([]model.Action(nil), st.Actions...),
+				waitFor:  append([]model.Action(nil), observed...),
+				waitTags: append([]string(nil), observedTags...),
+			})
+		}
+	}
+	return n
+}
+
+// securingSignals returns, per covered item, the alternative
+// observations that tell the offerer the item is secured: the notify
+// from the trusted component of the offerer's purchase exchange for the
+// item, or the item's actual delivery to the offerer. Items bought at a
+// persona trusted played by the offerer are skipped — it observes its
+// own escrow directly.
+func securingSignals(p *model.Problem, self model.PartyID, off model.IndemnityOffer) [][]model.Action {
+	cov := p.Exchanges[off.Covers]
+	var out [][]model.Action
+	for _, it := range cov.Gets.Items {
+		var alts []model.Action
+		for _, ei := range p.ExchangesOf(self) {
+			e := p.Exchanges[ei]
+			if e.Principal != self || !e.Gets.HasItem(it) {
+				continue
+			}
+			if q, ok := p.PersonaOf(e.Trusted); ok && q == self {
+				alts = nil
+				break
+			}
+			alts = append(alts,
+				model.Notify(e.Trusted, self),
+				model.Give(e.Trusted, self, it),
+			)
+		}
+		if len(alts) > 0 {
+			out = append(out, alts)
+		}
+	}
+	return out
+}
+
+// ID implements Node.
+func (n *PrincipalNode) ID() model.PartyID { return n.Self }
+
+// Init implements Node.
+func (n *PrincipalNode) Init(ctx *Context) { n.tryFire(ctx) }
+
+// OnMessage implements Node.
+func (n *PrincipalNode) OnMessage(ctx *Context, m Message) {
+	if m.Kind == MsgTimer {
+		return
+	}
+	if strings.HasPrefix(m.Tag, "recall:") {
+		n.onRecall(ctx, m)
+		return
+	}
+	if m.Tag != "" {
+		n.seenTags[m.Tag] = true
+	} else {
+		n.seen[m.Action] = true
+	}
+	n.tryFire(ctx)
+}
+
+// onRecall answers a persona trustee's unwind demand: an honest owner
+// returns the withdrawn goods if it still holds them, or pays its side
+// if it sold them on. A defector (StopAfter reached) ignores the demand
+// — the loss lands on the party that declared direct trust.
+func (n *PrincipalNode) onRecall(ctx *Context, m Message) {
+	if n.StopAfter >= 0 && n.fired >= n.StopAfter {
+		return
+	}
+	ei, err := strconv.Atoi(strings.TrimPrefix(m.Tag, "recall:"))
+	if err != nil || ei < 0 || ei >= len(n.Problem.Exchanges) {
+		return
+	}
+	e := n.Problem.Exchanges[ei]
+	if e.Principal != n.Self {
+		return
+	}
+	returned := true
+	for _, r := range model.ReceiptActions(e) {
+		if err := ctx.SendTransfer(r.Compensation()); err != nil {
+			returned = false
+			break
+		}
+	}
+	if returned {
+		return
+	}
+	for _, d := range model.DepositActions(e) {
+		if err := ctx.SendTransfer(d); err != nil {
+			n.faults = append(n.faults, fmt.Errorf("sim: %s cannot settle recall for exchange %d: %w", n.Self, ei, err))
+			return
+		}
+	}
+}
+
+// Faults returns protocol errors the node hit (e.g. unfundable steps).
+func (n *PrincipalNode) Faults() []error { return n.faults }
+
+func (n *PrincipalNode) tryFire(ctx *Context) {
+	for n.next < len(n.script) {
+		if n.StopAfter >= 0 && n.fired >= n.StopAfter {
+			return // defection point reached
+		}
+		st := n.script[n.next]
+		for _, w := range st.waitFor {
+			if !n.seen[w] {
+				return
+			}
+		}
+		for _, tag := range st.waitTags {
+			if !n.seenTags[tag] {
+				return
+			}
+		}
+		for _, alts := range st.waitAny {
+			sawOne := false
+			for _, a := range alts {
+				if n.seen[a] {
+					sawOne = true
+					break
+				}
+			}
+			if !sawOne {
+				return
+			}
+		}
+		for _, a := range st.actions {
+			if err := ctx.SendTransfer(a); err != nil {
+				n.faults = append(n.faults, fmt.Errorf("sim: %s step %d: %w", n.Self, n.next, err))
+				return
+			}
+		}
+		n.next++
+		n.fired++
+	}
+}

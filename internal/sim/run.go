@@ -1,0 +1,199 @@
+package sim
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"trustseq/internal/core"
+	"trustseq/internal/ledger"
+	"trustseq/internal/model"
+)
+
+// transitAccount holds in-flight assets between send and delivery.
+const transitAccount = model.PartyID("__transit")
+
+// Options configures a simulation run.
+type Options struct {
+	Seed        int64
+	BaseLatency Time
+	Jitter      Time
+	// Deadline is the escrow expiry each trusted component enforces from
+	// its first deposit. It must comfortably exceed the honest protocol's
+	// span; the default (1000 ticks) does.
+	Deadline Time
+	// Defectors maps principals to the number of their own protocol steps
+	// they perform before going silent. 0 is a fully silent defector.
+	// Principals not in the map are honest. A defector also corrupts any
+	// trusted component it plays as a persona.
+	Defectors map[model.PartyID]int
+	// NotifyDropRate injects control-plane message loss (see
+	// Config.NotifyDropRate).
+	NotifyDropRate float64
+}
+
+// Result is the outcome of a simulation.
+type Result struct {
+	Problem *model.Problem
+	// State is the exchange state assembled from every delivered message.
+	State model.State
+	// Final per-party balances.
+	Balances map[model.PartyID]*model.Holding
+	// Messages delivered (excluding timers).
+	Messages int
+	// Duration is the virtual time at quiescence.
+	Duration Time
+	// Faults are protocol errors principals hit (unfundable steps).
+	Faults []error
+	// DuplicateActions counts actions delivered more than once (bounced
+	// and re-sent transfers); they are recorded once in State.
+	DuplicateActions int
+	// DroppedNotifies counts control messages lost in transit.
+	DroppedNotifies int
+	// Trace holds every delivered message in delivery order; render it
+	// with RenderTrace.
+	Trace []Message
+}
+
+// Completed reports whether every exchange delivered in full.
+func (r *Result) Completed() bool {
+	for ei := range r.Problem.Exchanges {
+		done := true
+		for _, a := range model.ReceiptActions(r.Problem.Exchanges[ei]) {
+			if !r.State.Has(a) || r.State.Has(a.Compensation()) {
+				done = false
+			}
+		}
+		if !done {
+			return false
+		}
+	}
+	return true
+}
+
+// AcceptableTo reports whether the final state satisfies the principal's
+// full conjunction acceptability.
+func (r *Result) AcceptableTo(id model.PartyID) bool {
+	return model.Acceptable(r.Problem, id, r.State)
+}
+
+// AssetsSafeFor reports whether the final state preserves the
+// principal's per-exchange asset integrity.
+func (r *Result) AssetsSafeFor(id model.PartyID) bool {
+	return model.AcceptableAssets(r.Problem, id, r.State)
+}
+
+// TrustedNeutral reports whether a trusted component ended holding
+// nothing.
+func (r *Result) TrustedNeutral(id model.PartyID) bool {
+	h, ok := r.Balances[id]
+	return ok && h.IsEmpty()
+}
+
+// Summary renders the run outcome.
+func (r *Result) Summary() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "completed=%v messages=%d duration=%d faults=%d\n",
+		r.Completed(), r.Messages, r.Duration, len(r.Faults))
+	ids := make([]string, 0, len(r.Balances))
+	for id := range r.Balances {
+		if id == transitAccount {
+			continue
+		}
+		ids = append(ids, string(id))
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		fmt.Fprintf(&b, "  %s: %v\n", id, r.Balances[model.PartyID(id)])
+	}
+	return b.String()
+}
+
+// Run executes a synthesized plan on the simulated network. The plan
+// must be feasible.
+func Run(plan *core.Plan, opts Options) (*Result, error) {
+	if !plan.Feasible {
+		return nil, core.ErrInfeasible
+	}
+	if opts.Deadline <= 0 {
+		opts.Deadline = 1000
+	}
+	p := plan.Problem
+
+	initial := model.InitialHoldings(p)
+	initial[transitAccount] = model.NewHolding()
+	book := ledger.New(initial)
+
+	net := NewNetwork(Config{
+		Seed: opts.Seed, BaseLatency: opts.BaseLatency, Jitter: opts.Jitter,
+		NotifyDropRate: opts.NotifyDropRate,
+	})
+	net.SetHooks(
+		func(m Message) error {
+			return book.Transfer(m.Action.Mover(), transitAccount, m.Action.Asset(), m.Action.String())
+		},
+		func(m Message) error {
+			if m.Kind != MsgTransfer {
+				return nil
+			}
+			return book.Transfer(transitAccount, m.Action.Receiver(), m.Action.Asset(), m.Action.String())
+		},
+	)
+
+	var principals []*PrincipalNode
+	for _, pa := range p.Parties {
+		if pa.IsTrusted() {
+			honest := true
+			if q, ok := p.PersonaOf(pa.ID); ok {
+				if _, defects := opts.Defectors[q]; defects {
+					honest = false
+				}
+			}
+			net.AddNode(NewTrustedNode(p, pa.ID, opts.Deadline, honest))
+			continue
+		}
+		stopAfter := -1
+		if k, ok := opts.Defectors[pa.ID]; ok {
+			stopAfter = k
+		}
+		node := NewPrincipalNode(plan, pa.ID, stopAfter)
+		principals = append(principals, node)
+		net.AddNode(node)
+	}
+
+	if err := net.Run(); err != nil {
+		return nil, err
+	}
+
+	res := &Result{
+		Problem:         p,
+		State:           model.NewState(),
+		Balances:        make(map[model.PartyID]*model.Holding, len(p.Parties)),
+		Duration:        net.Now(),
+		DroppedNotifies: net.Dropped(),
+	}
+	res.Trace = net.Trace()
+	for _, m := range res.Trace {
+		res.Messages++
+		if m.Tag != "" {
+			continue // control messages are not exchange actions
+		}
+		if err := res.State.Add(m.Action); err != nil {
+			res.DuplicateActions++
+		}
+	}
+	for _, pa := range p.Parties {
+		res.Balances[pa.ID] = book.Balance(pa.ID)
+	}
+	res.Balances[transitAccount] = book.Balance(transitAccount)
+	if !res.Balances[transitAccount].IsEmpty() {
+		return nil, fmt.Errorf("sim: assets stuck in transit: %v", res.Balances[transitAccount])
+	}
+	if err := book.Audit(); err != nil {
+		return nil, err
+	}
+	for _, node := range principals {
+		res.Faults = append(res.Faults, node.Faults()...)
+	}
+	return res, nil
+}

@@ -1,0 +1,28 @@
+package sim
+
+import (
+	"fmt"
+	"strings"
+)
+
+// RenderTrace formats a delivered-message trace as a timeline, one line
+// per message: virtual time, sender, payload, receiver. Control messages
+// (tagged notifies) are annotated.
+func RenderTrace(trace []Message) string {
+	var b strings.Builder
+	for _, m := range trace {
+		payload := ""
+		switch {
+		case m.Kind == MsgNotify && m.Tag != "":
+			payload = "control:" + m.Tag
+		case m.Kind == MsgNotify:
+			payload = "notify"
+		case m.Action.Inverse:
+			payload = "refund " + m.Action.Asset().String()
+		default:
+			payload = m.Action.Asset().String()
+		}
+		fmt.Fprintf(&b, "t=%-4d %-10s ──%s──▶ %s\n", m.At, m.From, payload, m.To)
+	}
+	return b.String()
+}

@@ -3,6 +3,7 @@ package trustseq
 import (
 	"fmt"
 	"math/rand"
+	"runtime"
 	"testing"
 
 	"trustseq/internal/core"
@@ -19,6 +20,7 @@ import (
 	"trustseq/internal/search"
 	"trustseq/internal/sequencing"
 	"trustseq/internal/sim"
+	"trustseq/internal/sweep"
 	"trustseq/internal/twopc"
 )
 
@@ -142,6 +144,23 @@ func BenchmarkSearchAssetsExample2(b *testing.B) {
 		if err != nil || !v.Feasible {
 			b.Fatal(err)
 		}
+	}
+}
+
+// Root-level fan-out vs the serial DFS on the same instances.
+func BenchmarkSearchStrongChainParallel(b *testing.B) {
+	for _, k := range []int{2, 3} {
+		k := k
+		b.Run(fmt.Sprintf("brokers=%d", k), func(b *testing.B) {
+			p := gen.Chain(k, 30)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				v, err := search.FeasibleParallel(p, search.ModeStrong, runtime.GOMAXPROCS(0))
+				if err != nil || !v.Feasible {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 
@@ -304,6 +323,55 @@ func BenchmarkPetriCompletableFigure7(b *testing.B) {
 		if res := enc.Completable(1 << 21); !res.Found {
 			b.Fatal("not completable")
 		}
+	}
+}
+
+func BenchmarkPetriCompletableFigure7Parallel(b *testing.B) {
+	enc, err := petri.FromProblem(paperex.Figure7())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if res := enc.CompletableParallel(1<<21, runtime.GOMAXPROCS(0)); !res.Found {
+			b.Fatal("not completable")
+		}
+	}
+}
+
+// --- parallel cross-validation sweep -----------------------------------------
+//
+// The serial-vs-parallel pair measures the worker-pool speedup on an
+// identical 50-problem gen.Random corpus (the sweep's per-problem seeds
+// make the workload independent of scheduling). Run with -cpu 4 to
+// compare; the verdicts are asserted identical via Stats.
+
+func sweepBenchStats(b *testing.B, workers int) sweep.Stats {
+	b.Helper()
+	rep := sweep.Run(sweep.Config{N: 50, Seed: 17, Workers: workers})
+	if v := rep.Stats.Violations(); v != 0 {
+		b.Fatalf("sweep violations: %d\n%s", v, rep.Summary())
+	}
+	return rep.Stats
+}
+
+func BenchmarkSweepSerial(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sweepBenchStats(b, 1)
+	}
+}
+
+func BenchmarkSweepParallel(b *testing.B) {
+	workers := runtime.GOMAXPROCS(0)
+	b.ReportAllocs()
+	var par sweep.Stats
+	for i := 0; i < b.N; i++ {
+		par = sweepBenchStats(b, workers)
+	}
+	b.StopTimer()
+	if serial := sweepBenchStats(b, 1); par != serial {
+		b.Fatalf("parallel stats %+v differ from serial %+v", par, serial)
 	}
 }
 

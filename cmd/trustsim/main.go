@@ -6,12 +6,18 @@
 // Usage:
 //
 //	trustsim [flags] problem.exch
+//	trustsim -n N [-workers W] [-family random|chain|star]
 //
 //	-seed N        network randomness seed (default 1)
 //	-jitter N      extra per-message latency in [0,N] ticks (default 3)
 //	-defect LIST   comma-separated defectors, each "party" (silent) or
 //	               "party:K" (defects after K of its own steps)
 //	-deadline N    escrow deadline in ticks (default 1000)
+//
+// With -n > 0 the command runs a cross-validation sweep instead of a
+// simulation: N generated problems are driven through synthesis, both
+// exhaustive searches and Petri-net coverability on a worker pool, and
+// the aggregate agreement statistics are printed.
 package main
 
 import (
@@ -26,6 +32,7 @@ import (
 	"trustseq/internal/dsl"
 	"trustseq/internal/model"
 	"trustseq/internal/sim"
+	"trustseq/internal/sweep"
 )
 
 func main() {
@@ -43,8 +50,33 @@ func run(args []string, out io.Writer) error {
 	deadline := fs.Int64("deadline", 1000, "escrow deadline in ticks")
 	dropRate := fs.Float64("drop", 0, "notification drop probability [0,1)")
 	showTrace := fs.Bool("trace", false, "print the delivered-message timeline")
+	sweepN := fs.Int("n", 0, "run a cross-validation sweep over N generated problems (0 = simulate a spec file)")
+	workers := fs.Int("workers", 0, "sweep worker pool size (0 = GOMAXPROCS)")
+	family := fs.String("family", "random", "sweep problem family: random, chain or star")
+	searchWorkers := fs.Int("search-workers", 0, "per-problem parallel search workers (0/1 = serial search)")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *sweepN > 0 {
+		if fs.NArg() != 0 {
+			return fmt.Errorf("usage: trustsim -n N [-workers W] [-family F] (no spec file in sweep mode)")
+		}
+		fam, err := sweep.ParseFamily(*family)
+		if err != nil {
+			return err
+		}
+		rep := sweep.Run(sweep.Config{
+			N:             *sweepN,
+			Workers:       *workers,
+			Seed:          *seed,
+			Family:        fam,
+			SearchWorkers: *searchWorkers,
+		})
+		fmt.Fprint(out, rep.Summary())
+		if v := rep.Stats.Violations(); v != 0 {
+			return fmt.Errorf("sweep found %d cross-validation violations", v)
+		}
+		return nil
 	}
 	if fs.NArg() != 1 {
 		return fmt.Errorf("usage: trustsim [flags] problem.exch")

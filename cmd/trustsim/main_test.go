@@ -69,6 +69,39 @@ func TestParseDefectors(t *testing.T) {
 	}
 }
 
+func TestSweepMode(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-n", "8", "-workers", "4", "-seed", "21"}, &out); err != nil {
+		t.Fatalf("run = %v\n%s", err, out.String())
+	}
+	got := out.String()
+	for _, want := range []string{"sweep: 8 random problems", "violations", "graph-feasible"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("sweep output missing %q:\n%s", want, got)
+		}
+	}
+	// The report must be independent of the worker count.
+	var serial bytes.Buffer
+	if err := run([]string{"-n", "8", "-workers", "1", "-seed", "21"}, &serial); err != nil {
+		t.Fatalf("serial run = %v", err)
+	}
+	gotLines := strings.SplitN(got, "\n", 2)
+	serialLines := strings.SplitN(serial.String(), "\n", 2)
+	if len(gotLines) != 2 || len(serialLines) != 2 || gotLines[1] != serialLines[1] {
+		t.Errorf("sweep stats differ across worker counts:\n%s\nvs\n%s", got, serial.String())
+	}
+}
+
+func TestSweepModeRejectsSpecFile(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-n", "3", spec("example1.exch")}, &out); err == nil {
+		t.Fatal("sweep mode with a spec file accepted")
+	}
+	if err := run([]string{"-n", "3", "-family", "bogus"}, &out); err == nil {
+		t.Fatal("bogus family accepted")
+	}
+}
+
 func TestTraceAndDropFlags(t *testing.T) {
 	var out bytes.Buffer
 	if err := run([]string{"-trace", "-drop", "0.9", "-deadline", "40", spec("example1.exch")}, &out); err != nil {

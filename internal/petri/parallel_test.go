@@ -1,0 +1,118 @@
+package petri
+
+import (
+	"math/rand"
+	"testing"
+
+	"trustseq/internal/gen"
+	"trustseq/internal/paperex"
+)
+
+// Distinct markings must never merge in a markingSet, even when their
+// 64-bit hashes collide (exercised directly with forged collisions).
+func TestMarkingSetExactness(t *testing.T) {
+	t.Parallel()
+	s := newMarkingSet()
+	a := Marking{1, 2, 3}
+	b := Marking{1, 2, 3}
+	c := Marking{3, 2, 1}
+	if !s.add(a) {
+		t.Fatal("first add of a should be new")
+	}
+	if s.add(b) {
+		t.Fatal("equal marking b should be a duplicate")
+	}
+	if !s.add(c) {
+		t.Fatal("distinct marking c should be new")
+	}
+	if s.size != 2 {
+		t.Fatalf("size = %d, want 2", s.size)
+	}
+	// Simulate a hash collision: seed x into y's bucket. add(y) must see
+	// through the collision via exact equality and keep both markings.
+	forged := newMarkingSet()
+	x := Marking{7}
+	y := Marking{9}
+	forged.buckets[y.Hash()] = []Marking{x}
+	forged.size = 1
+	if !forged.add(y) {
+		t.Fatal("y must be added despite colliding with x's bucket")
+	}
+	if forged.add(y) {
+		t.Fatal("second add of y must report duplicate")
+	}
+	if forged.size != 2 {
+		t.Fatalf("forged size = %d, want 2", forged.size)
+	}
+}
+
+// Omega must hash differently from plain token counts that render alike.
+func TestMarkingHashOmega(t *testing.T) {
+	t.Parallel()
+	a := Marking{Omega, 0}
+	b := Marking{0, Omega}
+	if markingEqual(a, b) {
+		t.Fatal("markings must differ")
+	}
+	s := newMarkingSet()
+	if !s.add(a) || !s.add(b) {
+		t.Fatal("both omega markings must insert")
+	}
+}
+
+// The parallel frontier expansion must agree with the serial search on
+// Found for every paper example and a random corpus, at several worker
+// counts.
+func TestReachableCoverParallelMatchesSerial(t *testing.T) {
+	t.Parallel()
+	problems := []*struct {
+		name string
+		enc  *Encoding
+	}{}
+	for name, p := range paperex.All() {
+		enc, err := FromProblem(p)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		problems = append(problems, &struct {
+			name string
+			enc  *Encoding
+		}{name, enc})
+	}
+	rng := rand.New(rand.NewSource(11))
+	for i := 0; i < 10; i++ {
+		p := gen.Random(rng, gen.Options{Consumers: 1, Brokers: 2, Producers: 2, MaxPrice: 12})
+		enc, err := FromProblem(p)
+		if err != nil {
+			t.Fatalf("random %d: %v", i, err)
+		}
+		problems = append(problems, &struct {
+			name string
+			enc  *Encoding
+		}{p.Name, enc})
+	}
+	for _, tc := range problems {
+		serial := tc.enc.Completable(1 << 17)
+		for _, workers := range []int{2, 4, 8} {
+			par := tc.enc.CompletableParallel(1<<17, workers)
+			if par.Found != serial.Found || par.Capped != serial.Capped {
+				t.Errorf("%s workers=%d: parallel found=%v capped=%v, serial found=%v capped=%v",
+					tc.name, workers, par.Found, par.Capped, serial.Found, serial.Capped)
+			}
+		}
+	}
+}
+
+// workers ≤ 1 must take the serial path, explored counts included.
+func TestReachableCoverParallelSerialFallback(t *testing.T) {
+	t.Parallel()
+	enc, err := FromProblem(paperex.Example1())
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := enc.Completable(1 << 16)
+	b := enc.CompletableParallel(1<<16, 1)
+	if a != b {
+		t.Fatalf("fallback mismatch: %+v vs %+v", a, b)
+	}
+}

@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 )
 
 // PlaceID indexes a place.
@@ -91,7 +92,9 @@ func (n *Net) NewMarking() Marking { return make(Marking, n.Places()) }
 // Clone copies the marking.
 func (m Marking) Clone() Marking { return append(Marking(nil), m...) }
 
-// Key is a canonical map key for the marking.
+// Key is a canonical map key for the marking — the readable form, kept
+// for debugging and rendering. Exploration hot loops use Hash plus exact
+// equality (markingSet) instead, avoiding a string build per marking.
 func (m Marking) Key() string {
 	var b strings.Builder
 	for i, v := range m {
@@ -105,6 +108,47 @@ func (m Marking) Key() string {
 		}
 	}
 	return b.String()
+}
+
+// Hash is an FNV-1a–style 64-bit hash of the marking (ω hashes as its
+// sentinel value). Collisions are possible, so users must confirm with
+// exact equality — markingSet does.
+func (m Marking) Hash() uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for _, v := range m {
+		h ^= uint64(v)
+		h *= prime64
+	}
+	return h
+}
+
+// markingSet is a hash-keyed marking set with exact collision checks: a
+// lossy hash alone could merge distinct markings and change a verdict,
+// so each bucket stores the markings themselves.
+type markingSet struct {
+	buckets map[uint64][]Marking
+	size    int
+}
+
+func newMarkingSet() *markingSet {
+	return &markingSet{buckets: make(map[uint64][]Marking)}
+}
+
+// add inserts m and reports whether it was absent.
+func (s *markingSet) add(m Marking) bool {
+	h := m.Hash()
+	for _, prev := range s.buckets[h] {
+		if markingEqual(prev, m) {
+			return false
+		}
+	}
+	s.buckets[h] = append(s.buckets[h], m)
+	s.size++
+	return true
 }
 
 // Covers reports whether m ≥ target pointwise (ω covers everything).
@@ -196,7 +240,8 @@ func (n *Net) ReachableCover(initial, target Marking, maxStates int) Reachabilit
 	if maxStates <= 0 {
 		maxStates = 1 << 20
 	}
-	seen := map[string]bool{initial.Key(): true}
+	seen := newMarkingSet()
+	seen.add(initial)
 	queue := []Marking{initial}
 	res := ReachabilityResult{}
 	for len(queue) > 0 {
@@ -216,9 +261,7 @@ func (n *Net) ReachableCover(initial, target Marking, maxStates int) Reachabilit
 				continue
 			}
 			next := n.Fire(m, ti)
-			k := next.Key()
-			if !seen[k] {
-				seen[k] = true
+			if seen.add(next) {
 				queue = append(queue, next)
 			}
 		}
@@ -240,16 +283,14 @@ func (n *Net) Coverable(initial, target Marking, maxNodes int) ReachabilityResul
 		ancestry []Marking
 	}
 	res := ReachabilityResult{}
-	seen := map[string]bool{}
+	seen := newMarkingSet()
 	stack := []node{{m: initial, ancestry: nil}}
 	for len(stack) > 0 {
 		cur := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
-		key := cur.m.Key()
-		if seen[key] {
+		if !seen.add(cur.m) {
 			continue
 		}
-		seen[key] = true
 		res.Explored++
 		if cur.m.Covers(target) {
 			res.Found = true
@@ -289,4 +330,73 @@ func markingEqual(a, b Marking) bool {
 		}
 	}
 	return true
+}
+
+// ReachableCoverParallel is ReachableCover with level-synchronous
+// frontier expansion across a bounded worker pool: each BFS level is
+// split into chunks expanded concurrently, then the successors are
+// deduplicated serially against the seen set. The Found verdict matches
+// the serial search (both exhaust the same reachable set); Explored may
+// differ near the cap or the target, since a level is expanded as a
+// whole. workers ≤ 1 falls back to the serial search.
+func (n *Net) ReachableCoverParallel(initial, target Marking, maxStates, workers int) ReachabilityResult {
+	if workers <= 1 {
+		return n.ReachableCover(initial, target, maxStates)
+	}
+	if maxStates <= 0 {
+		maxStates = 1 << 20
+	}
+	seen := newMarkingSet()
+	seen.add(initial)
+	frontier := []Marking{initial}
+	res := ReachabilityResult{}
+	for len(frontier) > 0 {
+		// Check the whole level for coverage first, so the verdict does
+		// not depend on intra-level ordering.
+		for _, m := range frontier {
+			res.Explored++
+			if m.Covers(target) {
+				res.Found = true
+				return res
+			}
+		}
+		if res.Explored >= maxStates {
+			res.Capped = true
+			return res
+		}
+		w := workers
+		if w > len(frontier) {
+			w = len(frontier)
+		}
+		succs := make([][]Marking, w)
+		var wg sync.WaitGroup
+		for wi := 0; wi < w; wi++ {
+			wg.Add(1)
+			go func(wi int) {
+				defer wg.Done()
+				var out []Marking
+				for fi := wi; fi < len(frontier); fi += w {
+					m := frontier[fi]
+					for ti := range n.trans {
+						if !n.Enabled(m, ti) {
+							continue
+						}
+						out = append(out, n.Fire(m, ti))
+					}
+				}
+				succs[wi] = out
+			}(wi)
+		}
+		wg.Wait()
+		next := frontier[:0]
+		for _, out := range succs {
+			for _, m := range out {
+				if seen.add(m) {
+					next = append(next, m)
+				}
+			}
+		}
+		frontier = next
+	}
+	return res
 }

@@ -135,3 +135,9 @@ func (e *Encoding) CompletedTarget() Marking {
 func (e *Encoding) Completable(maxStates int) ReachabilityResult {
 	return e.Net.ReachableCover(e.Initial, e.CompletedTarget(), maxStates)
 }
+
+// CompletableParallel is Completable with worker-pool frontier expansion
+// (see ReachableCoverParallel). The Found verdict matches Completable.
+func (e *Encoding) CompletableParallel(maxStates, workers int) ReachabilityResult {
+	return e.Net.ReachableCoverParallel(e.Initial, e.CompletedTarget(), maxStates, workers)
+}

@@ -37,15 +37,24 @@ func NewExec(p *model.Problem) *Exec {
 	}
 }
 
-// Clone returns an independent copy.
+// Clone returns an independent copy. The holdings are cloned into a
+// single preallocated backing array — Clone sits on the hot path of every
+// state-space search, and one bulk allocation beats one per party.
 func (x *Exec) Clone() *Exec {
 	out := &Exec{
 		Problem:  x.Problem,
 		State:    x.State.Clone(),
 		holdings: make(map[model.PartyID]*model.Holding, len(x.holdings)),
 	}
+	backing := make([]model.Holding, len(x.holdings))
+	i := 0
 	for id, h := range x.holdings {
-		out.holdings[id] = h.Clone()
+		backing[i] = model.Holding{Cash: h.Cash, Items: make(map[model.ItemID]int, len(h.Items))}
+		for it, n := range h.Items {
+			backing[i].Items[it] = n
+		}
+		out.holdings[id] = &backing[i]
+		i++
 	}
 	return out
 }
@@ -401,16 +410,7 @@ func depositKey(x *Exec, principal model.PartyID) string {
 		if e.Principal != principal {
 			continue
 		}
-		switch {
-		case x.DepositAttempted(ei) && x.Delivered(ei):
-			b = append(b, '3')
-		case x.DepositAttempted(ei):
-			b = append(b, '2')
-		case x.Delivered(ei):
-			b = append(b, '1')
-		default:
-			b = append(b, '0')
-		}
+		b = append(b, '0'+byte(x.exchangeStatus(ei)))
 	}
 	return string(b)
 }
@@ -690,16 +690,7 @@ func (x *Exec) forceEnvironment(analysed model.PartyID, committed map[int]bool) 
 func globalDepositKey(x *Exec) string {
 	b := make([]byte, 0, len(x.Problem.Exchanges))
 	for ei := range x.Problem.Exchanges {
-		switch {
-		case x.DepositAttempted(ei) && x.Delivered(ei):
-			b = append(b, '3')
-		case x.DepositAttempted(ei):
-			b = append(b, '2')
-		case x.Delivered(ei):
-			b = append(b, '1')
-		default:
-			b = append(b, '0')
-		}
+		b = append(b, '0'+byte(x.exchangeStatus(ei)))
 	}
 	return string(b)
 }
@@ -730,22 +721,27 @@ func (x *Exec) CanFund(principal model.PartyID, ei int) bool {
 	return x.canFund(principal, ei)
 }
 
+// exchangeStatus is the 2-bit deposit/delivery code of exchange ei shared
+// by every fingerprint form: bit 1 = deposit attempted, bit 0 = delivered.
+func (x *Exec) exchangeStatus(ei int) uint64 {
+	var code uint64
+	if x.DepositAttempted(ei) {
+		code |= 2
+	}
+	if x.Delivered(ei) {
+		code |= 1
+	}
+	return code
+}
+
 // Fingerprint summarizes the execution state for memoization: the
 // deposit/delivery pattern of every exchange plus the posted-indemnity
-// pattern.
+// pattern. It is the human-readable form; hot loops prefer the packed
+// Fingerprint128.
 func (x *Exec) Fingerprint() string {
 	b := make([]byte, 0, len(x.Problem.Exchanges)+len(x.Problem.Indemnities))
 	for ei := range x.Problem.Exchanges {
-		switch {
-		case x.DepositAttempted(ei) && x.Delivered(ei):
-			b = append(b, '3')
-		case x.DepositAttempted(ei):
-			b = append(b, '2')
-		case x.Delivered(ei):
-			b = append(b, '1')
-		default:
-			b = append(b, '0')
-		}
+		b = append(b, '0'+byte(x.exchangeStatus(ei)))
 	}
 	for _, off := range x.Problem.Indemnities {
 		if x.State.Has(IndemnityPostAction(x.Problem, off)) {
@@ -755,6 +751,33 @@ func (x *Exec) Fingerprint() string {
 		}
 	}
 	return string(b)
+}
+
+// Fingerprint128 packs the Fingerprint pattern into two machine words:
+// two bits per exchange followed by one bit per indemnity offer. ok is
+// false when the problem is too large to pack exactly (2·|exchanges| +
+// |indemnities| > 128 bits); callers then fall back to the string
+// Fingerprint. The packing is injective — unlike a lossy hash, memoizing
+// on it can never change a search verdict.
+func (x *Exec) Fingerprint128() (fp [2]uint64, ok bool) {
+	bits := 2*len(x.Problem.Exchanges) + len(x.Problem.Indemnities)
+	if bits > 128 {
+		return fp, false
+	}
+	pos := 0
+	// Exchange fields are 2 bits wide and start at even positions, so no
+	// field ever straddles the word boundary.
+	for ei := range x.Problem.Exchanges {
+		fp[pos/64] |= x.exchangeStatus(ei) << (pos % 64)
+		pos += 2
+	}
+	for _, off := range x.Problem.Indemnities {
+		if x.State.Has(IndemnityPostAction(x.Problem, off)) {
+			fp[pos/64] |= 1 << (pos % 64)
+		}
+		pos++
+	}
+	return fp, true
 }
 
 // AllSafe reports whether every principal is safe in the execution.

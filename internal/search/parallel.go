@@ -1,0 +1,273 @@
+package search
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"trustseq/internal/model"
+	"trustseq/internal/safety"
+)
+
+// memoShardCount is a power of two; shards keep lock contention on the
+// shared memo table low without per-state channel traffic.
+const memoShardCount = 32
+
+// sharedMemo is the concurrent memo table of the parallel search: the
+// same injective keys as the serial searcher (packed fingerprints with a
+// string fallback), sharded by a cheap mix of the key.
+type sharedMemo struct {
+	shards [memoShardCount]memoShard
+}
+
+type memoShard struct {
+	mu  sync.Mutex
+	m64 map[[2]uint64]bool
+	str map[string]bool
+}
+
+func newSharedMemo() *sharedMemo {
+	t := &sharedMemo{}
+	for i := range t.shards {
+		t.shards[i].m64 = make(map[[2]uint64]bool)
+	}
+	return t
+}
+
+func (t *sharedMemo) shard(k memoKey) *memoShard {
+	var h uint64
+	if k.packed {
+		h = k.fp[0] ^ k.fp[1]*0x9e3779b97f4a7c15
+	} else {
+		for i := 0; i < len(k.str); i++ {
+			h = (h ^ uint64(k.str[i])) * 0x100000001b3
+		}
+	}
+	// Fold the high bits in so shards spread even when only low bits vary.
+	h ^= h >> 17
+	return &t.shards[h%memoShardCount]
+}
+
+// lookup returns the memoized verdict, marking the state in-progress
+// (false) when absent — the same cycle cut as the serial searcher. An
+// in-progress entry read by another worker prunes that worker's subtree;
+// the owner still evaluates the state fully and propagates a positive
+// verdict to its own root, so the disjunction over root moves is exact
+// (see TestParallelMatchesSerial).
+func (t *sharedMemo) lookup(k memoKey) (val, seen bool) {
+	s := t.shard(k)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if k.packed {
+		if v, ok := s.m64[k.fp]; ok {
+			return v, true
+		}
+		s.m64[k.fp] = false
+		return false, false
+	}
+	if s.str == nil {
+		s.str = make(map[string]bool)
+	}
+	if v, ok := s.str[k.str]; ok {
+		return v, true
+	}
+	s.str[k.str] = false
+	return false, false
+}
+
+func (t *sharedMemo) store(k memoKey, v bool) {
+	s := t.shard(k)
+	s.mu.Lock()
+	if k.packed {
+		s.m64[k.fp] = v
+	} else {
+		s.str[k.str] = v
+	}
+	s.mu.Unlock()
+}
+
+func (t *sharedMemo) size() int {
+	n := 0
+	for i := range t.shards {
+		s := &t.shards[i]
+		s.mu.Lock()
+		n += len(s.m64) + len(s.str)
+		s.mu.Unlock()
+	}
+	return n
+}
+
+// parSearcher is the per-worker view of a parallel search: the shared
+// memo and stop flag, plus worker-local move buffers.
+type parSearcher struct {
+	problem     *model.Problem
+	mode        Mode
+	forceString bool
+	memo        *sharedMemo
+	stop        *atomic.Bool
+	moveBufs    [][]Move
+}
+
+func (s *parSearcher) key(exec *safety.Exec) memoKey {
+	if !s.forceString {
+		if fp, ok := exec.Fingerprint128(); ok {
+			return memoKey{packed: true, fp: fp}
+		}
+	}
+	return memoKey{str: exec.Fingerprint()}
+}
+
+func (s *parSearcher) safe(exec *safety.Exec) bool {
+	for _, pa := range s.problem.Parties {
+		if pa.IsTrusted() {
+			continue
+		}
+		ok := false
+		switch s.mode {
+		case ModeStrong:
+			ok = safety.SafeFor(exec, pa.ID)
+		default:
+			ok = safety.AssetSafe(exec, pa.ID)
+		}
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+func (s *parSearcher) moves(exec *safety.Exec, depth int) []Move {
+	for len(s.moveBufs) <= depth {
+		s.moveBufs = append(s.moveBufs, nil)
+	}
+	out := appendMoves(s.moveBufs[depth][:0], exec, s.problem)
+	s.moveBufs[depth] = out
+	return out
+}
+
+// dfs mirrors searcher.dfs against the shared memo. A set stop flag makes
+// it bail out with false — by then another worker has recorded a witness,
+// so the pruned return value is never read.
+func (s *parSearcher) dfs(exec *safety.Exec, trail []Move, depth int) (bool, []Move) {
+	if s.stop.Load() {
+		return false, nil
+	}
+	key := s.key(exec)
+	if done, seen := s.memo.lookup(key); seen {
+		return done, nil
+	}
+	if !s.safe(exec) {
+		return false, nil
+	}
+	if safety.Completed(exec) {
+		s.memo.store(key, true)
+		return true, append([]Move(nil), trail...)
+	}
+	for _, mv := range s.moves(exec, depth) {
+		next := exec.Clone()
+		if err := applyMove(next, s.problem, mv); err != nil {
+			continue
+		}
+		if err := next.ForceCompletionsAll(); err != nil {
+			continue
+		}
+		if ok, witness := s.dfs(next, append(trail, mv), depth+1); ok {
+			s.memo.store(key, true)
+			return true, witness
+		}
+	}
+	return false, nil
+}
+
+// FeasibleParallel is Feasible with the root-level moves fanned out to a
+// bounded worker pool sharing one sharded memo table. workers ≤ 0 means
+// GOMAXPROCS. The Feasible verdict always equals the serial one (the memo
+// keys are injective and every in-progress prune is backed by a full
+// evaluation elsewhere); the witness and the explored count may differ,
+// since workers race to the first witness.
+func FeasibleParallel(p *model.Problem, mode Mode, workers int) (Verdict, error) {
+	return feasibleParallelConfigured(p, mode, workers, false)
+}
+
+// feasibleParallelConfigured is the test seam behind FeasibleParallel;
+// see feasibleConfigured.
+
+func feasibleParallelConfigured(p *model.Problem, mode Mode, workers int, forceString bool) (Verdict, error) {
+	if err := p.Validate(); err != nil {
+		return Verdict{}, err
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	root := safety.NewExec(p)
+	if err := root.ForceCompletionsAll(); err != nil {
+		return Verdict{}, err
+	}
+
+	memo := newSharedMemo()
+	var stop atomic.Bool
+	probe := &parSearcher{problem: p, mode: mode, forceString: forceString, memo: memo, stop: &stop}
+
+	// Root handling stays serial: the root's safety/completion checks and
+	// its memo entry, then the fan-out over its moves.
+	rootKey := probe.key(root)
+	memo.lookup(rootKey) // marks the root in-progress
+	if !probe.safe(root) {
+		return Verdict{Explored: memo.size()}, nil
+	}
+	if safety.Completed(root) {
+		memo.store(rootKey, true)
+		return Verdict{Feasible: true, Explored: memo.size()}, nil
+	}
+	rootMoves := appendMoves(nil, root, p)
+	if len(rootMoves) == 0 {
+		return Verdict{Explored: memo.size()}, nil
+	}
+	if workers > len(rootMoves) {
+		workers = len(rootMoves)
+	}
+
+	var (
+		wg      sync.WaitGroup
+		winOnce sync.Once
+		witness []Move
+		found   atomic.Bool
+	)
+	jobs := make(chan Move, len(rootMoves))
+	for _, mv := range rootMoves {
+		jobs <- mv
+	}
+	close(jobs)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			s := &parSearcher{problem: p, mode: mode, forceString: forceString, memo: memo, stop: &stop}
+			for mv := range jobs {
+				if stop.Load() {
+					return
+				}
+				next := root.Clone()
+				if err := applyMove(next, p, mv); err != nil {
+					continue
+				}
+				if err := next.ForceCompletionsAll(); err != nil {
+					continue
+				}
+				trail := []Move{mv}
+				if ok, w := s.dfs(next, trail, 1); ok {
+					found.Store(true)
+					winOnce.Do(func() { witness = w })
+					stop.Store(true)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if found.Load() {
+		memo.store(rootKey, true)
+		return Verdict{Feasible: true, Sequence: witness, Explored: memo.size()}, nil
+	}
+	return Verdict{Explored: memo.size()}, nil
+}

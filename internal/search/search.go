@@ -80,27 +80,91 @@ type Verdict struct {
 
 // Feasible searches for a safe completing execution of the problem.
 func Feasible(p *model.Problem, mode Mode) (Verdict, error) {
+	return feasibleConfigured(p, mode, false)
+}
+
+// feasibleConfigured is the test seam behind Feasible: forceStringKeys
+// disables the packed-fingerprint memo so the property tests can confirm
+// the key representation never changes a verdict.
+func feasibleConfigured(p *model.Problem, mode Mode, forceStringKeys bool) (Verdict, error) {
 	if err := p.Validate(); err != nil {
 		return Verdict{}, err
 	}
 	s := &searcher{
-		problem: p,
-		mode:    mode,
-		memo:    make(map[string]bool),
+		problem:     p,
+		mode:        mode,
+		forceString: forceStringKeys,
 	}
 	exec := safety.NewExec(p)
 	if err := exec.ForceCompletionsAll(); err != nil {
 		return Verdict{}, err
 	}
-	found := s.dfs(exec, nil)
-	return Verdict{Feasible: found, Sequence: s.witness, Explored: len(s.memo)}, nil
+	found := s.dfs(exec, nil, 0)
+	return Verdict{Feasible: found, Sequence: s.witness, Explored: len(s.memo64) + len(s.memoStr)}, nil
 }
 
+// searcher carries the serial DFS state. The memo is keyed by the packed
+// 128-bit fingerprint when the problem fits (the common case — two bits
+// per exchange, one per indemnity), falling back to the string
+// fingerprint for oversized problems. Both keys are injective, so the
+// representation cannot change a verdict; the packed form just avoids a
+// string allocation per visited state.
 type searcher struct {
-	problem *model.Problem
-	mode    Mode
-	memo    map[string]bool
-	witness []Move
+	problem     *model.Problem
+	mode        Mode
+	forceString bool
+	memo64      map[[2]uint64]bool
+	memoStr     map[string]bool
+	witness     []Move
+	moveBufs    [][]Move // per-depth scratch, reused across siblings
+}
+
+// memoKey identifies one memoized state: the packed fingerprint when the
+// problem fits in 128 bits, the string fingerprint otherwise.
+type memoKey struct {
+	packed bool
+	fp     [2]uint64
+	str    string
+}
+
+func (s *searcher) key(exec *safety.Exec) memoKey {
+	if !s.forceString {
+		if fp, ok := exec.Fingerprint128(); ok {
+			return memoKey{packed: true, fp: fp}
+		}
+	}
+	return memoKey{str: exec.Fingerprint()}
+}
+
+// memoLookup returns the memoized verdict for the key, inserting the
+// in-progress value `false` when absent (cutting cycles, as before).
+func (s *searcher) memoLookup(k memoKey) (val, seen bool) {
+	if k.packed {
+		if s.memo64 == nil {
+			s.memo64 = make(map[[2]uint64]bool)
+		}
+		if v, ok := s.memo64[k.fp]; ok {
+			return v, true
+		}
+		s.memo64[k.fp] = false
+		return false, false
+	}
+	if s.memoStr == nil {
+		s.memoStr = make(map[string]bool)
+	}
+	if v, ok := s.memoStr[k.str]; ok {
+		return v, true
+	}
+	s.memoStr[k.str] = false
+	return false, false
+}
+
+func (s *searcher) memoStore(k memoKey, v bool) {
+	if k.packed {
+		s.memo64[k.fp] = v
+	} else {
+		s.memoStr[k.str] = v
+	}
 }
 
 func (s *searcher) safe(exec *safety.Exec) bool {
@@ -123,25 +187,26 @@ func (s *searcher) safe(exec *safety.Exec) bool {
 }
 
 // dfs explores from exec (already completion-saturated). Returns true if
-// a safe completing continuation exists; the witness is recorded.
-func (s *searcher) dfs(exec *safety.Exec, trail []Move) bool {
-	key := exec.Fingerprint()
-	if done, ok := s.memo[key]; ok {
+// a safe completing continuation exists; the witness is recorded. depth
+// selects the reusable move buffer for this level.
+func (s *searcher) dfs(exec *safety.Exec, trail []Move, depth int) bool {
+	key := s.key(exec)
+	if done, seen := s.memoLookup(key); seen {
 		return done
 	}
-	// Mark in-progress as false to cut cycles; overwrite on success.
-	s.memo[key] = false
+	// memoLookup marked the state in-progress (false) to cut cycles;
+	// overwrite on success.
 
 	if !s.safe(exec) {
 		return false
 	}
 	if safety.Completed(exec) {
-		s.memo[key] = true
+		s.memoStore(key, true)
 		s.witness = append([]Move(nil), trail...)
 		return true
 	}
 
-	for _, mv := range s.moves(exec) {
+	for _, mv := range s.moves(exec, depth) {
 		next := exec.Clone()
 		if err := applyMove(next, s.problem, mv); err != nil {
 			continue
@@ -149,32 +214,45 @@ func (s *searcher) dfs(exec *safety.Exec, trail []Move) bool {
 		if err := next.ForceCompletionsAll(); err != nil {
 			continue
 		}
-		if s.dfs(next, append(trail, mv)) {
-			s.memo[key] = true
+		if s.dfs(next, append(trail, mv), depth+1) {
+			s.memoStore(key, true)
 			return true
 		}
 	}
 	return false
 }
 
-func (s *searcher) moves(exec *safety.Exec) []Move {
-	var out []Move
-	for ei, e := range s.problem.Exchanges {
-		if !exec.DepositAttempted(ei) && exec.CanFund(e.Principal, ei) {
-			out = append(out, Move{Deposit: ei, Withdraw: -1, Post: -1})
-		}
-		if q, ok := s.problem.PersonaOf(e.Trusted); ok && q == e.Principal &&
-			!exec.Delivered(ei) && exec.Holding(e.Trusted).Contains(e.Gets) {
-			out = append(out, Move{Deposit: -1, Withdraw: ei, Post: -1})
-		}
+// moves enumerates the searchable steps from exec into the depth-indexed
+// scratch buffer. Each DFS level owns one buffer, reused across every
+// sibling expansion at that level — the enumeration runs once per visited
+// state, so buffer reuse removes the dominant slice churn of the search.
+func (s *searcher) moves(exec *safety.Exec, depth int) []Move {
+	for len(s.moveBufs) <= depth {
+		s.moveBufs = append(s.moveBufs, nil)
 	}
-	for oi, off := range s.problem.Indemnities {
-		post := safety.IndemnityPostAction(s.problem, off)
-		if !exec.State.Has(post) {
-			out = append(out, Move{Deposit: -1, Withdraw: -1, Post: oi})
-		}
-	}
+	out := appendMoves(s.moveBufs[depth][:0], exec, s.problem)
+	s.moveBufs[depth] = out
 	return out
+}
+
+// appendMoves appends every searchable step from exec to buf.
+func appendMoves(buf []Move, exec *safety.Exec, p *model.Problem) []Move {
+	for ei, e := range p.Exchanges {
+		if !exec.DepositAttempted(ei) && exec.CanFund(e.Principal, ei) {
+			buf = append(buf, Move{Deposit: ei, Withdraw: -1, Post: -1})
+		}
+		if q, ok := p.PersonaOf(e.Trusted); ok && q == e.Principal &&
+			!exec.Delivered(ei) && exec.Holding(e.Trusted).Contains(e.Gets) {
+			buf = append(buf, Move{Deposit: -1, Withdraw: ei, Post: -1})
+		}
+	}
+	for oi, off := range p.Indemnities {
+		post := safety.IndemnityPostAction(p, off)
+		if !exec.State.Has(post) {
+			buf = append(buf, Move{Deposit: -1, Withdraw: -1, Post: oi})
+		}
+	}
+	return buf
 }
 
 func applyMove(exec *safety.Exec, p *model.Problem, mv Move) error {

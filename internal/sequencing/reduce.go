@@ -90,6 +90,13 @@ type state struct {
 	degC    []int  // remaining degree of each commitment node
 	degJ    []int  // remaining degree of each conjunction node
 	redAtJ  []int  // remaining red edges at each conjunction node
+
+	// Scratch for neighbors: one buffer reused across every removal, plus
+	// an epoch-stamped dedup array (the adjacency hops below revisit the
+	// same edges many times).
+	nscratch []int
+	nstamp   []int
+	nepoch   int
 }
 
 func newState(g *Graph) *state {
@@ -166,12 +173,27 @@ func (s *state) remaining() []Edge {
 // neighbors returns edge indices whose applicability may have changed
 // after removing edge ei: the other edges at both endpoints, and — since
 // removing a red edge can unblock Rule #1 anywhere at its conjunction —
-// all edges at the conjunction.
-func (s *state) neighbors(ei int) []int {
+// all edges at the conjunction. The result is deduplicated, filtered to
+// present edges not already queued (skip), and written into a scratch
+// buffer reused across removals; it is valid until the next call.
+func (s *state) neighbors(ei int, skip []bool) []int {
+	if s.nstamp == nil {
+		s.nstamp = make([]int, len(s.g.Edges))
+	}
+	s.nepoch++
+	out := s.nscratch[:0]
+	add := func(indices []int) {
+		for _, n := range indices {
+			if s.nstamp[n] == s.nepoch || !s.present[n] || (skip != nil && skip[n]) {
+				continue
+			}
+			s.nstamp[n] = s.nepoch
+			out = append(out, n)
+		}
+	}
 	e := s.g.Edges[ei]
-	var out []int
-	out = append(out, s.g.EdgesAtCommitment(e.ID.C)...)
-	out = append(out, s.g.EdgesAtConjunction(e.ID.J)...)
+	add(s.g.EdgesAtCommitment(e.ID.C))
+	add(s.g.EdgesAtConjunction(e.ID.J))
 	// Removing the last sibling at a commitment can make that commitment
 	// a fringe node; its other-end conjunction edges are covered above.
 	// Removing an edge at a conjunction can make another commitment's
@@ -180,13 +202,12 @@ func (s *state) neighbors(ei int) []int {
 	// commitment at this conjunction just became fringe, its *other* edge
 	// (at a different conjunction) may now be removable.
 	for _, sib := range s.g.EdgesAtConjunction(e.ID.J) {
-		c := s.g.Edges[sib].ID.C
-		out = append(out, s.g.EdgesAtCommitment(c)...)
+		add(s.g.EdgesAtCommitment(s.g.Edges[sib].ID.C))
 	}
 	for _, sib := range s.g.EdgesAtCommitment(e.ID.C) {
-		j := s.g.Edges[sib].ID.J
-		out = append(out, s.g.EdgesAtConjunction(j)...)
+		add(s.g.EdgesAtConjunction(s.g.Edges[sib].ID.J))
 	}
+	s.nscratch = out
 	return out
 }
 
@@ -213,11 +234,9 @@ func Reduce(g *Graph) *Reduction {
 		}
 		s.remove(ei)
 		red.Removals = append(red.Removals, Removal{Edge: g.Edges[ei], Rule: rule, ByPersona: byPersona})
-		for _, n := range s.neighbors(ei) {
-			if s.present[n] && !inWork[n] {
-				work = append(work, n)
-				inWork[n] = true
-			}
+		for _, n := range s.neighbors(ei, inWork) {
+			work = append(work, n)
+			inWork[n] = true
 		}
 	}
 	red.Remaining = s.remaining()

@@ -1,0 +1,338 @@
+// Package sweep is the concurrent cross-validation pipeline (E10 at
+// scale): it drives batches of generated problems — random brokered
+// markets, resale chains, broker stars — through the full stack
+// (sequencing-graph synthesis, exhaustive search under both safety
+// semantics, Petri-net coverability) with a bounded worker pool, and
+// aggregates agreement statistics between the verdicts.
+//
+// Determinism: every problem derives its own seed from Config.Seed and
+// its index, and results land in an index-addressed slice, so a sweep's
+// Results and Stats are identical for any worker count — only the
+// wall-clock changes. That property is what lets the serial-vs-parallel
+// benchmarks assert identical verdicts while measuring speedup.
+package sweep
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"strings"
+	"sync"
+
+	"trustseq/internal/core"
+	"trustseq/internal/gen"
+	"trustseq/internal/model"
+	"trustseq/internal/petri"
+	"trustseq/internal/search"
+)
+
+// Family selects the generator family driven by the sweep.
+type Family int
+
+// The supported problem families.
+const (
+	FamilyRandom Family = iota
+	FamilyChain
+	FamilyStar
+)
+
+// String names the family.
+func (f Family) String() string {
+	switch f {
+	case FamilyRandom:
+		return "random"
+	case FamilyChain:
+		return "chain"
+	case FamilyStar:
+		return "star"
+	default:
+		return fmt.Sprintf("family(%d)", int(f))
+	}
+}
+
+// ParseFamily parses a family name as accepted on the command line.
+func ParseFamily(s string) (Family, error) {
+	switch s {
+	case "random":
+		return FamilyRandom, nil
+	case "chain":
+		return FamilyChain, nil
+	case "star":
+		return FamilyStar, nil
+	default:
+		return 0, fmt.Errorf("sweep: unknown family %q (want random, chain or star)", s)
+	}
+}
+
+// Config parameterizes a sweep. The zero value is usable: 50 random
+// problems, GOMAXPROCS workers, the default generator shape.
+type Config struct {
+	N       int   // number of problems; default 50
+	Workers int   // worker pool size; ≤0 means GOMAXPROCS
+	Seed    int64 // base seed; problem i uses a seed derived from Seed and i
+
+	Family Family
+	Gen    gen.Options // shape of FamilyRandom problems
+
+	MaxDepth  int // FamilyChain: depths cycle 1..MaxDepth (default 3)
+	MaxPieces int // FamilyStar: piece counts cycle 1..MaxPieces (default 2)
+
+	// MaxSearchExchanges caps the exhaustive searches: problems with more
+	// exchanges record SearchSkipped instead of burning exponential time.
+	// Default 10.
+	MaxSearchExchanges int
+	// PetriBudget bounds the coverability exploration per problem.
+	// Default 1<<17 states.
+	PetriBudget int
+	// SearchWorkers > 1 uses search.FeasibleParallel per problem on top
+	// of the cross-problem pool. Default: serial per-problem search (the
+	// sweep already saturates the machine across problems).
+	SearchWorkers int
+}
+
+func (c Config) withDefaults() Config {
+	if c.N <= 0 {
+		c.N = 50
+	}
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.MaxDepth <= 0 {
+		c.MaxDepth = 3
+	}
+	if c.MaxPieces <= 0 {
+		c.MaxPieces = 2
+	}
+	if c.MaxSearchExchanges <= 0 {
+		c.MaxSearchExchanges = 10
+	}
+	if c.PetriBudget <= 0 {
+		c.PetriBudget = 1 << 17
+	}
+	if c.Gen.Consumers < 1 {
+		c.Gen.Consumers = 1
+	}
+	if c.Gen.Brokers < 1 {
+		c.Gen.Brokers = 2
+	}
+	if c.Gen.Producers < 1 {
+		c.Gen.Producers = 2
+	}
+	if c.Gen.MaxPrice < 2 {
+		c.Gen.MaxPrice = 30
+	}
+	return c
+}
+
+// Result is the cross-validated verdict set of one generated problem.
+type Result struct {
+	Index     int
+	Seed      int64
+	Name      string
+	Exchanges int
+
+	GraphFeasible bool
+
+	SearchSkipped  bool // exhaustive searches skipped (too many exchanges)
+	AssetsFeasible bool
+	StrongFeasible bool
+
+	PetriFound  bool
+	PetriCapped bool
+	// PetriComparable marks instances where coverability and asset search
+	// decide the same question: no persona trust (early withdrawals are
+	// not encoded in the net) and a conclusive, uncapped exploration.
+	PetriComparable bool
+
+	Err string
+}
+
+// Stats aggregates a sweep.
+type Stats struct {
+	Problems  int
+	Errors    int
+	Skipped   int // searches skipped for size
+	Feasible  int // graph-feasible
+	Assets    int // assets-search feasible
+	Strong    int // strong-search feasible
+	Covered   int // petri completable
+	Capped    int // petri budget exhausted
+	Unsound   int // graph-feasible but NOT assets-feasible (must stay 0)
+	Disorder  int // strong-feasible but NOT assets-feasible (must stay 0)
+	PetriSkew int // comparable instances where petri ≠ assets (must stay 0)
+	Gap       int // strong-feasible but graph impasse (the paper's incompleteness)
+}
+
+// Report is a completed sweep.
+type Report struct {
+	Config  Config
+	Results []Result
+	Stats   Stats
+}
+
+// problemFor deterministically generates problem i of the sweep.
+func problemFor(cfg Config, i int) (*model.Problem, int64) {
+	// Decorrelate per-problem streams with a fixed odd multiplier; the
+	// exact constant is irrelevant, distinctness per index is not.
+	seed := cfg.Seed + int64(i)*0x9E3779B1 + 1
+	switch cfg.Family {
+	case FamilyChain:
+		depth := 1 + i%cfg.MaxDepth
+		return gen.Chain(depth, model.Money(depth+10)), seed
+	case FamilyStar:
+		pieces := 1 + i%cfg.MaxPieces
+		prices := make([]model.Money, pieces)
+		rng := rand.New(rand.NewSource(seed))
+		for j := range prices {
+			prices[j] = model.Money(5 + rng.Intn(20))
+		}
+		return gen.Star(prices), seed
+	default:
+		rng := rand.New(rand.NewSource(seed))
+		return gen.Random(rng, cfg.Gen), seed
+	}
+}
+
+// Run executes the sweep and returns the index-ordered results with
+// aggregate stats. The report is independent of Config.Workers.
+func Run(cfg Config) *Report {
+	cfg = cfg.withDefaults()
+	results := make([]Result, cfg.N)
+	workers := cfg.Workers
+	if workers > cfg.N {
+		workers = cfg.N
+	}
+	jobs := make(chan int, cfg.N)
+	for i := 0; i < cfg.N; i++ {
+		jobs <- i
+	}
+	close(jobs)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				results[i] = runOne(cfg, i)
+			}
+		}()
+	}
+	wg.Wait()
+	rep := &Report{Config: cfg, Results: results}
+	rep.Stats = aggregate(results)
+	return rep
+}
+
+// runOne cross-validates a single generated problem.
+func runOne(cfg Config, i int) Result {
+	p, seed := problemFor(cfg, i)
+	res := Result{Index: i, Seed: seed, Name: p.Name, Exchanges: len(p.Exchanges)}
+
+	plan, err := core.Synthesize(p)
+	if err != nil {
+		res.Err = fmt.Sprintf("synthesize: %v", err)
+		return res
+	}
+	res.GraphFeasible = plan.Feasible
+
+	if len(p.Exchanges) > cfg.MaxSearchExchanges {
+		res.SearchSkipped = true
+		return res
+	}
+	feasible := func(mode search.Mode) (search.Verdict, error) {
+		if cfg.SearchWorkers > 1 {
+			return search.FeasibleParallel(p, mode, cfg.SearchWorkers)
+		}
+		return search.Feasible(p, mode)
+	}
+	assets, err := feasible(search.ModeAssets)
+	if err != nil {
+		res.Err = fmt.Sprintf("assets search: %v", err)
+		return res
+	}
+	res.AssetsFeasible = assets.Feasible
+	strong, err := feasible(search.ModeStrong)
+	if err != nil {
+		res.Err = fmt.Sprintf("strong search: %v", err)
+		return res
+	}
+	res.StrongFeasible = strong.Feasible
+
+	enc, err := petri.FromProblem(p)
+	if err != nil {
+		res.Err = fmt.Sprintf("petri encoding: %v", err)
+		return res
+	}
+	cov := enc.Completable(cfg.PetriBudget)
+	res.PetriFound = cov.Found
+	res.PetriCapped = cov.Capped
+	res.PetriComparable = !cov.Capped && len(p.DirectTrust) == 0 && len(p.Indemnities) == 0
+	return res
+}
+
+func aggregate(results []Result) Stats {
+	var st Stats
+	st.Problems = len(results)
+	for _, r := range results {
+		if r.Err != "" {
+			st.Errors++
+			continue
+		}
+		if r.GraphFeasible {
+			st.Feasible++
+		}
+		if r.SearchSkipped {
+			st.Skipped++
+			continue
+		}
+		if r.AssetsFeasible {
+			st.Assets++
+		}
+		if r.StrongFeasible {
+			st.Strong++
+		}
+		if r.PetriFound {
+			st.Covered++
+		}
+		if r.PetriCapped {
+			st.Capped++
+		}
+		if r.GraphFeasible && !r.AssetsFeasible {
+			st.Unsound++
+		}
+		if r.StrongFeasible && !r.AssetsFeasible {
+			st.Disorder++
+		}
+		if r.PetriComparable && r.PetriFound != r.AssetsFeasible {
+			st.PetriSkew++
+		}
+		if r.StrongFeasible && !r.GraphFeasible {
+			st.Gap++
+		}
+	}
+	return st
+}
+
+// Violations reports the soundness-violation count: agreement properties
+// that must hold on every instance (graph ⊆ assets, strong ⊆ assets,
+// petri = assets where comparable) plus outright errors.
+func (st Stats) Violations() int {
+	return st.Errors + st.Unsound + st.Disorder + st.PetriSkew
+}
+
+// Summary renders the report for the command line.
+func (r *Report) Summary() string {
+	var b strings.Builder
+	st := r.Stats
+	fmt.Fprintf(&b, "sweep: %d %s problems, seed %d, %d workers\n",
+		st.Problems, r.Config.Family, r.Config.Seed, r.Config.Workers)
+	fmt.Fprintf(&b, "  graph-feasible      %4d\n", st.Feasible)
+	fmt.Fprintf(&b, "  assets-feasible     %4d\n", st.Assets)
+	fmt.Fprintf(&b, "  strong-feasible     %4d\n", st.Strong)
+	fmt.Fprintf(&b, "  petri-completable   %4d (capped %d)\n", st.Covered, st.Capped)
+	fmt.Fprintf(&b, "  search-skipped      %4d (over %d exchanges)\n", st.Skipped, r.Config.MaxSearchExchanges)
+	fmt.Fprintf(&b, "  incompleteness gap  %4d (strong-feasible, graph impasse)\n", st.Gap)
+	fmt.Fprintf(&b, "  violations          %4d (errors %d, unsound %d, order %d, petri skew %d)\n",
+		st.Violations(), st.Errors, st.Unsound, st.Disorder, st.PetriSkew)
+	return b.String()
+}

@@ -13,43 +13,65 @@
 //	-defect LIST   comma-separated defectors, each "party" (silent) or
 //	               "party:K" (defects after K of its own steps)
 //	-deadline N    escrow deadline in ticks (default 1000)
+//	-timeline      print the delivered-message timeline
 //
 // With -n > 0 the command runs a cross-validation sweep instead of a
 // simulation: N generated problems are driven through synthesis, both
 // exhaustive searches and Petri-net coverability on a worker pool, and
-// the aggregate agreement statistics are printed.
+// the aggregate agreement statistics are printed. SIGINT cancels the
+// sweep gracefully: in-flight problems finish, partial statistics are
+// summarized on stderr, and the report covers what completed.
+//
+// Observability (both modes):
+//
+//	-trace FILE    write a structured JSONL span/event trace
+//	-metrics FILE  write a metrics snapshot (counters, gauges, histograms)
+//	-metrics-addr  serve live metrics over HTTP (e.g. :8090/metrics)
+//	-progress      report sweep progress on stderr
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
+	"net"
+	"net/http"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
 
 	"trustseq/internal/core"
 	"trustseq/internal/dsl"
 	"trustseq/internal/model"
+	"trustseq/internal/obs"
 	"trustseq/internal/sim"
 	"trustseq/internal/sweep"
 )
 
 func main() {
-	if err := run(os.Args[1:], os.Stdout); err != nil {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stdout, os.Stderr); err != nil {
 		fmt.Fprintln(os.Stderr, "trustsim:", err)
 		os.Exit(1)
 	}
 }
 
-func run(args []string, out io.Writer) error {
+func run(ctx context.Context, args []string, out, errw io.Writer) (err error) {
 	fs := flag.NewFlagSet("trustsim", flag.ContinueOnError)
 	seed := fs.Int64("seed", 1, "network randomness seed")
 	jitter := fs.Int64("jitter", 3, "extra per-message latency bound")
 	defect := fs.String("defect", "", "defectors: party[:steps],...")
 	deadline := fs.Int64("deadline", 1000, "escrow deadline in ticks")
 	dropRate := fs.Float64("drop", 0, "notification drop probability [0,1)")
-	showTrace := fs.Bool("trace", false, "print the delivered-message timeline")
+	timeline := fs.Bool("timeline", false, "print the delivered-message timeline")
+	traceFile := fs.String("trace", "", "write a JSONL span/event trace to FILE")
+	metricsFile := fs.String("metrics", "", "write a JSON metrics snapshot to FILE")
+	metricsAddr := fs.String("metrics-addr", "", "serve live metrics over HTTP on ADDR (e.g. :8090)")
+	progress := fs.Bool("progress", false, "report sweep progress on stderr")
 	sweepN := fs.Int("n", 0, "run a cross-validation sweep over N generated problems (0 = simulate a spec file)")
 	workers := fs.Int("workers", 0, "sweep worker pool size (0 = GOMAXPROCS)")
 	family := fs.String("family", "random", "sweep problem family: random, chain or star")
@@ -57,6 +79,17 @@ func run(args []string, out io.Writer) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+
+	tel, flush, err := setupTelemetry(*traceFile, *metricsFile, *metricsAddr, errw)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if ferr := flush(); ferr != nil && err == nil {
+			err = ferr
+		}
+	}()
+
 	if *sweepN > 0 {
 		if fs.NArg() != 0 {
 			return fmt.Errorf("usage: trustsim -n N [-workers W] [-family F] (no spec file in sweep mode)")
@@ -65,16 +98,35 @@ func run(args []string, out io.Writer) error {
 		if err != nil {
 			return err
 		}
-		rep := sweep.Run(sweep.Config{
+		cfg := sweep.Config{
 			N:             *sweepN,
 			Workers:       *workers,
 			Seed:          *seed,
 			Family:        fam,
 			SearchWorkers: *searchWorkers,
-		})
+			Obs:           tel,
+		}
+		if *progress {
+			cfg.Progress = func(done, total int) {
+				fmt.Fprintf(errw, "\rsweep: %d/%d problems", done, total)
+				if done == total {
+					fmt.Fprintln(errw)
+				}
+			}
+		}
+		rep := sweep.RunContext(ctx, cfg)
+		if rep.Canceled {
+			// One line of partial accounting on interrupt, then the usual
+			// report over what completed.
+			fmt.Fprintf(errw, "\ntrustsim: interrupted after %d/%d problems (%d violations, %.1fs)\n",
+				rep.Completed, cfg.N, rep.Stats.Violations(), rep.Elapsed.Seconds())
+		}
 		fmt.Fprint(out, rep.Summary())
 		if v := rep.Stats.Violations(); v != 0 {
 			return fmt.Errorf("sweep found %d cross-validation violations", v)
+		}
+		if rep.Canceled {
+			return fmt.Errorf("sweep interrupted after %d/%d problems", rep.Completed, cfg.N)
 		}
 		return nil
 	}
@@ -89,7 +141,7 @@ func run(args []string, out io.Writer) error {
 	if err != nil {
 		return err
 	}
-	plan, err := core.Synthesize(problem)
+	plan, err := core.SynthesizeObs(problem, tel)
 	if err != nil {
 		return err
 	}
@@ -108,11 +160,12 @@ func run(args []string, out io.Writer) error {
 		Deadline:       sim.Time(*deadline),
 		Defectors:      defectors,
 		NotifyDropRate: *dropRate,
+		Obs:            tel,
 	})
 	if err != nil {
 		return err
 	}
-	if *showTrace {
+	if *timeline {
 		fmt.Fprintln(out, "\ndelivered messages:")
 		fmt.Fprint(out, sim.RenderTrace(res.Trace))
 	}
@@ -129,6 +182,70 @@ func run(args []string, out io.Writer) error {
 			pa.ID, res.AcceptableTo(pa.ID), res.AssetsSafeFor(pa.ID), defected)
 	}
 	return nil
+}
+
+// setupTelemetry assembles the run's obs.Telemetry from the trace /
+// metrics flags. The returned flush closes the trace file and writes
+// the metrics snapshot; it must run after the work, even on error
+// paths, so a partial (interrupted) run still leaves its artifacts.
+func setupTelemetry(traceFile, metricsFile, metricsAddr string, errw io.Writer) (*obs.Telemetry, func() error, error) {
+	noop := func() error { return nil }
+	if traceFile == "" && metricsFile == "" && metricsAddr == "" {
+		return nil, noop, nil
+	}
+	tel := &obs.Telemetry{Metrics: obs.NewRegistry()}
+
+	var traceF *os.File
+	if traceFile != "" {
+		f, err := os.Create(traceFile)
+		if err != nil {
+			return nil, noop, fmt.Errorf("creating trace file: %w", err)
+		}
+		traceF = f
+		tel.Tracer = obs.NewTracer(obs.NewJSONLSink(f))
+	}
+
+	if metricsAddr != "" {
+		ln, err := net.Listen("tcp", metricsAddr)
+		if err != nil {
+			if traceF != nil {
+				traceF.Close()
+			}
+			return nil, noop, fmt.Errorf("metrics listener: %w", err)
+		}
+		mux := http.NewServeMux()
+		mux.Handle("/metrics", tel.Metrics.Handler())
+		srv := &http.Server{Handler: mux}
+		go func() {
+			if serr := srv.Serve(ln); serr != nil && !errors.Is(serr, http.ErrServerClosed) {
+				fmt.Fprintln(errw, "trustsim: metrics server:", serr)
+			}
+		}()
+		fmt.Fprintf(errw, "trustsim: serving metrics on http://%s/metrics\n", ln.Addr())
+	}
+
+	flush := func() error {
+		var err error
+		if traceF != nil {
+			if cerr := traceF.Close(); cerr != nil {
+				err = cerr
+			}
+		}
+		if metricsFile != "" {
+			f, ferr := os.Create(metricsFile)
+			if ferr != nil {
+				return fmt.Errorf("creating metrics file: %w", ferr)
+			}
+			if werr := tel.Metrics.Snapshot().WriteJSON(f); werr != nil && err == nil {
+				err = werr
+			}
+			if cerr := f.Close(); cerr != nil && err == nil {
+				err = cerr
+			}
+		}
+		return err
+	}
+	return tel, flush, nil
 }
 
 func parseDefectors(spec string) (map[model.PartyID]int, error) {

@@ -1,7 +1,12 @@
 package main
 
 import (
+	"bufio"
 	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"os"
 	"path/filepath"
 	"strings"
 	"testing"
@@ -13,9 +18,14 @@ func spec(name string) string {
 	return filepath.Join("..", "..", "examples", "specs", name)
 }
 
+// runCLI invokes run with a background context and discarded stderr.
+func runCLI(args []string, out io.Writer) error {
+	return run(context.Background(), args, out, io.Discard)
+}
+
 func TestHonestRun(t *testing.T) {
 	var out bytes.Buffer
-	if err := run([]string{spec("example1.exch")}, &out); err != nil {
+	if err := runCLI([]string{spec("example1.exch")}, &out); err != nil {
 		t.Fatalf("run = %v", err)
 	}
 	got := out.String()
@@ -28,7 +38,7 @@ func TestHonestRun(t *testing.T) {
 
 func TestDefectorRun(t *testing.T) {
 	var out bytes.Buffer
-	if err := run([]string{"-defect", "b", spec("example1.exch")}, &out); err != nil {
+	if err := runCLI([]string{"-defect", "b", spec("example1.exch")}, &out); err != nil {
 		t.Fatalf("run = %v", err)
 	}
 	got := out.String()
@@ -39,7 +49,7 @@ func TestDefectorRun(t *testing.T) {
 
 func TestInfeasibleRejected(t *testing.T) {
 	var out bytes.Buffer
-	if err := run([]string{spec("example2.exch")}, &out); err == nil {
+	if err := runCLI([]string{spec("example2.exch")}, &out); err == nil {
 		t.Fatalf("infeasible spec accepted")
 	}
 }
@@ -71,7 +81,7 @@ func TestParseDefectors(t *testing.T) {
 
 func TestSweepMode(t *testing.T) {
 	var out bytes.Buffer
-	if err := run([]string{"-n", "8", "-workers", "4", "-seed", "21"}, &out); err != nil {
+	if err := runCLI([]string{"-n", "8", "-workers", "4", "-seed", "21"}, &out); err != nil {
 		t.Fatalf("run = %v\n%s", err, out.String())
 	}
 	got := out.String()
@@ -82,7 +92,7 @@ func TestSweepMode(t *testing.T) {
 	}
 	// The report must be independent of the worker count.
 	var serial bytes.Buffer
-	if err := run([]string{"-n", "8", "-workers", "1", "-seed", "21"}, &serial); err != nil {
+	if err := runCLI([]string{"-n", "8", "-workers", "1", "-seed", "21"}, &serial); err != nil {
 		t.Fatalf("serial run = %v", err)
 	}
 	gotLines := strings.SplitN(got, "\n", 2)
@@ -94,24 +104,142 @@ func TestSweepMode(t *testing.T) {
 
 func TestSweepModeRejectsSpecFile(t *testing.T) {
 	var out bytes.Buffer
-	if err := run([]string{"-n", "3", spec("example1.exch")}, &out); err == nil {
+	if err := runCLI([]string{"-n", "3", spec("example1.exch")}, &out); err == nil {
 		t.Fatal("sweep mode with a spec file accepted")
 	}
-	if err := run([]string{"-n", "3", "-family", "bogus"}, &out); err == nil {
+	if err := runCLI([]string{"-n", "3", "-family", "bogus"}, &out); err == nil {
 		t.Fatal("bogus family accepted")
 	}
 }
 
-func TestTraceAndDropFlags(t *testing.T) {
+func TestTimelineAndDropFlags(t *testing.T) {
 	var out bytes.Buffer
-	if err := run([]string{"-trace", "-drop", "0.9", "-deadline", "40", spec("example1.exch")}, &out); err != nil {
+	if err := runCLI([]string{"-timeline", "-drop", "0.9", "-deadline", "40", spec("example1.exch")}, &out); err != nil {
 		t.Fatalf("run = %v", err)
 	}
 	got := out.String()
 	if !strings.Contains(got, "delivered messages:") {
-		t.Errorf("trace missing:\n%s", got)
+		t.Errorf("timeline missing:\n%s", got)
 	}
 	if !strings.Contains(got, "assets-safe=true") {
 		t.Errorf("asset safety report missing:\n%s", got)
+	}
+}
+
+// TestTraceAndMetricsFiles is the acceptance path: a traced sweep must
+// leave a non-empty JSONL trace whose every line parses, carrying span
+// events from the search, petri and sweep layers, plus a metrics
+// snapshot with the memo-hit/miss counters, per-family latency
+// histograms and an explicit zero disagreement counter.
+func TestTraceAndMetricsFiles(t *testing.T) {
+	dir := t.TempDir()
+	tracePath := filepath.Join(dir, "trace.jsonl")
+	metricsPath := filepath.Join(dir, "metrics.json")
+
+	var out bytes.Buffer
+	if err := runCLI([]string{"-n", "16", "-seed", "7",
+		"-trace", tracePath, "-metrics", metricsPath}, &out); err != nil {
+		t.Fatalf("run = %v\n%s", err, out.String())
+	}
+
+	f, err := os.Open(tracePath)
+	if err != nil {
+		t.Fatalf("trace file: %v", err)
+	}
+	defer f.Close()
+	names := map[string]bool{}
+	lines := 0
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		lines++
+		var ev map[string]any
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			t.Fatalf("trace line %d unparseable: %v\n%s", lines, err, sc.Text())
+		}
+		if name, ok := ev["name"].(string); ok {
+			names[name] = true
+		}
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatalf("scanning trace: %v", err)
+	}
+	if lines == 0 {
+		t.Fatal("trace file is empty")
+	}
+	for _, want := range []string{"sweep.run", "sweep.problem", "search.feasible", "petri.cover", "core.synthesize"} {
+		if !names[want] {
+			t.Errorf("trace has no %q events; saw %v", want, names)
+		}
+	}
+
+	raw, err := os.ReadFile(metricsPath)
+	if err != nil {
+		t.Fatalf("metrics file: %v", err)
+	}
+	var snap struct {
+		Counters   map[string]int64 `json:"counters"`
+		Histograms map[string]any   `json:"histograms"`
+	}
+	if err := json.Unmarshal(raw, &snap); err != nil {
+		t.Fatalf("metrics unparseable: %v", err)
+	}
+	if got, ok := snap.Counters["sweep.disagreements"]; !ok || got != 0 {
+		t.Errorf("sweep.disagreements = %d (present %v), want explicit 0", got, ok)
+	}
+	for _, want := range []string{"search.memo.hits", "search.memo.misses", "petri.states"} {
+		if _, ok := snap.Counters[want]; !ok {
+			t.Errorf("metrics missing counter %q", want)
+		}
+	}
+	found := false
+	for name := range snap.Histograms {
+		if strings.HasPrefix(name, "sweep.latency.") {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("metrics missing per-family sweep.latency.* histogram")
+	}
+	// The snapshot is grep-stable for CI: indented JSON, sorted keys.
+	if !strings.Contains(string(raw), `"sweep.disagreements": 0`) {
+		t.Error(`snapshot not grep-stable for "sweep.disagreements": 0`)
+	}
+}
+
+// TestSimTraceFile checks the single-simulation audit log lands on
+// disk: sim.deliver events with virtual timestamps, one per delivered
+// message.
+func TestSimTraceFile(t *testing.T) {
+	tracePath := filepath.Join(t.TempDir(), "sim.jsonl")
+	var out bytes.Buffer
+	if err := runCLI([]string{"-trace", tracePath, spec("example1.exch")}, &out); err != nil {
+		t.Fatalf("run = %v", err)
+	}
+	raw, err := os.ReadFile(tracePath)
+	if err != nil {
+		t.Fatalf("trace file: %v", err)
+	}
+	if !bytes.Contains(raw, []byte(`"sim.deliver"`)) || !bytes.Contains(raw, []byte(`"sim.run"`)) {
+		t.Errorf("sim trace lacks audit events:\n%.500s", raw)
+	}
+}
+
+// TestCanceledSweepReportsPartial covers the SIGINT path below the
+// signal layer: a pre-canceled context yields a partial, nonzero-exit
+// sweep with the interruption noted on stderr.
+func TestCanceledSweepReportsPartial(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var out, errw bytes.Buffer
+	err := run(ctx, []string{"-n", "8", "-seed", "3"}, &out, &errw)
+	if err == nil {
+		t.Fatal("canceled sweep exited clean")
+	}
+	if !strings.Contains(err.Error(), "interrupted") {
+		t.Errorf("error = %v, want interruption", err)
+	}
+	if !strings.Contains(errw.String(), "interrupted after") {
+		t.Errorf("stderr missing partial summary:\n%s", errw.String())
 	}
 }

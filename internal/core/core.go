@@ -16,9 +16,11 @@ import (
 	"errors"
 	"fmt"
 	"strings"
+	"time"
 
 	"trustseq/internal/interaction"
 	"trustseq/internal/model"
+	"trustseq/internal/obs"
 	"trustseq/internal/safety"
 	"trustseq/internal/sequencing"
 )
@@ -112,6 +114,36 @@ var ErrInfeasible = errors.New("core: exchange is not shown feasible by sequenci
 // tests).
 func Synthesize(p *model.Problem) (*Plan, error) {
 	return SynthesizeWith(p, sequencing.Reduce)
+}
+
+// SynthesizeObs is Synthesize wrapped in a trace span, with the
+// reduction's per-rule audit events and synthesis counters/latency
+// recorded against tel. Nil telemetry makes it exactly Synthesize.
+func SynthesizeObs(p *model.Problem, tel *obs.Telemetry) (*Plan, error) {
+	if !tel.Enabled() {
+		return Synthesize(p)
+	}
+	sp := tel.Trace().StartSpan("core.synthesize",
+		obs.Str("problem", p.Name),
+		obs.Int("exchanges", len(p.Exchanges)),
+		obs.Int("parties", len(p.Parties)))
+	start := time.Now()
+	plan, err := SynthesizeWith(p, func(g *sequencing.Graph) *sequencing.Reduction {
+		return sequencing.ReduceObs(g, tel)
+	})
+	reg := tel.Reg()
+	reg.Counter("core.synthesize.total").Inc()
+	reg.Histogram("core.synthesize.seconds", obs.DurationBuckets()).Observe(time.Since(start).Seconds())
+	if err != nil {
+		reg.Counter("core.synthesize.errors").Inc()
+		sp.End(obs.Str("error", err.Error()))
+		return plan, err
+	}
+	if plan.Feasible {
+		reg.Counter("core.synthesize.feasible").Inc()
+	}
+	sp.End(obs.Bool("feasible", plan.Feasible), obs.Int("steps", len(plan.Steps)))
+	return plan, nil
 }
 
 // SynthesizeWith is Synthesize with a caller-chosen reducer — e.g.

@@ -1,0 +1,31 @@
+package obs
+
+// Telemetry bundles the tracer and the metrics registry that the
+// engines thread through their call chains. A nil *Telemetry (the
+// default everywhere) disables everything; the accessors below are
+// nil-safe so instrumented code never branches on the bundle itself.
+type Telemetry struct {
+	Tracer  *Tracer
+	Metrics *Registry
+}
+
+// Enabled reports whether any signal would be recorded.
+func (t *Telemetry) Enabled() bool {
+	return t != nil && (t.Tracer.Enabled() || t.Metrics != nil)
+}
+
+// Trace returns the tracer (nil tracer when disabled).
+func (t *Telemetry) Trace() *Tracer {
+	if t == nil {
+		return nil
+	}
+	return t.Tracer
+}
+
+// Reg returns the metrics registry (nil registry when disabled).
+func (t *Telemetry) Reg() *Registry {
+	if t == nil {
+		return nil
+	}
+	return t.Metrics
+}

@@ -1,0 +1,160 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestSpanLifecycle(t *testing.T) {
+	ring := NewRingSink(16)
+	tr := NewTracer(ring)
+	sp := tr.StartSpan("outer", Str("problem", "p1"))
+	sp.Event("inner", Int("n", 3))
+	sp.End(Bool("ok", true))
+
+	evs := ring.Events()
+	if len(evs) != 3 {
+		t.Fatalf("events = %d, want 3: %+v", len(evs), evs)
+	}
+	if evs[0].Type != TypeSpanStart || evs[0].Name != "outer" || evs[0].Span == 0 {
+		t.Errorf("start = %+v", evs[0])
+	}
+	if evs[1].Type != TypeEvent || evs[1].Parent != evs[0].Span {
+		t.Errorf("child event not attributed to span: %+v", evs[1])
+	}
+	if evs[2].Type != TypeSpanEnd || evs[2].Span != evs[0].Span || evs[2].Dur < 0 {
+		t.Errorf("end = %+v", evs[2])
+	}
+	if got := evs[2].Attrs[0].Value(); got != true {
+		t.Errorf("end attr = %v", got)
+	}
+}
+
+func TestJSONLSinkLinesParse(t *testing.T) {
+	var buf bytes.Buffer
+	tr := NewTracer(NewJSONLSink(&buf))
+	tr.now = func() time.Time { return time.Date(2026, 8, 5, 12, 0, 0, 123456789, time.UTC) }
+
+	sp := tr.StartSpan("search.feasible", Str("mode", "assets"), Int("exchanges", 3))
+	sp.Event("search.batch", Int("nodes", 4096), Float("ratio", 0.5), Bool("deep", false))
+	sp.End(Bool("feasible", true), Int("explored", 99))
+	tr.Event("standalone")
+
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("lines = %d:\n%s", len(lines), buf.String())
+	}
+	for i, line := range lines {
+		var m map[string]interface{}
+		if err := json.Unmarshal([]byte(line), &m); err != nil {
+			t.Fatalf("line %d is not JSON: %v\n%s", i, err, line)
+		}
+		if m["ts"] == "" || m["ev"] == "" || m["name"] == "" {
+			t.Errorf("line %d missing fixed fields: %s", i, line)
+		}
+	}
+	if !strings.Contains(lines[0], `"ev":"span_start"`) || !strings.Contains(lines[0], `"mode":"assets"`) {
+		t.Errorf("start line: %s", lines[0])
+	}
+	if !strings.Contains(lines[2], `"dur_us":`) || !strings.Contains(lines[2], `"feasible":true`) {
+		t.Errorf("end line: %s", lines[2])
+	}
+	if n := NewJSONLSink(&bytes.Buffer{}).Events(); n != 0 {
+		t.Errorf("fresh sink events = %d", n)
+	}
+}
+
+func TestJSONLSinkConcurrent(t *testing.T) {
+	var buf bytes.Buffer
+	sink := NewJSONLSink(&buf)
+	tr := NewTracer(sink)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				tr.Event("e", Int("g", g), Int("i", i))
+			}
+		}(g)
+	}
+	wg.Wait()
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 400 || sink.Events() != 400 {
+		t.Fatalf("lines = %d, sink count = %d", len(lines), sink.Events())
+	}
+	for _, line := range lines {
+		if !json.Valid([]byte(line)) {
+			t.Fatalf("interleaved line: %s", line)
+		}
+	}
+}
+
+func TestRingSinkEviction(t *testing.T) {
+	ring := NewRingSink(3)
+	tr := NewTracer(ring)
+	for i := 0; i < 5; i++ {
+		tr.Event("e", Int("i", i))
+	}
+	evs := ring.Events()
+	if len(evs) != 3 || ring.Total() != 5 {
+		t.Fatalf("retained %d, total %d", len(evs), ring.Total())
+	}
+	for i, ev := range evs {
+		if got := ev.Attrs[0].Value(); got != int64(i+2) {
+			t.Errorf("event %d = %v, want %d (oldest-first after eviction)", i, got, i+2)
+		}
+	}
+}
+
+// TestNoopZeroAlloc pins the cost of disabled telemetry: a nil tracer
+// (the zero value everywhere in the engines) must not allocate per
+// call, so instrumentation can stay in hot loops.
+func TestNoopZeroAlloc(t *testing.T) {
+	var tr *Tracer
+	attrs := []Attr{Int("n", 1), Str("s", "x")}
+	allocs := testing.AllocsPerRun(200, func() {
+		tr.Event("e")
+		tr.Event("e", attrs...)
+		sp := tr.StartSpan("s", attrs...)
+		sp.Event("inner")
+		sp.End()
+	})
+	if allocs != 0 {
+		t.Errorf("no-op tracer allocates %v per call batch, want 0", allocs)
+	}
+	var tel *Telemetry
+	if tel.Enabled() {
+		t.Error("nil telemetry enabled")
+	}
+	allocs = testing.AllocsPerRun(200, func() {
+		tel.Trace().Event("e")
+		tel.Reg().Counter("c")
+	})
+	if allocs != 0 {
+		t.Errorf("nil telemetry allocates %v, want 0", allocs)
+	}
+}
+
+func TestTelemetryAccessors(t *testing.T) {
+	ring := NewRingSink(4)
+	tel := &Telemetry{Tracer: NewTracer(ring), Metrics: NewRegistry()}
+	if !tel.Enabled() {
+		t.Fatal("telemetry with both signals not enabled")
+	}
+	tel.Trace().Event("x")
+	tel.Reg().Counter("c").Inc()
+	if ring.Total() != 1 || tel.Metrics.Counter("c").Value() != 1 {
+		t.Errorf("accessors did not reach the underlying signals")
+	}
+	if (&Telemetry{Metrics: NewRegistry()}).Enabled() != true {
+		t.Error("metrics-only telemetry should be enabled")
+	}
+	if (&Telemetry{}).Enabled() {
+		t.Error("empty telemetry should be disabled")
+	}
+}

@@ -1,0 +1,67 @@
+package petri
+
+import (
+	"testing"
+
+	"trustseq/internal/obs"
+	"trustseq/internal/paperex"
+)
+
+// TestCoverObsMatchesPlain pins the telemetry contract for the Petri
+// engines: ReachableCoverObs returns the identical result to
+// ReachableCover (the level bookkeeping must not perturb FIFO order),
+// the parallel variant keeps its Found verdict, and per-level events
+// with frontier sizes land on the trace.
+func TestCoverObsMatchesPlain(t *testing.T) {
+	t.Parallel()
+	for name, p := range paperex.All() {
+		enc, err := FromProblem(p)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		plain := enc.Completable(1 << 16)
+		ring := obs.NewRingSink(1 << 12)
+		tel := &obs.Telemetry{Tracer: obs.NewTracer(ring), Metrics: obs.NewRegistry()}
+		traced := enc.CompletableObs(1<<16, tel)
+		if traced != plain {
+			t.Errorf("%s: traced result %+v != plain %+v", name, traced, plain)
+		}
+		if got := tel.Metrics.Counter("petri.states").Value(); got != int64(plain.Explored) {
+			t.Errorf("%s: petri.states = %d, want %d", name, got, plain.Explored)
+		}
+
+		levels := 0
+		for _, e := range ring.Events() {
+			if e.Name == "petri.level" {
+				levels++
+			}
+		}
+		if plain.Explored > 1 && levels == 0 {
+			t.Errorf("%s: no petri.level events for %d explored states", name, plain.Explored)
+		}
+
+		parTel := &obs.Telemetry{Tracer: obs.NewTracer(obs.NewRingSink(1 << 12)), Metrics: obs.NewRegistry()}
+		par := enc.Net.ReachableCoverParallelObs(enc.Initial, enc.CompletedTarget(), 1<<16, 3, parTel)
+		if par.Found != plain.Found || par.Capped != plain.Capped {
+			t.Errorf("%s: parallel traced %+v disagrees with plain %+v", name, par, plain)
+		}
+	}
+}
+
+// TestMarkingSetCollisions sanity-checks the collision tally: inserting
+// distinct markings counts a collision only when a bucket was occupied.
+func TestMarkingSetCollisions(t *testing.T) {
+	t.Parallel()
+	s := newMarkingSet()
+	a := Marking{1, 0}
+	b := Marking{0, 1}
+	s.add(a)
+	s.add(b)
+	s.add(a) // duplicate: no new insert, no collision
+	if s.size != 2 {
+		t.Fatalf("size = %d", s.size)
+	}
+	if s.collisions < 0 || s.collisions > 1 {
+		t.Errorf("collisions = %d, want 0 or 1", s.collisions)
+	}
+}

@@ -12,6 +12,8 @@ import (
 	"sort"
 	"strings"
 	"sync"
+
+	"trustseq/internal/obs"
 )
 
 // PlaceID indexes a place.
@@ -132,6 +134,10 @@ func (m Marking) Hash() uint64 {
 type markingSet struct {
 	buckets map[uint64][]Marking
 	size    int
+	// collisions counts inserts that landed in a non-empty hash bucket
+	// — the telemetry for how well Marking.Hash spreads this net's
+	// state space.
+	collisions int
 }
 
 func newMarkingSet() *markingSet {
@@ -141,12 +147,16 @@ func newMarkingSet() *markingSet {
 // add inserts m and reports whether it was absent.
 func (s *markingSet) add(m Marking) bool {
 	h := m.Hash()
-	for _, prev := range s.buckets[h] {
+	bucket := s.buckets[h]
+	for _, prev := range bucket {
 		if markingEqual(prev, m) {
 			return false
 		}
 	}
-	s.buckets[h] = append(s.buckets[h], m)
+	if len(bucket) > 0 {
+		s.collisions++
+	}
+	s.buckets[h] = append(bucket, m)
 	s.size++
 	return true
 }
@@ -269,6 +279,115 @@ func (n *Net) ReachableCover(initial, target Marking, maxStates int) Reachabilit
 	return res
 }
 
+// coverObs carries the telemetry of one coverability exploration: a
+// span over the whole search with one "petri.level" event per BFS
+// level (frontier size, states explored, hash-bucket collisions). The
+// zero value (nil telemetry) disables everything.
+type coverObs struct {
+	on   bool
+	tel  *obs.Telemetry
+	span obs.Span
+}
+
+func startCoverObs(n *Net, name string, budget int, tel *obs.Telemetry) coverObs {
+	c := coverObs{on: tel.Enabled(), tel: tel}
+	if c.on {
+		c.span = tel.Trace().StartSpan(name,
+			obs.Int("places", n.Places()),
+			obs.Int("transitions", len(n.trans)),
+			obs.Int("budget", budget))
+	}
+	return c
+}
+
+func (c coverObs) level(level, frontier, explored, collisions int) {
+	if !c.on {
+		return
+	}
+	c.span.Event("petri.level",
+		obs.Int("level", level),
+		obs.Int("frontier", frontier),
+		obs.Int("explored", explored),
+		obs.Int("collisions", collisions))
+}
+
+func (c coverObs) finish(res ReachabilityResult, levels, collisions int) {
+	if !c.on {
+		return
+	}
+	reg := c.tel.Reg()
+	reg.Counter("petri.states").Add(int64(res.Explored))
+	reg.Counter("petri.collisions").Add(int64(collisions))
+	if res.Found {
+		reg.Counter("petri.found").Inc()
+	}
+	if res.Capped {
+		reg.Counter("petri.capped").Inc()
+	}
+	reg.Histogram("petri.levels", obs.CountBuckets()).Observe(float64(levels))
+	c.span.End(
+		obs.Bool("found", res.Found),
+		obs.Bool("capped", res.Capped),
+		obs.Int("explored", res.Explored),
+		obs.Int("levels", levels),
+		obs.Int("collisions", collisions))
+}
+
+// ReachableCoverObs is ReachableCover with telemetry: the FIFO order —
+// and therefore the verdict and the explored count — is unchanged; the
+// instrumentation only tracks where each BFS level ends so it can emit
+// per-level frontier sizes and bucket-collision counts.
+func (n *Net) ReachableCoverObs(initial, target Marking, maxStates int, tel *obs.Telemetry) ReachabilityResult {
+	if !tel.Enabled() {
+		// The disabled path is the uninstrumented loop, byte-for-byte:
+		// the level bookkeeping below, however cheap, stays off the
+		// benchmarked hot path entirely.
+		return n.ReachableCover(initial, target, maxStates)
+	}
+	if maxStates <= 0 {
+		maxStates = 1 << 20
+	}
+	co := startCoverObs(n, "petri.cover", maxStates, tel)
+	seen := newMarkingSet()
+	seen.add(initial)
+	queue := []Marking{initial}
+	res := ReachabilityResult{}
+	level, inLevel, nextLevel := 0, 1, 0
+	for len(queue) > 0 {
+		m := queue[0]
+		queue = queue[1:]
+		res.Explored++
+		if m.Covers(target) {
+			res.Found = true
+			co.finish(res, level, seen.collisions)
+			return res
+		}
+		if res.Explored >= maxStates {
+			res.Capped = true
+			co.finish(res, level, seen.collisions)
+			return res
+		}
+		for ti := range n.trans {
+			if !n.Enabled(m, ti) {
+				continue
+			}
+			next := n.Fire(m, ti)
+			if seen.add(next) {
+				queue = append(queue, next)
+				nextLevel++
+			}
+		}
+		inLevel--
+		if inLevel == 0 {
+			co.level(level, nextLevel, res.Explored, seen.collisions)
+			level++
+			inLevel, nextLevel = nextLevel, 0
+		}
+	}
+	co.finish(res, level, seen.collisions)
+	return res
+}
+
 // Coverable runs the Karp–Miller coverability construction: along each
 // path, a strictly dominating successor accelerates the strictly larger
 // places to ω. It answers whether some reachable marking covers target.
@@ -340,12 +459,21 @@ func markingEqual(a, b Marking) bool {
 // differ near the cap or the target, since a level is expanded as a
 // whole. workers ≤ 1 falls back to the serial search.
 func (n *Net) ReachableCoverParallel(initial, target Marking, maxStates, workers int) ReachabilityResult {
+	return n.ReachableCoverParallelObs(initial, target, maxStates, workers, nil)
+}
+
+// ReachableCoverParallelObs is ReachableCoverParallel with the same
+// per-level telemetry as ReachableCoverObs (the parallel search is
+// already level-synchronous, so the events fall out of the loop shape).
+func (n *Net) ReachableCoverParallelObs(initial, target Marking, maxStates, workers int, tel *obs.Telemetry) ReachabilityResult {
 	if workers <= 1 {
-		return n.ReachableCover(initial, target, maxStates)
+		return n.ReachableCoverObs(initial, target, maxStates, tel)
 	}
 	if maxStates <= 0 {
 		maxStates = 1 << 20
 	}
+	co := startCoverObs(n, "petri.cover_parallel", maxStates, tel)
+	level := 0
 	seen := newMarkingSet()
 	seen.add(initial)
 	frontier := []Marking{initial}
@@ -357,11 +485,13 @@ func (n *Net) ReachableCoverParallel(initial, target Marking, maxStates, workers
 			res.Explored++
 			if m.Covers(target) {
 				res.Found = true
+				co.finish(res, level, seen.collisions)
 				return res
 			}
 		}
 		if res.Explored >= maxStates {
 			res.Capped = true
+			co.finish(res, level, seen.collisions)
 			return res
 		}
 		w := workers
@@ -396,7 +526,10 @@ func (n *Net) ReachableCoverParallel(initial, target Marking, maxStates, workers
 				}
 			}
 		}
+		co.level(level, len(next), res.Explored, seen.collisions)
+		level++
 		frontier = next
 	}
+	co.finish(res, level, seen.collisions)
 	return res
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"trustseq/internal/model"
+	"trustseq/internal/obs"
 )
 
 // Encoding is the Petri-net rendering of an exchange problem, per the
@@ -134,6 +135,12 @@ func (e *Encoding) CompletedTarget() Marking {
 // space is finite for finite endowments).
 func (e *Encoding) Completable(maxStates int) ReachabilityResult {
 	return e.Net.ReachableCover(e.Initial, e.CompletedTarget(), maxStates)
+}
+
+// CompletableObs is Completable with per-level BFS telemetry (see
+// ReachableCoverObs). Nil telemetry makes it exactly Completable.
+func (e *Encoding) CompletableObs(maxStates int, tel *obs.Telemetry) ReachabilityResult {
+	return e.Net.ReachableCoverObs(e.Initial, e.CompletedTarget(), maxStates, tel)
 }
 
 // CompletableParallel is Completable with worker-pool frontier expansion

@@ -1,11 +1,13 @@
 package search
 
 import (
+	"fmt"
 	"runtime"
 	"sync"
 	"sync/atomic"
 
 	"trustseq/internal/model"
+	"trustseq/internal/obs"
 	"trustseq/internal/safety"
 )
 
@@ -18,16 +20,21 @@ const memoShardCount = 32
 // string fallback), sharded by a cheap mix of the key.
 type sharedMemo struct {
 	shards [memoShardCount]memoShard
+	stats  bool
 }
 
 type memoShard struct {
 	mu  sync.Mutex
 	m64 map[[2]uint64]bool
 	str map[string]bool
+	// Telemetry tallies, guarded by mu and counted only when the memo
+	// was built with stats on (the lock is already held on every path
+	// that touches them, so the cost is two predictable increments).
+	hits, misses int64
 }
 
-func newSharedMemo() *sharedMemo {
-	t := &sharedMemo{}
+func newSharedMemo(stats bool) *sharedMemo {
+	t := &sharedMemo{stats: stats}
 	for i := range t.shards {
 		t.shards[i].m64 = make(map[[2]uint64]bool)
 	}
@@ -60,7 +67,13 @@ func (t *sharedMemo) lookup(k memoKey) (val, seen bool) {
 	defer s.mu.Unlock()
 	if k.packed {
 		if v, ok := s.m64[k.fp]; ok {
+			if t.stats {
+				s.hits++
+			}
 			return v, true
+		}
+		if t.stats {
+			s.misses++
 		}
 		s.m64[k.fp] = false
 		return false, false
@@ -69,10 +82,36 @@ func (t *sharedMemo) lookup(k memoKey) (val, seen bool) {
 		s.str = make(map[string]bool)
 	}
 	if v, ok := s.str[k.str]; ok {
+		if t.stats {
+			s.hits++
+		}
 		return v, true
+	}
+	if t.stats {
+		s.misses++
 	}
 	s.str[k.str] = false
 	return false, false
+}
+
+// flushStats records the per-shard memo tallies against the registry —
+// one hit/miss counter pair per shard plus the aggregates, the shape
+// the ISSUE's "memo hits/misses per shard" telemetry asks for.
+func (t *sharedMemo) flushStats(reg *obs.Registry) {
+	var hits, misses int64
+	for i := range t.shards {
+		s := &t.shards[i]
+		s.mu.Lock()
+		h, m, entries := s.hits, s.misses, len(s.m64)+len(s.str)
+		s.mu.Unlock()
+		hits += h
+		misses += m
+		reg.Counter(fmt.Sprintf("search.memo.shard%02d.hits", i)).Add(h)
+		reg.Counter(fmt.Sprintf("search.memo.shard%02d.misses", i)).Add(m)
+		reg.Counter(fmt.Sprintf("search.memo.shard%02d.entries", i)).Add(int64(entries))
+	}
+	reg.Counter("search.memo.hits").Add(hits)
+	reg.Counter("search.memo.misses").Add(misses)
 }
 
 func (t *sharedMemo) store(k memoKey, v bool) {
@@ -106,6 +145,13 @@ type parSearcher struct {
 	memo        *sharedMemo
 	stop        *atomic.Bool
 	moveBufs    [][]Move
+
+	// Telemetry: worker-local expansion count, batch-flushed to the
+	// span as "search.batch" events (obsOn caches span validity).
+	obsOn   bool
+	span    obs.Span
+	worker  int
+	visited int64
 }
 
 func (s *parSearcher) key(exec *safety.Exec) memoKey {
@@ -156,6 +202,15 @@ func (s *parSearcher) dfs(exec *safety.Exec, trail []Move, depth int) (bool, []M
 	if done, seen := s.memo.lookup(key); seen {
 		return done, nil
 	}
+	if s.obsOn {
+		s.visited++
+		if s.visited%obsBatch == 0 {
+			s.span.Event("search.batch",
+				obs.Int("worker", s.worker),
+				obs.Int64("nodes", s.visited),
+				obs.Int("depth", depth))
+		}
+	}
 	if !s.safe(exec) {
 		return false, nil
 	}
@@ -186,42 +241,70 @@ func (s *parSearcher) dfs(exec *safety.Exec, trail []Move, depth int) (bool, []M
 // evaluation elsewhere); the witness and the explored count may differ,
 // since workers race to the first witness.
 func FeasibleParallel(p *model.Problem, mode Mode, workers int) (Verdict, error) {
-	return feasibleParallelConfigured(p, mode, workers, false)
+	return feasibleParallelConfigured(p, mode, workers, false, nil)
+}
+
+// FeasibleParallelObs is FeasibleParallel with telemetry: a span around
+// the fan-out, per-worker batched expansion events, and per-shard memo
+// hit/miss counters flushed at the end. Nil telemetry makes it exactly
+// FeasibleParallel.
+func FeasibleParallelObs(p *model.Problem, mode Mode, workers int, tel *obs.Telemetry) (Verdict, error) {
+	return feasibleParallelConfigured(p, mode, workers, false, tel)
 }
 
 // feasibleParallelConfigured is the test seam behind FeasibleParallel;
 // see feasibleConfigured.
 
-func feasibleParallelConfigured(p *model.Problem, mode Mode, workers int, forceString bool) (Verdict, error) {
+func feasibleParallelConfigured(p *model.Problem, mode Mode, workers int, forceString bool, tel *obs.Telemetry) (Verdict, error) {
 	if err := p.Validate(); err != nil {
 		return Verdict{}, err
 	}
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
+	obsOn := tel.Enabled()
+	var span obs.Span
+	if obsOn {
+		span = tel.Trace().StartSpan("search.feasible_parallel",
+			obs.Str("mode", mode.String()),
+			obs.Int("exchanges", len(p.Exchanges)),
+			obs.Int("workers", workers))
+	}
 	root := safety.NewExec(p)
 	if err := root.ForceCompletionsAll(); err != nil {
 		return Verdict{}, err
 	}
 
-	memo := newSharedMemo()
+	memo := newSharedMemo(obsOn)
 	var stop atomic.Bool
 	probe := &parSearcher{problem: p, mode: mode, forceString: forceString, memo: memo, stop: &stop}
+
+	// finish flushes the telemetry (per-shard memo tallies, span end)
+	// on every exit path.
+	finish := func(v Verdict) (Verdict, error) {
+		if obsOn {
+			memo.flushStats(tel.Reg())
+			tel.Reg().Counter("search.nodes").Add(int64(v.Explored))
+			tel.Reg().Histogram("search.explored", obs.CountBuckets()).Observe(float64(v.Explored))
+			span.End(obs.Bool("feasible", v.Feasible), obs.Int("explored", v.Explored))
+		}
+		return v, nil
+	}
 
 	// Root handling stays serial: the root's safety/completion checks and
 	// its memo entry, then the fan-out over its moves.
 	rootKey := probe.key(root)
 	memo.lookup(rootKey) // marks the root in-progress
 	if !probe.safe(root) {
-		return Verdict{Explored: memo.size()}, nil
+		return finish(Verdict{Explored: memo.size()})
 	}
 	if safety.Completed(root) {
 		memo.store(rootKey, true)
-		return Verdict{Feasible: true, Explored: memo.size()}, nil
+		return finish(Verdict{Feasible: true, Explored: memo.size()})
 	}
 	rootMoves := appendMoves(nil, root, p)
 	if len(rootMoves) == 0 {
-		return Verdict{Explored: memo.size()}, nil
+		return finish(Verdict{Explored: memo.size()})
 	}
 	if workers > len(rootMoves) {
 		workers = len(rootMoves)
@@ -240,9 +323,12 @@ func feasibleParallelConfigured(p *model.Problem, mode Mode, workers int, forceS
 	close(jobs)
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func() {
+		go func(w int) {
 			defer wg.Done()
-			s := &parSearcher{problem: p, mode: mode, forceString: forceString, memo: memo, stop: &stop}
+			s := &parSearcher{
+				problem: p, mode: mode, forceString: forceString, memo: memo, stop: &stop,
+				obsOn: obsOn, span: span, worker: w,
+			}
 			for mv := range jobs {
 				if stop.Load() {
 					return
@@ -255,19 +341,19 @@ func feasibleParallelConfigured(p *model.Problem, mode Mode, workers int, forceS
 					continue
 				}
 				trail := []Move{mv}
-				if ok, w := s.dfs(next, trail, 1); ok {
+				if ok, wseq := s.dfs(next, trail, 1); ok {
 					found.Store(true)
-					winOnce.Do(func() { witness = w })
+					winOnce.Do(func() { witness = wseq })
 					stop.Store(true)
 					return
 				}
 			}
-		}()
+		}(w)
 	}
 	wg.Wait()
 	if found.Load() {
 		memo.store(rootKey, true)
-		return Verdict{Feasible: true, Sequence: witness, Explored: memo.size()}, nil
+		return finish(Verdict{Feasible: true, Sequence: witness, Explored: memo.size()})
 	}
-	return Verdict{Explored: memo.size()}, nil
+	return finish(Verdict{Explored: memo.size()})
 }

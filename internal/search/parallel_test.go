@@ -16,11 +16,11 @@ func TestHashedKeysChangeNothingSerial(t *testing.T) {
 	t.Parallel()
 	for name, p := range paperex.All() {
 		for _, mode := range []Mode{ModeAssets, ModeStrong} {
-			hashed, err := feasibleConfigured(p, mode, false)
+			hashed, err := feasibleConfigured(p, mode, false, nil)
 			if err != nil {
 				t.Fatalf("%s: %v", name, err)
 			}
-			str, err := feasibleConfigured(p, mode, true)
+			str, err := feasibleConfigured(p, mode, true, nil)
 			if err != nil {
 				t.Fatalf("%s: %v", name, err)
 			}
@@ -53,7 +53,7 @@ func TestParallelMatchesSerial(t *testing.T) {
 			if err != nil {
 				t.Fatalf("seed %d: serial: %v", seed, err)
 			}
-			serialStr, err := feasibleConfigured(p, mode, true)
+			serialStr, err := feasibleConfigured(p, mode, true, nil)
 			if err != nil {
 				t.Fatalf("seed %d: string-keyed: %v", seed, err)
 			}
@@ -70,7 +70,7 @@ func TestParallelMatchesSerial(t *testing.T) {
 						seed, mode, workers, par.Feasible, serial.Feasible)
 				}
 			}
-			parStr, err := feasibleParallelConfigured(p, mode, 3, true)
+			parStr, err := feasibleParallelConfigured(p, mode, 3, true, nil)
 			if err != nil {
 				t.Fatalf("seed %d: parallel string-keyed: %v", seed, err)
 			}

@@ -26,8 +26,14 @@ import (
 	"fmt"
 
 	"trustseq/internal/model"
+	"trustseq/internal/obs"
 	"trustseq/internal/safety"
 )
+
+// obsBatch is how many node expansions accumulate between trace events:
+// per-node events would swamp the sink on exponential searches, so the
+// searchers emit one "search.batch" record per obsBatch visited states.
+const obsBatch = 4096
 
 // Mode selects the per-prefix safety predicate.
 type Mode int
@@ -80,13 +86,21 @@ type Verdict struct {
 
 // Feasible searches for a safe completing execution of the problem.
 func Feasible(p *model.Problem, mode Mode) (Verdict, error) {
-	return feasibleConfigured(p, mode, false)
+	return feasibleConfigured(p, mode, false, nil)
+}
+
+// FeasibleObs is Feasible with telemetry: a span around the search,
+// batched node-expansion events (nodes visited, memo hits/misses,
+// depth), and memo counters. Nil telemetry makes it exactly Feasible —
+// the instrumented loop pays one boolean check per node.
+func FeasibleObs(p *model.Problem, mode Mode, tel *obs.Telemetry) (Verdict, error) {
+	return feasibleConfigured(p, mode, false, tel)
 }
 
 // feasibleConfigured is the test seam behind Feasible: forceStringKeys
 // disables the packed-fingerprint memo so the property tests can confirm
 // the key representation never changes a verdict.
-func feasibleConfigured(p *model.Problem, mode Mode, forceStringKeys bool) (Verdict, error) {
+func feasibleConfigured(p *model.Problem, mode Mode, forceStringKeys bool, tel *obs.Telemetry) (Verdict, error) {
 	if err := p.Validate(); err != nil {
 		return Verdict{}, err
 	}
@@ -94,13 +108,33 @@ func feasibleConfigured(p *model.Problem, mode Mode, forceStringKeys bool) (Verd
 		problem:     p,
 		mode:        mode,
 		forceString: forceStringKeys,
+		tel:         tel,
+		obsOn:       tel.Enabled(),
+	}
+	if s.obsOn {
+		s.span = tel.Trace().StartSpan("search.feasible",
+			obs.Str("mode", mode.String()),
+			obs.Int("exchanges", len(p.Exchanges)))
 	}
 	exec := safety.NewExec(p)
 	if err := exec.ForceCompletionsAll(); err != nil {
 		return Verdict{}, err
 	}
 	found := s.dfs(exec, nil, 0)
-	return Verdict{Feasible: found, Sequence: s.witness, Explored: len(s.memo64) + len(s.memoStr)}, nil
+	explored := len(s.memo64) + len(s.memoStr)
+	if s.obsOn {
+		reg := tel.Reg()
+		reg.Counter("search.nodes").Add(s.visited)
+		reg.Counter("search.memo.hits").Add(s.hits)
+		reg.Counter("search.memo.misses").Add(s.misses)
+		reg.Histogram("search.explored", obs.CountBuckets()).Observe(float64(explored))
+		s.span.End(
+			obs.Bool("feasible", found),
+			obs.Int("explored", explored),
+			obs.Int64("memo_hits", s.hits),
+			obs.Int64("memo_misses", s.misses))
+	}
+	return Verdict{Feasible: found, Sequence: s.witness, Explored: explored}, nil
 }
 
 // searcher carries the serial DFS state. The memo is keyed by the packed
@@ -117,6 +151,14 @@ type searcher struct {
 	memoStr     map[string]bool
 	witness     []Move
 	moveBufs    [][]Move // per-depth scratch, reused across siblings
+
+	// Telemetry (obsOn caches tel.Enabled() so the per-node cost of a
+	// disabled tracer is one boolean test).
+	tel          *obs.Telemetry
+	obsOn        bool
+	span         obs.Span
+	visited      int64
+	hits, misses int64
 }
 
 // memoKey identifies one memoized state: the packed fingerprint when the
@@ -192,7 +234,21 @@ func (s *searcher) safe(exec *safety.Exec) bool {
 func (s *searcher) dfs(exec *safety.Exec, trail []Move, depth int) bool {
 	key := s.key(exec)
 	if done, seen := s.memoLookup(key); seen {
+		if s.obsOn {
+			s.hits++
+		}
 		return done
+	}
+	if s.obsOn {
+		s.misses++
+		s.visited++
+		if s.visited%obsBatch == 0 {
+			s.span.Event("search.batch",
+				obs.Int64("nodes", s.visited),
+				obs.Int64("memo_hits", s.hits),
+				obs.Int64("memo_misses", s.misses),
+				obs.Int("depth", depth))
+		}
 	}
 	// memoLookup marked the state in-progress (false) to cut cycles;
 	// overwrite on success.

@@ -5,6 +5,8 @@ import (
 	"math/rand"
 	"sort"
 	"strings"
+
+	"trustseq/internal/obs"
 )
 
 // Rule identifies which reduction rule removed an edge.
@@ -215,7 +217,20 @@ func (s *state) neighbors(ei int, skip []bool) []int {
 // edges until none remains applicable. Section 4.2.4 licenses greediness:
 // any applicable reduction may be applied in any order without changing
 // the feasibility verdict.
-func Reduce(g *Graph) *Reduction {
+func Reduce(g *Graph) *Reduction { return ReduceObs(g, nil) }
+
+// ReduceObs is Reduce with telemetry: a span around the reduction, one
+// trace event per rule application (the replayable removal audit), and
+// per-rule counters. A nil telemetry disables everything and the cost
+// collapses to one branch per removal.
+func ReduceObs(g *Graph, tel *obs.Telemetry) *Reduction {
+	var sp obs.Span
+	if tel.Enabled() {
+		sp = tel.Trace().StartSpan("sequencing.reduce",
+			obs.Int("edges", len(g.Edges)),
+			obs.Int("commitments", len(g.Commitments)),
+			obs.Int("conjunctions", len(g.Conjunctions)))
+	}
 	s := newState(g)
 	red := &Reduction{Graph: g}
 	work := make([]int, len(g.Edges))
@@ -234,13 +249,44 @@ func Reduce(g *Graph) *Reduction {
 		}
 		s.remove(ei)
 		red.Removals = append(red.Removals, Removal{Edge: g.Edges[ei], Rule: rule, ByPersona: byPersona})
+		if tel.Enabled() {
+			observeRemoval(tel, sp, g.Edges[ei], rule, byPersona)
+		}
 		for _, n := range s.neighbors(ei, inWork) {
 			work = append(work, n)
 			inWork[n] = true
 		}
 	}
 	red.Remaining = s.remaining()
+	if tel.Enabled() {
+		tel.Reg().Counter("sequencing.reductions").Inc()
+		sp.End(
+			obs.Int("removals", len(red.Removals)),
+			obs.Int("remaining", len(red.Remaining)),
+			obs.Bool("feasible", red.Feasible()))
+	}
 	return red
+}
+
+// observeRemoval records one rule application on the trace and the
+// per-rule counters.
+func observeRemoval(tel *obs.Telemetry, sp obs.Span, e Edge, rule Rule, byPersona bool) {
+	reg := tel.Reg()
+	switch rule {
+	case Rule1:
+		reg.Counter("sequencing.removals.rule1").Inc()
+	case Rule2:
+		reg.Counter("sequencing.removals.rule2").Inc()
+	}
+	if byPersona {
+		reg.Counter("sequencing.removals.persona").Inc()
+	}
+	sp.Event("sequencing.remove",
+		obs.Str("rule", rule.String()),
+		obs.Int("commitment", e.ID.C),
+		obs.Int("conjunction", e.ID.J),
+		obs.Bool("red", e.Red),
+		obs.Bool("persona", byPersona))
 }
 
 // ReduceNaive is the O(E²) baseline reducer used by the ablation

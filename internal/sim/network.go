@@ -16,6 +16,7 @@ import (
 	"math/rand"
 
 	"trustseq/internal/model"
+	"trustseq/internal/obs"
 )
 
 // Time is virtual time in ticks.
@@ -120,6 +121,10 @@ type Network struct {
 	// runner wires these to the ledger.
 	sendHook    func(Message) error
 	deliverHook func(Message) error
+
+	// tel receives one trace event per delivered message (the
+	// replayable audit log) plus drop events; nil disables.
+	tel *obs.Telemetry
 }
 
 // SetHooks installs the asset-movement callbacks.
@@ -141,6 +146,10 @@ type Config struct {
 	// the distributed-systems failure the deadline machinery must
 	// absorb.
 	NotifyDropRate float64
+	// Obs receives per-message trace events and network counters.
+	// Telemetry is additive: it never alters scheduling, so a traced
+	// run is tick-for-tick identical to an untraced one.
+	Obs *obs.Telemetry
 }
 
 // NewNetwork builds an empty network.
@@ -161,6 +170,7 @@ func NewNetwork(cfg Config) *Network {
 		jitter:   cfg.Jitter,
 		maxMsgs:  cfg.MaxMessages,
 		dropRate: cfg.NotifyDropRate,
+		tel:      cfg.Obs,
 	}
 }
 
@@ -189,6 +199,13 @@ func (n *Network) Dropped() int { return n.dropped }
 func (n *Network) send(m Message) {
 	if m.Kind == MsgNotify && n.dropRate > 0 && n.rng.Float64() < n.dropRate {
 		n.dropped++
+		if n.tel.Enabled() {
+			n.tel.Reg().Counter("sim.notifies.dropped").Inc()
+			n.tel.Trace().Event("sim.drop",
+				obs.Int64("t", int64(n.now)),
+				obs.Str("from", string(m.From)),
+				obs.Str("to", string(m.To)))
+		}
 		return
 	}
 	lat := n.baseLat
@@ -243,10 +260,42 @@ func (n *Network) Run() error {
 					return fmt.Errorf("sim: delivering %v: %w", m, err)
 				}
 			}
+			if n.tel.Enabled() {
+				n.observeDelivery(*m)
+			}
+		} else if n.tel.Enabled() {
+			n.tel.Reg().Counter("sim.timers").Inc()
 		}
 		node.OnMessage(&Context{net: n, self: m.To}, *m)
 	}
 	return nil
+}
+
+// observeDelivery emits the audit-log record of one delivered message:
+// virtual timestamp, endpoints, kind, the action performed, and whether
+// it is a compensation (refund/unwind) or a tagged control message.
+// Together with sim.drop events this is the replayable §5 commit/unwind
+// log — ReplayBalances reconstructs the final balances from exactly
+// these transfers.
+func (n *Network) observeDelivery(m Message) {
+	reg := n.tel.Reg()
+	reg.Counter("sim.messages").Inc()
+	kind := "notify"
+	if m.Kind == MsgTransfer {
+		kind = "transfer"
+		reg.Counter("sim.transfers").Inc()
+		if m.Action.Inverse {
+			reg.Counter("sim.unwinds").Inc()
+		}
+	}
+	n.tel.Trace().Event("sim.deliver",
+		obs.Int64("t", int64(m.At)),
+		obs.Str("kind", kind),
+		obs.Str("from", string(m.From)),
+		obs.Str("to", string(m.To)),
+		obs.Str("action", m.Action.String()),
+		obs.Bool("unwind", m.Kind == MsgTransfer && m.Action.Inverse),
+		obs.Str("tag", m.Tag))
 }
 
 // Context is the API a node uses during a callback.

@@ -1,0 +1,127 @@
+package sim
+
+import (
+	"testing"
+
+	"trustseq/internal/core"
+	"trustseq/internal/model"
+	"trustseq/internal/obs"
+	"trustseq/internal/paperex"
+)
+
+// holdingsEqual compares two holdings by cash and effective item counts
+// (zero-count entries are not holdings).
+func holdingsEqual(a, b *model.Holding) bool {
+	if a.Cash != b.Cash {
+		return false
+	}
+	for it, n := range a.Items {
+		if n != 0 && b.Items[it] != n {
+			return false
+		}
+	}
+	for it, n := range b.Items {
+		if n != 0 && a.Items[it] != n {
+			return false
+		}
+	}
+	return true
+}
+
+// TestTraceReplaysToBalances is the audit-log round-trip: for honest,
+// defecting and lossy runs across the paper corpus, replaying
+// Result.Trace through a fresh ledger reproduces exactly the final
+// balances Run reported. The trace is therefore a complete record of
+// the run's commits and unwinds.
+func TestTraceReplaysToBalances(t *testing.T) {
+	t.Parallel()
+	for name, p := range paperex.All() {
+		pl, err := core.Synthesize(p)
+		if err != nil || !pl.Feasible {
+			continue // only feasible problems have a plan to run
+		}
+		scenarios := []Options{
+			{Seed: 1, Jitter: 4},
+			{Seed: 9, Jitter: 2, NotifyDropRate: 0.5, Deadline: 60},
+		}
+		// One silent defector per non-trusted party exercises the unwind
+		// (compensation) paths of the audit log.
+		for _, pa := range p.Parties {
+			if !pa.IsTrusted() {
+				scenarios = append(scenarios, Options{
+					Seed: 3, Jitter: 3, Deadline: 50,
+					Defectors: map[model.PartyID]int{pa.ID: 0},
+				})
+				break
+			}
+		}
+		for si, opts := range scenarios {
+			res := run(t, pl, opts)
+			replayed, err := res.ReplayBalances()
+			if err != nil {
+				t.Fatalf("%s scenario %d: replay = %v", name, si, err)
+			}
+			for _, pa := range p.Parties {
+				if !holdingsEqual(replayed[pa.ID], res.Balances[pa.ID]) {
+					t.Errorf("%s scenario %d: %s replayed %v != live %v",
+						name, si, pa.ID, replayed[pa.ID], res.Balances[pa.ID])
+				}
+			}
+		}
+	}
+}
+
+// TestRunEmitsAuditEvents confirms a traced run lands one sim.deliver
+// event per delivered message, stamped with the virtual clock, and that
+// the run span closes with the outcome.
+func TestRunEmitsAuditEvents(t *testing.T) {
+	t.Parallel()
+	pl := plan(t, paperex.Example1())
+	ring := obs.NewRingSink(1 << 12)
+	tel := &obs.Telemetry{Tracer: obs.NewTracer(ring), Metrics: obs.NewRegistry()}
+	res := run(t, pl, Options{Seed: 5, Jitter: 3, Obs: tel})
+
+	delivers := 0
+	var spanClosed bool
+	for _, e := range ring.Events() {
+		switch {
+		case e.Name == "sim.deliver":
+			delivers++
+		case e.Name == "sim.run" && e.Type == obs.TypeSpanEnd:
+			spanClosed = true
+		}
+	}
+	if delivers != res.Messages {
+		t.Errorf("sim.deliver events = %d, want %d", delivers, res.Messages)
+	}
+	if !spanClosed {
+		t.Error("sim.run span never closed")
+	}
+	if got := tel.Metrics.Counter("sim.messages").Value(); got != int64(res.Messages) {
+		t.Errorf("sim.messages counter = %d, want %d", got, res.Messages)
+	}
+}
+
+// TestObsDoesNotChangeSchedule pins the additivity contract: a traced
+// run is tick-for-tick identical to an untraced one.
+func TestObsDoesNotChangeSchedule(t *testing.T) {
+	t.Parallel()
+	pl := plan(t, paperex.Example1())
+	bare := run(t, pl, Options{Seed: 42, Jitter: 7, NotifyDropRate: 0.3, Deadline: 80})
+	tel := &obs.Telemetry{Tracer: obs.NewTracer(obs.NewRingSink(1 << 12)), Metrics: obs.NewRegistry()}
+	traced := run(t, pl, Options{Seed: 42, Jitter: 7, NotifyDropRate: 0.3, Deadline: 80, Obs: tel})
+	if bare.Duration != traced.Duration || bare.Messages != traced.Messages ||
+		bare.DroppedNotifies != traced.DroppedNotifies {
+		t.Errorf("traced run diverged: bare {dur %d msgs %d drop %d} vs traced {dur %d msgs %d drop %d}",
+			bare.Duration, bare.Messages, bare.DroppedNotifies,
+			traced.Duration, traced.Messages, traced.DroppedNotifies)
+	}
+	if len(bare.Trace) != len(traced.Trace) {
+		t.Fatalf("trace lengths differ: %d vs %d", len(bare.Trace), len(traced.Trace))
+	}
+	for i := range bare.Trace {
+		if bare.Trace[i].String() != traced.Trace[i].String() {
+			t.Errorf("trace entry %d differs: %v vs %v", i, bare.Trace[i], traced.Trace[i])
+		}
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"trustseq/internal/core"
 	"trustseq/internal/ledger"
 	"trustseq/internal/model"
+	"trustseq/internal/obs"
 )
 
 // transitAccount holds in-flight assets between send and delivery.
@@ -30,6 +31,10 @@ type Options struct {
 	// NotifyDropRate injects control-plane message loss (see
 	// Config.NotifyDropRate).
 	NotifyDropRate float64
+	// Obs receives a span per run, the per-message audit events and the
+	// network counters (see Config.Obs). Nil disables; telemetry never
+	// changes the simulated schedule.
+	Obs *obs.Telemetry
 }
 
 // Result is the outcome of a simulation.
@@ -124,9 +129,18 @@ func Run(plan *core.Plan, opts Options) (*Result, error) {
 	initial[transitAccount] = model.NewHolding()
 	book := ledger.New(initial)
 
+	tel := opts.Obs
+	var span obs.Span
+	if tel.Enabled() {
+		span = tel.Trace().StartSpan("sim.run",
+			obs.Str("problem", p.Name),
+			obs.Int64("seed", opts.Seed),
+			obs.Int("defectors", len(opts.Defectors)))
+	}
+
 	net := NewNetwork(Config{
 		Seed: opts.Seed, BaseLatency: opts.BaseLatency, Jitter: opts.Jitter,
-		NotifyDropRate: opts.NotifyDropRate,
+		NotifyDropRate: opts.NotifyDropRate, Obs: tel,
 	})
 	net.SetHooks(
 		func(m Message) error {
@@ -162,6 +176,9 @@ func Run(plan *core.Plan, opts Options) (*Result, error) {
 	}
 
 	if err := net.Run(); err != nil {
+		if tel.Enabled() {
+			span.End(obs.Str("error", err.Error()))
+		}
 		return nil, err
 	}
 
@@ -194,6 +211,15 @@ func Run(plan *core.Plan, opts Options) (*Result, error) {
 	}
 	for _, node := range principals {
 		res.Faults = append(res.Faults, node.Faults()...)
+	}
+	if tel.Enabled() {
+		tel.Reg().Counter("sim.runs").Inc()
+		span.End(
+			obs.Bool("completed", res.Completed()),
+			obs.Int("messages", res.Messages),
+			obs.Int64("duration_ticks", int64(res.Duration)),
+			obs.Int("faults", len(res.Faults)),
+			obs.Int("dropped", res.DroppedNotifies))
 	}
 	return res, nil
 }

@@ -1,0 +1,153 @@
+package sweep
+
+import (
+	"context"
+	"reflect"
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"trustseq/internal/obs"
+)
+
+// TestObsKeepsResultsIdentical pins the additivity contract at the
+// sweep layer: enabling full telemetry — for any worker count — leaves
+// Results and Stats byte-identical to a bare serial sweep.
+func TestObsKeepsResultsIdentical(t *testing.T) {
+	t.Parallel()
+	base := Config{N: 24, Workers: 1, Seed: 77}
+	bare := Run(base)
+
+	for _, workers := range []int{1, 3, 8} {
+		cfg := base
+		cfg.Workers = workers
+		cfg.Obs = &obs.Telemetry{
+			Tracer:  obs.NewTracer(obs.NewRingSink(1 << 14)),
+			Metrics: obs.NewRegistry(),
+		}
+		rep := Run(cfg)
+		if !reflect.DeepEqual(rep.Results, bare.Results) {
+			t.Errorf("workers=%d: traced Results differ from bare serial sweep", workers)
+		}
+		if rep.Stats != bare.Stats {
+			t.Errorf("workers=%d: traced Stats %+v != bare %+v", workers, rep.Stats, bare.Stats)
+		}
+		if got := cfg.Obs.Metrics.Counter("sweep.disagreements").Value(); got != 0 {
+			t.Errorf("workers=%d: sweep.disagreements = %d, want 0", workers, got)
+		}
+		if got := cfg.Obs.Metrics.Counter("sweep.problems").Value(); got != int64(cfg.N) {
+			t.Errorf("workers=%d: sweep.problems = %d, want %d", workers, got, cfg.N)
+		}
+	}
+}
+
+// TestObsRecordsDurationsAndEvents checks the histogram data source and
+// the per-problem trace surface: every index gets a duration and a
+// sweep.problem event, the per-family latency histogram holds one
+// observation per problem, and the sweep.run span closes.
+func TestObsRecordsDurationsAndEvents(t *testing.T) {
+	t.Parallel()
+	ring := obs.NewRingSink(1 << 14)
+	tel := &obs.Telemetry{Tracer: obs.NewTracer(ring), Metrics: obs.NewRegistry()}
+	cfg := Config{N: 12, Workers: 4, Seed: 5, Family: FamilyChain, Obs: tel}
+	rep := Run(cfg)
+
+	if rep.Canceled || rep.Completed != cfg.N {
+		t.Fatalf("clean sweep reported canceled=%v completed=%d", rep.Canceled, rep.Completed)
+	}
+	if len(rep.Durations) != cfg.N {
+		t.Fatalf("len(Durations) = %d, want %d", len(rep.Durations), cfg.N)
+	}
+	for i, d := range rep.Durations {
+		if !rep.Done[i] {
+			t.Errorf("index %d not marked done", i)
+		}
+		if d <= 0 {
+			t.Errorf("index %d: non-positive duration %v", i, d)
+		}
+	}
+
+	problems, spanEnds := 0, 0
+	for _, e := range ring.Events() {
+		switch {
+		case e.Name == "sweep.problem":
+			problems++
+		case e.Name == "sweep.run" && e.Type == obs.TypeSpanEnd:
+			spanEnds++
+		}
+	}
+	if problems != cfg.N {
+		t.Errorf("sweep.problem events = %d, want %d", problems, cfg.N)
+	}
+	if spanEnds != 1 {
+		t.Errorf("sweep.run span ends = %d, want 1", spanEnds)
+	}
+
+	snap := tel.Metrics.Snapshot()
+	var observed int64
+	for name, h := range snap.Histograms {
+		if strings.HasPrefix(name, "sweep.latency.") {
+			observed += h.Count
+		}
+	}
+	if observed != int64(cfg.N) {
+		t.Errorf("latency histogram observations = %d, want %d", observed, cfg.N)
+	}
+}
+
+// TestRunContextCancel checks graceful cancellation: a sweep whose
+// context is canceled partway stops at a problem boundary, reports
+// Canceled with a partial Completed count, and aggregates stats over
+// exactly the problems that ran.
+func TestRunContextCancel(t *testing.T) {
+	t.Parallel()
+	ctx, cancel := context.WithCancel(context.Background())
+	var calls atomic.Int64
+	cfg := Config{
+		N: 60, Workers: 2, Seed: 9,
+		Progress: func(done, total int) {
+			if calls.Add(1) == 5 {
+				cancel()
+			}
+		},
+	}
+	rep := RunContext(ctx, cfg)
+	if !rep.Canceled {
+		t.Fatal("sweep not marked canceled")
+	}
+	if rep.Completed == 0 || rep.Completed >= cfg.N {
+		t.Fatalf("Completed = %d, want partial (0 < n < %d)", rep.Completed, cfg.N)
+	}
+	doneCount := 0
+	for _, d := range rep.Done {
+		if d {
+			doneCount++
+		}
+	}
+	if doneCount != rep.Completed {
+		t.Errorf("Done count %d != Completed %d", doneCount, rep.Completed)
+	}
+	if rep.Stats.Problems != rep.Completed {
+		t.Errorf("partial Stats.Problems = %d, want %d", rep.Stats.Problems, rep.Completed)
+	}
+	if v := rep.Stats.Violations(); v != 0 {
+		t.Errorf("partial sweep reports %d violations", v)
+	}
+}
+
+// TestFamilyOf pins the metric-name bucketing for every generator
+// naming shape.
+func TestFamilyOf(t *testing.T) {
+	t.Parallel()
+	for name, want := range map[string]string{
+		"random":     "random",
+		"chain-3":    "chain",
+		"star-2":     "star",
+		"pair":       "pair",
+		"parallel-4": "parallel",
+	} {
+		if got := familyOf(name); got != want {
+			t.Errorf("familyOf(%q) = %q, want %q", name, got, want)
+		}
+	}
+}

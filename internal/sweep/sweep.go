@@ -13,15 +13,19 @@
 package sweep
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"runtime"
 	"strings"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"trustseq/internal/core"
 	"trustseq/internal/gen"
 	"trustseq/internal/model"
+	"trustseq/internal/obs"
 	"trustseq/internal/petri"
 	"trustseq/internal/search"
 )
@@ -88,6 +92,16 @@ type Config struct {
 	// of the cross-problem pool. Default: serial per-problem search (the
 	// sweep already saturates the machine across problems).
 	SearchWorkers int
+
+	// Obs receives sweep telemetry: a span per sweep, a sweep.problem
+	// event per instance, per-family latency histograms and the
+	// sweep.disagreements counter. Telemetry is additive — Results and
+	// Stats are byte-identical with or without it, for any worker count.
+	Obs *obs.Telemetry
+	// Progress, when non-nil, is called after each problem completes with
+	// the number done so far and the total. It may be called concurrently
+	// from worker goroutines and must be safe for that.
+	Progress func(done, total int)
 }
 
 func (c Config) withDefaults() Config {
@@ -168,6 +182,23 @@ type Report struct {
 	Config  Config
 	Results []Result
 	Stats   Stats
+
+	// Durations holds per-problem wall-clock times, index-addressed in
+	// parallel with Results. They feed the latency histograms and are
+	// the one machine-dependent part of a report: verdict determinism
+	// (identical Results and Stats for any worker count) never covers
+	// them.
+	Durations []time.Duration
+	// Done marks which indices actually ran; all true unless the sweep
+	// was canceled.
+	Done []bool
+	// Completed counts true entries in Done.
+	Completed int
+	// Canceled reports the sweep stopped early (context canceled); Stats
+	// then aggregates only the completed problems.
+	Canceled bool
+	// Elapsed is the sweep's total wall-clock time.
+	Elapsed time.Duration
 }
 
 // problemFor deterministically generates problem i of the sweep.
@@ -196,8 +227,32 @@ func problemFor(cfg Config, i int) (*model.Problem, int64) {
 // Run executes the sweep and returns the index-ordered results with
 // aggregate stats. The report is independent of Config.Workers.
 func Run(cfg Config) *Report {
+	return RunContext(context.Background(), cfg)
+}
+
+// RunContext executes the sweep under a context. Cancellation stops
+// workers at the next problem boundary (a problem in flight finishes);
+// the report then carries the completed prefix set with Canceled true
+// and Stats over only the completed problems.
+func RunContext(ctx context.Context, cfg Config) *Report {
 	cfg = cfg.withDefaults()
+	tel := cfg.Obs
+	start := time.Now()
+	var span obs.Span
+	if tel.Enabled() {
+		// Pre-create the counter the sweep's soundness contract is about,
+		// so a clean run still snapshots an explicit zero.
+		tel.Reg().Counter("sweep.disagreements")
+		span = tel.Trace().StartSpan("sweep.run",
+			obs.Int("n", cfg.N),
+			obs.Int("workers", cfg.Workers),
+			obs.Str("family", cfg.Family.String()),
+			obs.Int64("seed", cfg.Seed))
+	}
+
 	results := make([]Result, cfg.N)
+	durations := make([]time.Duration, cfg.N)
+	done := make([]bool, cfg.N)
 	workers := cfg.Workers
 	if workers > cfg.N {
 		workers = cfg.N
@@ -207,28 +262,104 @@ func Run(cfg Config) *Report {
 		jobs <- i
 	}
 	close(jobs)
+	var completed atomic.Int64
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			for i := range jobs {
+				if ctx.Err() != nil {
+					return
+				}
+				t0 := time.Now()
 				results[i] = runOne(cfg, i)
+				durations[i] = time.Since(t0)
+				done[i] = true
+				n := int(completed.Add(1))
+				observeProblem(tel, &results[i], durations[i])
+				if cfg.Progress != nil {
+					cfg.Progress(n, cfg.N)
+				}
 			}
 		}()
 	}
 	wg.Wait()
-	rep := &Report{Config: cfg, Results: results}
-	rep.Stats = aggregate(results)
+
+	rep := &Report{
+		Config:    cfg,
+		Results:   results,
+		Durations: durations,
+		Done:      done,
+		Completed: int(completed.Load()),
+		Canceled:  ctx.Err() != nil,
+		Elapsed:   time.Since(start),
+	}
+	if rep.Canceled {
+		rep.Stats = aggregatePartial(results, done)
+	} else {
+		rep.Stats = aggregate(results)
+	}
+	if tel.Enabled() {
+		reg := tel.Reg()
+		reg.Counter("sweep.disagreements").Add(int64(rep.Stats.Violations()))
+		if secs := rep.Elapsed.Seconds(); secs > 0 {
+			reg.Gauge("sweep.problems_per_sec").Set(int64(float64(rep.Completed) / secs))
+		}
+		span.End(
+			obs.Int("completed", rep.Completed),
+			obs.Bool("canceled", rep.Canceled),
+			obs.Int("violations", rep.Stats.Violations()),
+			obs.Int("gap", rep.Stats.Gap),
+			obs.Float("seconds", rep.Elapsed.Seconds()))
+	}
 	return rep
+}
+
+// observeProblem records one finished problem on the telemetry: the
+// per-family latency histogram and a sweep.problem trace event carrying
+// the full verdict set.
+func observeProblem(tel *obs.Telemetry, r *Result, d time.Duration) {
+	if !tel.Enabled() {
+		return
+	}
+	fam := familyOf(r.Name)
+	// Counted here, not at sweep end, so the live -metrics-addr endpoint
+	// shows progress mid-run.
+	tel.Reg().Counter("sweep.problems").Inc()
+	tel.Reg().Histogram("sweep.latency."+fam, obs.DurationBuckets()).Observe(d.Seconds())
+	// The attr is "problem", not "name": JSONL attrs flatten into the
+	// top-level object, where "name" is the event name.
+	tel.Trace().Event("sweep.problem",
+		obs.Int("index", r.Index),
+		obs.Str("problem", r.Name),
+		obs.Int("exchanges", r.Exchanges),
+		obs.Bool("graph", r.GraphFeasible),
+		obs.Bool("assets", r.AssetsFeasible),
+		obs.Bool("strong", r.StrongFeasible),
+		obs.Bool("petri", r.PetriFound),
+		obs.Bool("skipped", r.SearchSkipped),
+		obs.Str("err", r.Err),
+		obs.Float("seconds", d.Seconds()))
+}
+
+// familyOf recovers the generator family from a problem name like
+// "random-3" or "chain-2"; metric names must not depend on Config so
+// mixed reports bucket consistently.
+func familyOf(name string) string {
+	if i := strings.IndexByte(name, '-'); i > 0 {
+		return name[:i]
+	}
+	return name
 }
 
 // runOne cross-validates a single generated problem.
 func runOne(cfg Config, i int) Result {
 	p, seed := problemFor(cfg, i)
 	res := Result{Index: i, Seed: seed, Name: p.Name, Exchanges: len(p.Exchanges)}
+	tel := cfg.Obs
 
-	plan, err := core.Synthesize(p)
+	plan, err := core.SynthesizeObs(p, tel)
 	if err != nil {
 		res.Err = fmt.Sprintf("synthesize: %v", err)
 		return res
@@ -241,9 +372,9 @@ func runOne(cfg Config, i int) Result {
 	}
 	feasible := func(mode search.Mode) (search.Verdict, error) {
 		if cfg.SearchWorkers > 1 {
-			return search.FeasibleParallel(p, mode, cfg.SearchWorkers)
+			return search.FeasibleParallelObs(p, mode, cfg.SearchWorkers, tel)
 		}
-		return search.Feasible(p, mode)
+		return search.FeasibleObs(p, mode, tel)
 	}
 	assets, err := feasible(search.ModeAssets)
 	if err != nil {
@@ -263,11 +394,23 @@ func runOne(cfg Config, i int) Result {
 		res.Err = fmt.Sprintf("petri encoding: %v", err)
 		return res
 	}
-	cov := enc.Completable(cfg.PetriBudget)
+	cov := enc.CompletableObs(cfg.PetriBudget, tel)
 	res.PetriFound = cov.Found
 	res.PetriCapped = cov.Capped
 	res.PetriComparable = !cov.Capped && len(p.DirectTrust) == 0 && len(p.Indemnities) == 0
 	return res
+}
+
+// aggregatePartial aggregates only the problems that completed before
+// cancellation.
+func aggregatePartial(results []Result, done []bool) Stats {
+	kept := make([]Result, 0, len(results))
+	for i, r := range results {
+		if done[i] {
+			kept = append(kept, r)
+		}
+	}
+	return aggregate(kept)
 }
 
 func aggregate(results []Result) Stats {

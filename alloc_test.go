@@ -1,0 +1,71 @@
+package trustseq
+
+import (
+	"testing"
+
+	"trustseq/internal/gen"
+	"trustseq/internal/interaction"
+	"trustseq/internal/model"
+	"trustseq/internal/paperex"
+	"trustseq/internal/petri"
+	"trustseq/internal/sequencing"
+)
+
+// Allocation regression gates for the compiled hot paths. The budgets
+// are fixed ceilings a little above the measured steady state (Reduce:
+// 2 allocs — the Removals slice and the reduction struct; Completable:
+// 19 — the per-call scratch and result buffers). Before the compile
+// pass these paths allocated per-edge and per-marking, so a regression
+// back to map-driven working state trips these immediately.
+
+func allocGraph(t *testing.T, p *model.Problem) *sequencing.Graph {
+	t.Helper()
+	ig, err := interaction.New(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sg, err := sequencing.NewSplit(ig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sg
+}
+
+func TestReduceAllocBudget(t *testing.T) {
+	cases := []struct {
+		name string
+		p    *model.Problem
+	}{
+		{"example1", paperex.Example1()},
+		{"chain64", gen.Chain(64, model.Money(74))},
+	}
+	const budget = 4.0
+	for _, tc := range cases {
+		sg := allocGraph(t, tc.p)
+		sequencing.Reduce(sg) // warm the pooled reduction state
+		got := testing.AllocsPerRun(100, func() {
+			if !sequencing.Reduce(sg).Feasible() {
+				t.Fatal("infeasible")
+			}
+		})
+		if got > budget {
+			t.Errorf("%s: Reduce allocates %.0f/run, budget %.0f", tc.name, got, budget)
+		}
+	}
+}
+
+func TestPetriCompletableAllocBudget(t *testing.T) {
+	enc, err := petri.FromProblem(paperex.Example1())
+	if err != nil {
+		t.Fatal(err)
+	}
+	const budget = 48.0
+	got := testing.AllocsPerRun(20, func() {
+		if res := enc.Completable(1 << 20); !res.Found {
+			t.Fatal("not completable")
+		}
+	})
+	if got > budget {
+		t.Errorf("Completable allocates %.0f/run, budget %.0f", got, budget)
+	}
+}

@@ -1,0 +1,179 @@
+// Command benchtrend runs the tier-1 benchmark set and writes a JSON
+// trend file (name → ns/op, allocs/op, B/op) comparing the current tree
+// against the recorded pre-compile-pass baselines, then re-checks the
+// sweep soundness contract in-process: any nonzero disagreement counter
+// is a hard failure, so CI cannot publish numbers from a tree whose
+// engines disagree.
+//
+// Usage:
+//
+//	benchtrend                      # run the gate benchmarks, write BENCH_pr3.json
+//	benchtrend -benchtime 100x      # CI setting: fixed iteration count
+//	benchtrend -bench 'Sweep'       # restrict the benchmark regexp
+//	benchtrend -out trend.json      # alternate output path
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"strconv"
+	"strings"
+
+	"trustseq/internal/sweep"
+)
+
+// Metrics is one benchmark's measurement triple.
+type Metrics struct {
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+}
+
+// Delta is the relative change of a benchmark against its baseline,
+// negative numbers meaning improvement.
+type Delta struct {
+	NsPct     float64 `json:"ns_pct"`
+	BytesPct  float64 `json:"bytes_pct"`
+	AllocsPct float64 `json:"allocs_pct"`
+}
+
+// Trend is the file schema.
+type Trend struct {
+	// Baseline holds the pre-PR measurements (Intel Xeon @ 2.10GHz,
+	// -benchtime 5x) recorded before the compile pass landed.
+	Baseline map[string]Metrics `json:"baseline"`
+	Current  map[string]Metrics `json:"current"`
+	Delta    map[string]Delta   `json:"delta,omitempty"`
+}
+
+// baseline is the pre-PR tier-1 measurement set. Only benchmarks with a
+// recorded baseline get a delta; everything else is reported as-is.
+var baseline = map[string]Metrics{
+	"BenchmarkReduceChain/brokers=256": {NsPerOp: 161107, BytesPerOp: 206137, AllocsPerOp: 535},
+	"BenchmarkPetriCompletableFigure7": {NsPerOp: 26011157, BytesPerOp: 12772360, AllocsPerOp: 41614},
+	"BenchmarkSweepSerial":             {NsPerOp: 237941890, BytesPerOp: 113105128, AllocsPerOp: 2047911},
+}
+
+func main() {
+	out := flag.String("out", "BENCH_pr3.json", "output JSON path")
+	bench := flag.String("bench", "BenchmarkReduceChain|BenchmarkPetriCompletableFigure7|BenchmarkSweepSerial", "benchmark regexp passed to go test")
+	benchtime := flag.String("benchtime", "100x", "go test -benchtime value")
+	flag.Parse()
+
+	current, err := runBenchmarks(*bench, *benchtime)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchtrend: %v\n", err)
+		os.Exit(1)
+	}
+	trend := Trend{Baseline: baseline, Current: current, Delta: map[string]Delta{}}
+	for name, base := range baseline {
+		cur, ok := current[name]
+		if !ok {
+			continue
+		}
+		trend.Delta[name] = Delta{
+			NsPct:     pct(cur.NsPerOp, base.NsPerOp),
+			BytesPct:  pct(cur.BytesPerOp, base.BytesPerOp),
+			AllocsPct: pct(cur.AllocsPerOp, base.AllocsPerOp),
+		}
+	}
+	data, err := json.MarshalIndent(trend, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchtrend: marshal: %v\n", err)
+		os.Exit(1)
+	}
+	if err := os.WriteFile(*out, append(data, '\n'), 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "benchtrend: %v\n", err)
+		os.Exit(1)
+	}
+	for name, d := range trend.Delta {
+		fmt.Printf("%-40s ns %+.1f%%  B %+.1f%%  allocs %+.1f%%\n", name, d.NsPct, d.BytesPct, d.AllocsPct)
+	}
+	fmt.Printf("benchtrend: wrote %s (%d benchmarks)\n", *out, len(current))
+
+	// Soundness re-check: the numbers above are meaningless if the
+	// engines disagree, so run a small sweep and fail on any violation.
+	rep := sweep.Run(sweep.Config{N: 16, Seed: 17})
+	if v := rep.Stats.Violations(); v != 0 {
+		fmt.Fprintf(os.Stderr, "benchtrend: sweep reports %d violations\n%s", v, rep.Summary())
+		os.Exit(1)
+	}
+	fmt.Println("benchtrend: sweep soundness check passed (0 violations)")
+}
+
+func pct(cur, base float64) float64 {
+	if base == 0 {
+		return 0
+	}
+	return (cur - base) / base * 100
+}
+
+// runBenchmarks shells out to go test and parses the standard benchmark
+// output lines.
+func runBenchmarks(bench, benchtime string) (map[string]Metrics, error) {
+	cmd := exec.Command("go", "test", "-run", "^$", "-bench", bench,
+		"-benchmem", "-benchtime", benchtime, ".")
+	cmd.Stderr = os.Stderr
+	pipe, err := cmd.StdoutPipe()
+	if err != nil {
+		return nil, err
+	}
+	if err := cmd.Start(); err != nil {
+		return nil, err
+	}
+	results := map[string]Metrics{}
+	sc := bufio.NewScanner(pipe)
+	for sc.Scan() {
+		line := sc.Text()
+		if name, m, ok := parseBenchLine(line); ok {
+			results[name] = m
+		}
+	}
+	if err := cmd.Wait(); err != nil {
+		return nil, fmt.Errorf("go test -bench: %w", err)
+	}
+	if len(results) == 0 {
+		return nil, fmt.Errorf("no benchmark lines matched %q", bench)
+	}
+	return results, nil
+}
+
+// parseBenchLine parses lines like
+//
+//	BenchmarkSweepSerial-8   3   90242554 ns/op   9180285 B/op   120009 allocs/op
+//
+// stripping the -GOMAXPROCS suffix from the name.
+func parseBenchLine(line string) (string, Metrics, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+		return "", Metrics{}, false
+	}
+	name := fields[0]
+	if i := strings.LastIndexByte(name, '-'); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			name = name[:i]
+		}
+	}
+	var m Metrics
+	seen := false
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			continue
+		}
+		switch fields[i+1] {
+		case "ns/op":
+			m.NsPerOp = v
+			seen = true
+		case "B/op":
+			m.BytesPerOp = v
+		case "allocs/op":
+			m.AllocsPerOp = v
+		}
+	}
+	return name, m, seen
+}

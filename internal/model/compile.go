@@ -1,0 +1,129 @@
+package model
+
+// compiledProblem is the dense, read-only view of a Problem that the
+// state-space engines run against. Every table is derived mechanically
+// from the specification fields, so the cache changes no verdict — it
+// only removes the per-call slice/map building that used to dominate the
+// allocation profile of the exhaustive searches (DepositActions,
+// ExchangesOf and PrincipalsAt alone accounted for ~75% of a sweep's
+// allocations).
+//
+// The cache is built by Compile and dropped by Validate (which every
+// engine entry point calls), so a problem mutated between analyses is
+// recompiled before the next one. Builders that mutate a problem must
+// not interleave mutation with cached accessors mid-analysis; within the
+// repo every mutation path goes through Clone (which never carries the
+// cache) or precedes Validate.
+type compiledProblem struct {
+	deposits [][]Action // per exchange: DepositActions(e)
+	receipts [][]Action // per exchange: ReceiptActions(e)
+
+	exchangesOf  map[PartyID][]int     // party -> exchange indices (either role)
+	ownExchanges map[PartyID][]int     // principal -> its own exchange indices
+	principalsAt map[PartyID][]PartyID // trusted -> adjacent principals
+	persona      map[PartyID]PartyID   // trusted -> persona principal, when one exists
+	conjGroups   map[PartyID][][]int   // principal -> ConjunctionGroups
+	singles      map[PartyID][][]int   // principal -> one group per own exchange
+}
+
+// Compile builds the problem's dense derived tables if absent. It is
+// idempotent and must be called from a single goroutine before the
+// problem is shared across workers (Validate and safety.NewExec do).
+func (p *Problem) Compile() {
+	if p.comp != nil {
+		return
+	}
+	c := &compiledProblem{
+		deposits:     make([][]Action, len(p.Exchanges)),
+		receipts:     make([][]Action, len(p.Exchanges)),
+		exchangesOf:  make(map[PartyID][]int, len(p.Parties)),
+		ownExchanges: make(map[PartyID][]int, len(p.Parties)),
+		principalsAt: make(map[PartyID][]PartyID),
+		persona:      make(map[PartyID]PartyID),
+		conjGroups:   make(map[PartyID][][]int, len(p.Parties)),
+		singles:      make(map[PartyID][][]int, len(p.Parties)),
+	}
+	// All derivations below run against the uncompiled accessors
+	// (p.comp is still nil), then the finished table is published at once.
+	for i, e := range p.Exchanges {
+		c.deposits[i] = DepositActions(e)
+		c.receipts[i] = ReceiptActions(e)
+	}
+	ids := make(map[PartyID]bool, len(p.Parties))
+	for _, pa := range p.Parties {
+		ids[pa.ID] = true
+	}
+	trusteds := make(map[PartyID]bool)
+	for i, e := range p.Exchanges {
+		ids[e.Principal] = true
+		ids[e.Trusted] = true
+		trusteds[e.Trusted] = true
+		c.ownExchanges[e.Principal] = append(c.ownExchanges[e.Principal], i)
+	}
+	for id := range ids {
+		c.exchangesOf[id] = p.ExchangesOf(id)
+	}
+	for t := range trusteds {
+		c.principalsAt[t] = p.PrincipalsAt(t)
+		if q, ok := p.PersonaOf(t); ok {
+			c.persona[t] = q
+		}
+	}
+	for id, own := range c.ownExchanges {
+		c.conjGroups[id] = p.ConjunctionGroups(id)
+		singles := make([][]int, len(own))
+		for i, ei := range own {
+			singles[i] = []int{ei}
+		}
+		c.singles[id] = singles
+	}
+	p.comp = c
+}
+
+// DepositActionsOf is DepositActions(p.Exchanges[ei]) served from the
+// compiled cache when present. Callers must treat the slice as read-only.
+func (p *Problem) DepositActionsOf(ei int) []Action {
+	if c := p.comp; c != nil {
+		return c.deposits[ei]
+	}
+	return DepositActions(p.Exchanges[ei])
+}
+
+// ReceiptActionsOf is ReceiptActions(p.Exchanges[ei]) served from the
+// compiled cache when present. Callers must treat the slice as read-only.
+func (p *Problem) ReceiptActionsOf(ei int) []Action {
+	if c := p.comp; c != nil {
+		return c.receipts[ei]
+	}
+	return ReceiptActions(p.Exchanges[ei])
+}
+
+// PrincipalExchanges returns the indices of the exchanges on which the
+// party is the principal, ascending. Read-only when served from cache.
+func (p *Problem) PrincipalExchanges(id PartyID) []int {
+	if c := p.comp; c != nil {
+		return c.ownExchanges[id]
+	}
+	var out []int
+	for i, e := range p.Exchanges {
+		if e.Principal == id {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// singleGroups returns one conjunction group per own exchange — the
+// AcceptableAssets grouping — cached when compiled.
+func (p *Problem) singleGroups(principal PartyID) [][]int {
+	if c := p.comp; c != nil {
+		return c.singles[principal]
+	}
+	var out [][]int
+	for ei, e := range p.Exchanges {
+		if e.Principal == principal {
+			out = append(out, []int{ei})
+		}
+	}
+	return out
+}

@@ -81,7 +81,8 @@ type Problem struct {
 	Indemnities []IndemnityOffer
 	Constraints []Constraint
 
-	partyIndex map[PartyID]int // built by Validate / Index
+	partyIndex map[PartyID]int  // built by Validate / Index
+	comp       *compiledProblem // dense derived tables; see compile.go
 }
 
 // Party returns the party record for the ID.
@@ -107,6 +108,9 @@ func (p *Problem) buildIndex() {
 // ExchangesOf returns the indices of the exchanges in which the party
 // participates (as principal or as trusted component), ascending.
 func (p *Problem) ExchangesOf(id PartyID) []int {
+	if c := p.comp; c != nil {
+		return c.exchangesOf[id]
+	}
 	var out []int
 	for i, e := range p.Exchanges {
 		if e.Principal == id || e.Trusted == id {
@@ -119,6 +123,9 @@ func (p *Problem) ExchangesOf(id PartyID) []int {
 // PrincipalsAt returns the distinct principals adjacent to a trusted
 // component, in first-appearance order.
 func (p *Problem) PrincipalsAt(trusted PartyID) []PartyID {
+	if c := p.comp; c != nil {
+		return c.principalsAt[trusted]
+	}
 	seen := make(map[PartyID]struct{})
 	var out []PartyID
 	for _, e := range p.Exchanges {
@@ -150,6 +157,10 @@ func (p *Problem) Trusts(truster, trustee PartyID) bool {
 // such principal exists, ok is false and t is a genuinely independent
 // trusted agent.
 func (p *Problem) PersonaOf(t PartyID) (persona PartyID, ok bool) {
+	if c := p.comp; c != nil {
+		persona, ok = c.persona[t]
+		return persona, ok
+	}
 	principals := p.PrincipalsAt(t)
 	for _, q := range principals {
 		all := true
@@ -249,6 +260,9 @@ func (p *Problem) RedExchanges() map[PartyID]map[int]bool {
 // own group (Section 6: "an indemnity allows a conjunction node to be
 // split").
 func (p *Problem) ConjunctionGroups(principal PartyID) [][]int {
+	if c := p.comp; c != nil {
+		return c.conjGroups[principal]
+	}
 	var mine []int
 	for i, e := range p.Exchanges {
 		if e.Principal == principal {
@@ -307,6 +321,7 @@ func (p *Problem) Clone() *Problem {
 //     component adjacent to both the offerer and the protected principal.
 func (p *Problem) Validate() error {
 	p.partyIndex = nil
+	p.comp = nil // mutations since the last Validate invalidate the compiled tables
 	p.buildIndex()
 	if len(p.Parties) != len(p.partyIndex) {
 		return fmt.Errorf("model: problem %q has duplicate party IDs", p.Name)
@@ -367,6 +382,9 @@ func (p *Problem) Validate() error {
 			return err
 		}
 	}
+	// A validated problem is about to be analysed; build the dense tables
+	// here, while the problem is still owned by a single goroutine.
+	p.Compile()
 	return nil
 }
 

@@ -227,13 +227,7 @@ func Acceptable(p *Problem, principal PartyID, s State) bool {
 // at every step, while conjunction preferences are a negotiation-level
 // constraint enforced by the commit order and the final state.
 func AcceptableAssets(p *Problem, principal PartyID, s State) bool {
-	var singles [][]int
-	for ei, e := range p.Exchanges {
-		if e.Principal == principal {
-			singles = append(singles, []int{ei})
-		}
-	}
-	return acceptable(p, principal, s, singles)
+	return acceptable(p, principal, s, p.singleGroups(principal))
 }
 
 func acceptable(p *Problem, principal PartyID, s State, groups [][]int) bool {
@@ -241,7 +235,7 @@ func acceptable(p *Problem, principal PartyID, s State, groups [][]int) bool {
 	for _, g := range groups {
 		atRisk := false
 		for _, ei := range g {
-			for _, d := range DepositActions(p.Exchanges[ei]) {
+			for _, d := range p.DepositActionsOf(ei) {
 				if s.Has(d) && !s.Has(d.Compensation()) {
 					atRisk = true
 				}
@@ -270,7 +264,7 @@ func acceptable(p *Problem, principal PartyID, s State, groups [][]int) bool {
 			if e.Principal != principal || ei == off.Covers {
 				continue
 			}
-			for _, d := range DepositActions(e) {
+			for _, d := range p.DepositActionsOf(ei) {
 				if s.Has(d) && !s.Has(d.Compensation()) {
 					siblingCommitted = true
 				}

@@ -49,17 +49,21 @@ func TestCoverObsMatchesPlain(t *testing.T) {
 }
 
 // TestMarkingSetCollisions sanity-checks the collision tally: inserting
-// distinct markings counts a collision only when a bucket was occupied.
+// distinct markings counts a collision only when the hash was already
+// present in the arena.
 func TestMarkingSetCollisions(t *testing.T) {
 	t.Parallel()
-	s := newMarkingSet()
-	a := Marking{1, 0}
-	b := Marking{0, 1}
+	s := &markingArena{}
+	s.reset(2)
+	a := []int32{1, 0}
+	b := []int32{0, 1}
 	s.add(a)
 	s.add(b)
-	s.add(a) // duplicate: no new insert, no collision
-	if s.size != 2 {
-		t.Fatalf("size = %d", s.size)
+	if _, fresh := s.add(a); fresh { // duplicate: no new insert, no collision
+		t.Fatal("duplicate must not insert")
+	}
+	if s.count != 2 {
+		t.Fatalf("count = %d", s.count)
 	}
 	if s.collisions < 0 || s.collisions > 1 {
 		t.Errorf("collisions = %d, want 0 or 1", s.collisions)

@@ -8,41 +8,47 @@ import (
 	"trustseq/internal/paperex"
 )
 
-// Distinct markings must never merge in a markingSet, even when their
-// 64-bit hashes collide (exercised directly with forged collisions).
+// Distinct markings must never merge in a markingArena, even when their
+// 64-bit hashes collide (exercised directly with a forged collision).
 func TestMarkingSetExactness(t *testing.T) {
 	t.Parallel()
-	s := newMarkingSet()
-	a := Marking{1, 2, 3}
-	b := Marking{1, 2, 3}
-	c := Marking{3, 2, 1}
-	if !s.add(a) {
+	s := &markingArena{}
+	s.reset(3)
+	if _, fresh := s.add([]int32{1, 2, 3}); !fresh {
 		t.Fatal("first add of a should be new")
 	}
-	if s.add(b) {
+	if _, fresh := s.add([]int32{1, 2, 3}); fresh {
 		t.Fatal("equal marking b should be a duplicate")
 	}
-	if !s.add(c) {
+	if _, fresh := s.add([]int32{3, 2, 1}); !fresh {
 		t.Fatal("distinct marking c should be new")
 	}
-	if s.size != 2 {
-		t.Fatalf("size = %d, want 2", s.size)
+	if s.count != 2 {
+		t.Fatalf("count = %d, want 2", s.count)
 	}
-	// Simulate a hash collision: seed x into y's bucket. add(y) must see
-	// through the collision via exact equality and keep both markings.
-	forged := newMarkingSet()
-	x := Marking{7}
-	y := Marking{9}
-	forged.buckets[y.Hash()] = []Marking{x}
-	forged.size = 1
-	if !forged.add(y) {
-		t.Fatal("y must be added despite colliding with x's bucket")
+	// Simulate a hash collision: store x, then forge its recorded hash and
+	// table slot to match y's. add(y) must see through the collision via
+	// exact equality, keep both markings, and tally one collision.
+	forged := &markingArena{}
+	forged.reset(1)
+	forged.add([]int32{7})
+	y := []int32{9}
+	forged.hashes[0] = hash32(y)
+	for i := range forged.table {
+		forged.table[i] = 0
 	}
-	if forged.add(y) {
+	forged.table[hash32(y)&forged.mask] = 1
+	if _, fresh := forged.add(y); !fresh {
+		t.Fatal("y must be added despite colliding with x's entry")
+	}
+	if _, fresh := forged.add(y); fresh {
 		t.Fatal("second add of y must report duplicate")
 	}
-	if forged.size != 2 {
-		t.Fatalf("forged size = %d, want 2", forged.size)
+	if forged.count != 2 {
+		t.Fatalf("forged count = %d, want 2", forged.count)
+	}
+	if forged.collisions != 1 {
+		t.Fatalf("forged collisions = %d, want 1", forged.collisions)
 	}
 }
 
@@ -54,9 +60,16 @@ func TestMarkingHashOmega(t *testing.T) {
 	if markingEqual(a, b) {
 		t.Fatal("markings must differ")
 	}
-	s := newMarkingSet()
-	if !s.add(a) || !s.add(b) {
-		t.Fatal("both omega markings must insert")
+	if hash32(packInto(nil, a)) != a.Hash() || hash32(packInto(nil, b)) != b.Hash() {
+		t.Fatal("packed hash must match Marking.Hash")
+	}
+	s := &markingArena{}
+	s.reset(2)
+	if _, fresh := s.add(packInto(nil, a)); !fresh {
+		t.Fatal("first omega marking must insert")
+	}
+	if _, fresh := s.add(packInto(nil, b)); !fresh {
+		t.Fatal("second omega marking must insert")
 	}
 }
 

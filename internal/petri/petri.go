@@ -27,6 +27,10 @@ type Net struct {
 	placeNames []string
 	placeIndex map[string]PlaceID
 	trans      []Transition
+
+	// ct caches the compiled transitions (sorted flat arcs); built
+	// lazily by compile, dropped by AddTransition.
+	ct []ctrans
 }
 
 // Transition consumes In tokens and produces Out tokens.
@@ -77,6 +81,7 @@ func (n *Net) AddTransition(name string, in, out map[PlaceID]int) {
 		}
 	}
 	n.trans = append(n.trans, t)
+	n.ct = nil // mutation invalidates the compiled arcs
 }
 
 // Transitions returns the transition count.
@@ -95,8 +100,9 @@ func (n *Net) NewMarking() Marking { return make(Marking, n.Places()) }
 func (m Marking) Clone() Marking { return append(Marking(nil), m...) }
 
 // Key is a canonical map key for the marking — the readable form, kept
-// for debugging and rendering. Exploration hot loops use Hash plus exact
-// equality (markingSet) instead, avoiding a string build per marking.
+// for debugging and rendering. Exploration hot loops use the packed
+// arena (hash plus exact equality) instead, avoiding a string build per
+// marking.
 func (m Marking) Key() string {
 	var b strings.Builder
 	for i, v := range m {
@@ -114,7 +120,7 @@ func (m Marking) Key() string {
 
 // Hash is an FNV-1a–style 64-bit hash of the marking (ω hashes as its
 // sentinel value). Collisions are possible, so users must confirm with
-// exact equality — markingSet does.
+// exact equality — markingArena does.
 func (m Marking) Hash() uint64 {
 	const (
 		offset64 = 14695981039346656037
@@ -126,39 +132,6 @@ func (m Marking) Hash() uint64 {
 		h *= prime64
 	}
 	return h
-}
-
-// markingSet is a hash-keyed marking set with exact collision checks: a
-// lossy hash alone could merge distinct markings and change a verdict,
-// so each bucket stores the markings themselves.
-type markingSet struct {
-	buckets map[uint64][]Marking
-	size    int
-	// collisions counts inserts that landed in a non-empty hash bucket
-	// — the telemetry for how well Marking.Hash spreads this net's
-	// state space.
-	collisions int
-}
-
-func newMarkingSet() *markingSet {
-	return &markingSet{buckets: make(map[uint64][]Marking)}
-}
-
-// add inserts m and reports whether it was absent.
-func (s *markingSet) add(m Marking) bool {
-	h := m.Hash()
-	bucket := s.buckets[h]
-	for _, prev := range bucket {
-		if markingEqual(prev, m) {
-			return false
-		}
-	}
-	if len(bucket) > 0 {
-		s.collisions++
-	}
-	s.buckets[h] = append(bucket, m)
-	s.size++
-	return true
 }
 
 // Covers reports whether m ≥ target pointwise (ω covers everything).
@@ -247,35 +220,54 @@ type ReachabilityResult struct {
 // ReachableCover explores the exact state space (no ω-acceleration) up
 // to maxStates markings, looking for one covering target.
 func (n *Net) ReachableCover(initial, target Marking, maxStates int) ReachabilityResult {
+	return n.ReachableCoverWith(initial, target, maxStates, nil)
+}
+
+// ReachableCoverWith is ReachableCover reusing the caller's scratch
+// buffers (nil allocates fresh ones). The search runs entirely on the
+// compiled arc/arena layer: markings live packed in one slab, the BFS
+// queue holds arena indices, and firing writes into a single reused
+// buffer — the FIFO order, verdict and Explored count are identical to
+// the previous map-based loop.
+func (n *Net) ReachableCoverWith(initial, target Marking, maxStates int, sc *CoverScratch) ReachabilityResult {
 	if maxStates <= 0 {
 		maxStates = 1 << 20
 	}
-	seen := newMarkingSet()
-	seen.add(initial)
-	queue := []Marking{initial}
+	if sc == nil {
+		sc = &CoverScratch{}
+	}
+	ct := n.compile()
+	places := len(initial)
+	sc.arena.reset(places)
+	sc.init32 = packInto(sc.init32, initial)
+	sc.tgt32 = packInto(sc.tgt32, target)
+	sc.fireBuf = packInto(sc.fireBuf, initial) // sized; content overwritten
+	root, _ := sc.arena.add(sc.init32)
+	queue := append(sc.queue[:0], root)
 	res := ReachabilityResult{}
-	for len(queue) > 0 {
-		m := queue[0]
-		queue = queue[1:]
+	for head := 0; head < len(queue); head++ {
+		m := sc.arena.at(queue[head])
 		res.Explored++
-		if m.Covers(target) {
+		if covers32(m, sc.tgt32) {
 			res.Found = true
-			return res
+			break
 		}
 		if res.Explored >= maxStates {
 			res.Capped = true
-			return res
+			break
 		}
-		for ti := range n.trans {
-			if !n.Enabled(m, ti) {
+		for ti := range ct {
+			t := &ct[ti]
+			if !enabled32(m, t.in) {
 				continue
 			}
-			next := n.Fire(m, ti)
-			if seen.add(next) {
-				queue = append(queue, next)
+			fire32(sc.fireBuf, m, t)
+			if ni, fresh := sc.arena.add(sc.fireBuf); fresh {
+				queue = append(queue, ni)
 			}
 		}
 	}
+	sc.queue = queue
 	return res
 }
 
@@ -338,53 +330,69 @@ func (c coverObs) finish(res ReachabilityResult, levels, collisions int) {
 // instrumentation only tracks where each BFS level ends so it can emit
 // per-level frontier sizes and bucket-collision counts.
 func (n *Net) ReachableCoverObs(initial, target Marking, maxStates int, tel *obs.Telemetry) ReachabilityResult {
+	return n.ReachableCoverObsWith(initial, target, maxStates, tel, nil)
+}
+
+// ReachableCoverObsWith is ReachableCoverObs reusing the caller's
+// scratch buffers (nil allocates fresh ones).
+func (n *Net) ReachableCoverObsWith(initial, target Marking, maxStates int, tel *obs.Telemetry, sc *CoverScratch) ReachabilityResult {
 	if !tel.Enabled() {
 		// The disabled path is the uninstrumented loop, byte-for-byte:
 		// the level bookkeeping below, however cheap, stays off the
 		// benchmarked hot path entirely.
-		return n.ReachableCover(initial, target, maxStates)
+		return n.ReachableCoverWith(initial, target, maxStates, sc)
 	}
 	if maxStates <= 0 {
 		maxStates = 1 << 20
 	}
+	if sc == nil {
+		sc = &CoverScratch{}
+	}
 	co := startCoverObs(n, "petri.cover", maxStates, tel)
-	seen := newMarkingSet()
-	seen.add(initial)
-	queue := []Marking{initial}
+	ct := n.compile()
+	sc.arena.reset(len(initial))
+	sc.init32 = packInto(sc.init32, initial)
+	sc.tgt32 = packInto(sc.tgt32, target)
+	sc.fireBuf = packInto(sc.fireBuf, initial)
+	root, _ := sc.arena.add(sc.init32)
+	queue := append(sc.queue[:0], root)
 	res := ReachabilityResult{}
 	level, inLevel, nextLevel := 0, 1, 0
-	for len(queue) > 0 {
-		m := queue[0]
-		queue = queue[1:]
+	for head := 0; head < len(queue); head++ {
+		m := sc.arena.at(queue[head])
 		res.Explored++
-		if m.Covers(target) {
+		if covers32(m, sc.tgt32) {
 			res.Found = true
-			co.finish(res, level, seen.collisions)
+			sc.queue = queue
+			co.finish(res, level, sc.arena.collisions)
 			return res
 		}
 		if res.Explored >= maxStates {
 			res.Capped = true
-			co.finish(res, level, seen.collisions)
+			sc.queue = queue
+			co.finish(res, level, sc.arena.collisions)
 			return res
 		}
-		for ti := range n.trans {
-			if !n.Enabled(m, ti) {
+		for ti := range ct {
+			t := &ct[ti]
+			if !enabled32(m, t.in) {
 				continue
 			}
-			next := n.Fire(m, ti)
-			if seen.add(next) {
-				queue = append(queue, next)
+			fire32(sc.fireBuf, m, t)
+			if ni, fresh := sc.arena.add(sc.fireBuf); fresh {
+				queue = append(queue, ni)
 				nextLevel++
 			}
 		}
 		inLevel--
 		if inLevel == 0 {
-			co.level(level, nextLevel, res.Explored, seen.collisions)
+			co.level(level, nextLevel, res.Explored, sc.arena.collisions)
 			level++
 			inLevel, nextLevel = nextLevel, 0
 		}
 	}
-	co.finish(res, level, seen.collisions)
+	sc.queue = queue
+	co.finish(res, level, sc.arena.collisions)
 	return res
 }
 
@@ -402,12 +410,15 @@ func (n *Net) Coverable(initial, target Marking, maxNodes int) ReachabilityResul
 		ancestry []Marking
 	}
 	res := ReachabilityResult{}
-	seen := newMarkingSet()
+	seen := &markingArena{}
+	seen.reset(len(initial))
+	var pack []int32
 	stack := []node{{m: initial, ancestry: nil}}
 	for len(stack) > 0 {
 		cur := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
-		if !seen.add(cur.m) {
+		pack = packInto(pack, cur.m)
+		if _, fresh := seen.add(pack); !fresh {
 			continue
 		}
 		res.Explored++
@@ -473,45 +484,56 @@ func (n *Net) ReachableCoverParallelObs(initial, target Marking, maxStates, work
 		maxStates = 1 << 20
 	}
 	co := startCoverObs(n, "petri.cover_parallel", maxStates, tel)
-	level := 0
-	seen := newMarkingSet()
-	seen.add(initial)
-	frontier := []Marking{initial}
+	ct := n.compile()
+	places := len(initial)
+	arena := &markingArena{}
+	arena.reset(places)
+	init32 := packInto(nil, initial)
+	tgt32 := packInto(nil, target)
+	root, _ := arena.add(init32)
+	frontier := []int32{root}
 	res := ReachabilityResult{}
+	level := 0
 	for len(frontier) > 0 {
 		// Check the whole level for coverage first, so the verdict does
 		// not depend on intra-level ordering.
-		for _, m := range frontier {
+		for _, mi := range frontier {
 			res.Explored++
-			if m.Covers(target) {
+			if covers32(arena.at(mi), tgt32) {
 				res.Found = true
-				co.finish(res, level, seen.collisions)
+				co.finish(res, level, arena.collisions)
 				return res
 			}
 		}
 		if res.Explored >= maxStates {
 			res.Capped = true
-			co.finish(res, level, seen.collisions)
+			co.finish(res, level, arena.collisions)
 			return res
 		}
 		w := workers
 		if w > len(frontier) {
 			w = len(frontier)
 		}
-		succs := make([][]Marking, w)
+		// Workers only read the arena (the level barrier below orders
+		// every write after their reads); each appends packed successor
+		// markings to its own flat buffer.
+		succs := make([][]int32, w)
 		var wg sync.WaitGroup
 		for wi := 0; wi < w; wi++ {
 			wg.Add(1)
 			go func(wi int) {
 				defer wg.Done()
-				var out []Marking
+				var out []int32
+				buf := make([]int32, places)
 				for fi := wi; fi < len(frontier); fi += w {
-					m := frontier[fi]
-					for ti := range n.trans {
-						if !n.Enabled(m, ti) {
+					m := arena.at(frontier[fi])
+					for ti := range ct {
+						t := &ct[ti]
+						if !enabled32(m, t.in) {
 							continue
 						}
-						out = append(out, n.Fire(m, ti))
+						fire32(buf, m, t)
+						out = append(out, buf...)
 					}
 				}
 				succs[wi] = out
@@ -520,16 +542,16 @@ func (n *Net) ReachableCoverParallelObs(initial, target Marking, maxStates, work
 		wg.Wait()
 		next := frontier[:0]
 		for _, out := range succs {
-			for _, m := range out {
-				if seen.add(m) {
-					next = append(next, m)
+			for off := 0; off < len(out); off += places {
+				if ni, fresh := arena.add(out[off : off+places]); fresh {
+					next = append(next, ni)
 				}
 			}
 		}
-		co.level(level, len(next), res.Explored, seen.collisions)
+		co.level(level, len(next), res.Explored, arena.collisions)
 		level++
 		frontier = next
 	}
-	co.finish(res, level, seen.collisions)
+	co.finish(res, level, arena.collisions)
 	return res
 }

@@ -117,6 +117,10 @@ func FromProblem(p *model.Problem) (*Encoding, error) {
 			enc.Initial[itemPlace(n, id, it)] = cnt
 		}
 	}
+	// The net is complete; compile the flat arc form here, on the single
+	// construction goroutine, so every later exploration (serial or
+	// parallel) starts from the cached arcs.
+	n.compile()
 	return enc, nil
 }
 
@@ -137,10 +141,21 @@ func (e *Encoding) Completable(maxStates int) ReachabilityResult {
 	return e.Net.ReachableCover(e.Initial, e.CompletedTarget(), maxStates)
 }
 
+// CompletableWith is Completable reusing the caller's scratch buffers —
+// the repeat-exploration path (e.g. one scratch per sweep worker).
+func (e *Encoding) CompletableWith(maxStates int, sc *CoverScratch) ReachabilityResult {
+	return e.Net.ReachableCoverWith(e.Initial, e.CompletedTarget(), maxStates, sc)
+}
+
 // CompletableObs is Completable with per-level BFS telemetry (see
 // ReachableCoverObs). Nil telemetry makes it exactly Completable.
 func (e *Encoding) CompletableObs(maxStates int, tel *obs.Telemetry) ReachabilityResult {
 	return e.Net.ReachableCoverObs(e.Initial, e.CompletedTarget(), maxStates, tel)
+}
+
+// CompletableObsWith is CompletableObs reusing the caller's scratch.
+func (e *Encoding) CompletableObsWith(maxStates int, tel *obs.Telemetry, sc *CoverScratch) ReachabilityResult {
+	return e.Net.ReachableCoverObsWith(e.Initial, e.CompletedTarget(), maxStates, tel, sc)
 }
 
 // CompletableParallel is Completable with worker-pool frontier expansion

@@ -15,6 +15,7 @@ package safety
 
 import (
 	"fmt"
+	"sync"
 
 	"trustseq/internal/model"
 )
@@ -30,6 +31,9 @@ type Exec struct {
 // NewExec returns the execution at the status quo, with inferred initial
 // holdings.
 func NewExec(p *model.Problem) *Exec {
+	// Build the problem's dense derived tables before the execution is
+	// cloned into any search — every hot predicate below reads them.
+	p.Compile()
 	return &Exec{
 		Problem:  p,
 		State:    model.NewState(),
@@ -57,6 +61,58 @@ func (x *Exec) Clone() *Exec {
 		i++
 	}
 	return out
+}
+
+// CloneInto overwrites dst with a copy of x, reusing dst's allocated
+// maps. It accepts any recycled Exec — the party sets need not match —
+// which is what lets one sync.Pool back every state-space search.
+func (x *Exec) CloneInto(dst *Exec) *Exec {
+	dst.Problem = x.Problem
+	dst.State.CopyFrom(x.State)
+	if dst.holdings == nil {
+		dst.holdings = make(map[model.PartyID]*model.Holding, len(x.holdings))
+	}
+	for id, h := range x.holdings {
+		dh := dst.holdings[id]
+		if dh == nil {
+			dh = model.NewHolding()
+			dst.holdings[id] = dh
+		} else {
+			clear(dh.Items)
+		}
+		dh.Cash = h.Cash
+		for it, n := range h.Items {
+			dh.Items[it] = n
+		}
+	}
+	if len(dst.holdings) != len(x.holdings) {
+		for id := range dst.holdings {
+			if _, ok := x.holdings[id]; !ok {
+				delete(dst.holdings, id)
+			}
+		}
+	}
+	return dst
+}
+
+// execPool recycles Exec clones across every searcher in the process —
+// the serial and parallel exhaustive drivers and the per-node safety
+// mini-searches all draw from it. CloneInto fully overwrites a recycled
+// value, so pooled entries may hop between problems.
+var execPool = sync.Pool{New: func() any { return new(Exec) }}
+
+// ClonePooled is Clone backed by the shared pool; pass the result to
+// Release when it can no longer be referenced.
+func (x *Exec) ClonePooled() *Exec {
+	return x.CloneInto(execPool.Get().(*Exec))
+}
+
+// Release returns a pooled clone for reuse. The caller must not touch x
+// afterwards.
+func Release(x *Exec) {
+	if x != nil {
+		execPool.Put(x)
+	}
 }
 
 // Holding returns the current holding of a party.
@@ -92,7 +148,7 @@ func (x *Exec) MustApply(a model.Action) {
 // Deposited reports whether every deposit action of exchange ei has
 // occurred and none has been compensated.
 func (x *Exec) Deposited(ei int) bool {
-	for _, d := range model.DepositActions(x.Problem.Exchanges[ei]) {
+	for _, d := range x.Problem.DepositActionsOf(ei) {
 		if !x.State.Has(d) || x.State.Has(d.Compensation()) {
 			return false
 		}
@@ -104,7 +160,7 @@ func (x *Exec) Deposited(ei int) bool {
 // occurred and none has been compensated (a returned early withdrawal
 // leaves the exchange undelivered).
 func (x *Exec) Delivered(ei int) bool {
-	for _, r := range model.ReceiptActions(x.Problem.Exchanges[ei]) {
+	for _, r := range x.Problem.ReceiptActionsOf(ei) {
 		if !x.State.Has(r) || x.State.Has(r.Compensation()) {
 			return false
 		}
@@ -116,7 +172,7 @@ func (x *Exec) Delivered(ei int) bool {
 // occurred without compensation.
 func (x *Exec) PartialDeposit(ei int) bool {
 	some, all := false, true
-	for _, d := range model.DepositActions(x.Problem.Exchanges[ei]) {
+	for _, d := range x.Problem.DepositActionsOf(ei) {
 		if x.State.Has(d) && !x.State.Has(d.Compensation()) {
 			some = true
 		} else {
@@ -156,7 +212,7 @@ func (x *Exec) EarlyWithdraw(ei int) error {
 	if !ok || q != e.Principal {
 		return fmt.Errorf("safety: exchange %d is not at a persona trusted of its principal", ei)
 	}
-	for _, r := range model.ReceiptActions(e) {
+	for _, r := range x.Problem.ReceiptActionsOf(ei) {
 		if x.State.Has(r) {
 			continue
 		}
@@ -175,7 +231,7 @@ func (x *Exec) CompleteTrusted(t model.PartyID) error {
 		if e.Trusted != t {
 			continue
 		}
-		for _, r := range model.ReceiptActions(e) {
+		for _, r := range x.Problem.ReceiptActionsOf(ei) {
 			if x.State.Has(r) {
 				continue
 			}
@@ -195,7 +251,7 @@ func (x *Exec) RefundTrusted(t model.PartyID) error {
 		if e.Trusted != t || x.Delivered(ei) {
 			continue
 		}
-		for _, d := range model.DepositActions(e) {
+		for _, d := range x.Problem.DepositActionsOf(ei) {
 			if x.State.Has(d) && !x.State.Has(d.Compensation()) {
 				if err := x.Apply(d.Compensation()); err != nil {
 					return err
@@ -230,7 +286,7 @@ func IndemnityPayoutAction(p *model.Problem, off model.IndemnityOffer) model.Act
 // the protected principal "provides payment", even if the escrow was
 // later returned.
 func (x *Exec) DepositAttempted(ei int) bool {
-	for _, d := range model.DepositActions(x.Problem.Exchanges[ei]) {
+	for _, d := range x.Problem.DepositActionsOf(ei) {
 		if !x.State.Has(d) {
 			return false
 		}
@@ -301,8 +357,10 @@ func (x *Exec) indemnityProtected(principal model.PartyID, ei int) bool {
 // accepts if any wind-down (refund every pending escrow, settle
 // indemnities) is acceptable to x.
 func SafeFor(x *Exec, principal model.PartyID) bool {
-	seen := make(map[string]bool)
-	return safeSearch(x.Clone(), principal, seen, model.Acceptable)
+	c := x.ClonePooled()
+	ok := safeSearch(c, principal, &seenSet{}, model.Acceptable)
+	Release(c)
+	return ok
 }
 
 // AssetSafe is the per-exchange asset-integrity variant of SafeFor: the
@@ -315,21 +373,59 @@ func SafeFor(x *Exec, principal model.PartyID) bool {
 // enforced here; they are commit-ordering constraints checked on final
 // states.
 func AssetSafe(x *Exec, principal model.PartyID) bool {
-	seen := make(map[string]bool)
-	return safeSearch(x.Clone(), principal, seen, model.AcceptableAssets)
+	c := x.ClonePooled()
+	ok := safeSearch(c, principal, &seenSet{}, model.AcceptableAssets)
+	Release(c)
+	return ok
 }
 
 type acceptFunc func(*model.Problem, model.PartyID, model.State) bool
 
-func safeSearch(c *Exec, principal model.PartyID, seen map[string]bool, accept acceptFunc) bool {
-	if err := c.forceCompletions(principal); err != nil {
+// seenSet memoizes the deposit patterns visited by one safety
+// mini-search. The pattern packs into a single uint64 whenever the
+// principal owns at most 32 exchanges (2 status bits each); outsized
+// problems fall back to the string depositKey. Both forms are injective
+// over the same equivalence classes, so the packing changes no verdict.
+type seenSet struct {
+	packed map[uint64]bool
+	str    map[string]bool
+}
+
+// visit records the principal-local deposit pattern of c and reports
+// whether it had been seen before.
+func (s *seenSet) visit(c *Exec, principal model.PartyID) bool {
+	if own := c.Problem.PrincipalExchanges(principal); len(own) <= 32 {
+		var k uint64
+		for i, ei := range own {
+			k |= c.exchangeStatus(ei) << (2 * i)
+		}
+		if s.packed == nil {
+			s.packed = make(map[uint64]bool, 16)
+		}
+		if s.packed[k] {
+			return true
+		}
+		s.packed[k] = true
 		return false
 	}
 	key := depositKey(c, principal)
-	if seen[key] {
+	if s.str == nil {
+		s.str = make(map[string]bool)
+	}
+	if s.str[key] {
+		return true
+	}
+	s.str[key] = true
+	return false
+}
+
+func safeSearch(c *Exec, principal model.PartyID, seen *seenSet, accept acceptFunc) bool {
+	if err := c.forceCompletions(principal); err != nil {
 		return false
 	}
-	seen[key] = true
+	if seen.visit(c, principal) {
+		return false
+	}
 	if windDownAcceptable(c, principal, accept) {
 		return true
 	}
@@ -343,9 +439,9 @@ func safeSearch(c *Exec, principal model.PartyID, seen map[string]bool, accept a
 		if !c.canFund(principal, ei) {
 			continue
 		}
-		next := c.Clone()
+		next := c.ClonePooled()
 		ok := true
-		for _, d := range model.DepositActions(e) {
+		for _, d := range c.Problem.DepositActionsOf(ei) {
 			if next.State.Has(d) {
 				continue
 			}
@@ -354,7 +450,9 @@ func safeSearch(c *Exec, principal model.PartyID, seen map[string]bool, accept a
 				break
 			}
 		}
-		if ok && safeSearch(next, principal, seen, accept) {
+		hit := ok && safeSearch(next, principal, seen, accept)
+		Release(next)
+		if hit {
 			return true
 		}
 	}
@@ -369,8 +467,10 @@ func safeSearch(c *Exec, principal model.PartyID, seen map[string]bool, accept a
 		if !c.Holding(e.Trusted).Contains(e.Gets) {
 			continue
 		}
-		next := c.Clone()
-		if err := next.EarlyWithdraw(ei); err == nil && safeSearch(next, principal, seen, accept) {
+		next := c.ClonePooled()
+		hit := next.EarlyWithdraw(ei) == nil && safeSearch(next, principal, seen, accept)
+		Release(next)
+		if hit {
 			return true
 		}
 	}
@@ -431,7 +531,8 @@ func depositKey(x *Exec, principal model.PartyID) string {
 // uncompensated, undelivered deposit, which Acceptable rejects — so a
 // genuinely stuck wind-down reads as unsafe.
 func windDownAcceptable(x *Exec, principal model.PartyID, accept acceptFunc) bool {
-	c := x.Clone()
+	c := x.ClonePooled()
+	defer Release(c)
 	for {
 		progress := false
 
@@ -448,7 +549,7 @@ func windDownAcceptable(x *Exec, principal model.PartyID, accept acceptFunc) boo
 			if c.Holding(q).Contains(e.Gets) {
 				// Return the goods.
 				okAll := true
-				for _, r := range model.ReceiptActions(e) {
+				for _, r := range c.Problem.ReceiptActionsOf(ei) {
 					if c.State.Has(r.Compensation()) {
 						continue
 					}
@@ -465,7 +566,7 @@ func windDownAcceptable(x *Exec, principal model.PartyID, accept acceptFunc) boo
 			// Pay instead, if fundable.
 			if c.canFund(q, ei) {
 				funded := true
-				for _, d := range model.DepositActions(e) {
+				for _, d := range c.Problem.DepositActionsOf(ei) {
 					if c.State.Has(d) {
 						continue
 					}
@@ -501,7 +602,7 @@ func windDownAcceptable(x *Exec, principal model.PartyID, accept acceptFunc) boo
 				if e.Trusted != pa.ID || c.Delivered(ei) {
 					continue
 				}
-				for _, d := range model.DepositActions(e) {
+				for _, d := range c.Problem.DepositActionsOf(ei) {
 					if !c.State.Has(d) || c.State.Has(d.Compensation()) {
 						continue
 					}
@@ -541,26 +642,44 @@ func (x *Exec) othersDeposited(t model.PartyID, except int) bool {
 }
 
 // canFund reports whether the principal currently holds the exchange's
-// Gives bundle (partially made deposits count as already funded).
+// Gives bundle (partially made deposits count as already funded). The
+// outstanding requirement is tallied in place — no scratch Holding —
+// because this check runs for every exchange at every search node.
 func (x *Exec) canFund(principal model.PartyID, ei int) bool {
-	need := model.NewHolding()
-	for _, d := range model.DepositActions(x.Problem.Exchanges[ei]) {
-		if !x.State.Has(d) {
-			need.Add(d.Asset())
-		}
-	}
 	h := x.holdings[principal]
-	return h.Contains(model.Bundle{Amount: need.Cash, Items: itemsOf(need)})
-}
-
-func itemsOf(h *model.Holding) []model.ItemID {
-	var out []model.ItemID
-	for it, n := range h.Items {
-		for i := 0; i < n; i++ {
-			out = append(out, it)
+	deps := x.Problem.DepositActionsOf(ei)
+	var cash model.Money
+	for i, d := range deps {
+		if x.State.Has(d) {
+			continue
+		}
+		if d.Kind == model.ActionPay {
+			cash += d.Amount
+			continue
+		}
+		// The first outstanding Give of an item counts every outstanding
+		// Give of that item; later occurrences are skipped.
+		dup := false
+		for j := 0; j < i; j++ {
+			if deps[j].Kind == model.ActionGive && deps[j].Item == d.Item && !x.State.Has(deps[j]) {
+				dup = true
+				break
+			}
+		}
+		if dup {
+			continue
+		}
+		need := 0
+		for j := i; j < len(deps); j++ {
+			if deps[j].Kind == model.ActionGive && deps[j].Item == d.Item && !x.State.Has(deps[j]) {
+				need++
+			}
+		}
+		if h.Items[d.Item] < need {
+			return false
 		}
 	}
-	return out
+	return h.Cash >= cash
 }
 
 // SafeForCommitted evaluates safety under the paper's commitment
@@ -577,19 +696,58 @@ func itemsOf(h *model.Holding) []model.ItemID {
 // from its own persona trusted). The principal is safe iff some choice
 // sequence ends, after wind-down, in a state acceptable to it.
 func SafeForCommitted(x *Exec, principal model.PartyID, committed map[int]bool) bool {
-	seen := make(map[string]bool)
-	return searchCommitted(x.Clone(), principal, committed, seen)
+	c := x.ClonePooled()
+	ok := searchCommitted(c, principal, committed, &seenGlobal{})
+	Release(c)
+	return ok
 }
 
-func searchCommitted(c *Exec, principal model.PartyID, committed map[int]bool, seen map[string]bool) bool {
-	if err := c.forceEnvironment(principal, committed); err != nil {
+// seenGlobal memoizes full deposit patterns for the committed-safety
+// search: packed into two machine words when the problem has at most 64
+// exchanges, string fallback beyond. Same equivalence classes as the
+// string globalDepositKey, so the packing changes no verdict.
+type seenGlobal struct {
+	packed map[[2]uint64]bool
+	str    map[string]bool
+}
+
+// visit records the global deposit pattern of c and reports whether it
+// had been seen before.
+func (s *seenGlobal) visit(c *Exec) bool {
+	if n := len(c.Problem.Exchanges); 2*n <= 128 {
+		var k [2]uint64
+		pos := 0
+		for ei := 0; ei < n; ei++ {
+			k[pos/64] |= c.exchangeStatus(ei) << (pos % 64)
+			pos += 2
+		}
+		if s.packed == nil {
+			s.packed = make(map[[2]uint64]bool, 16)
+		}
+		if s.packed[k] {
+			return true
+		}
+		s.packed[k] = true
 		return false
 	}
 	key := globalDepositKey(c)
-	if seen[key] {
+	if s.str == nil {
+		s.str = make(map[string]bool)
+	}
+	if s.str[key] {
+		return true
+	}
+	s.str[key] = true
+	return false
+}
+
+func searchCommitted(c *Exec, principal model.PartyID, committed map[int]bool, seen *seenGlobal) bool {
+	if err := c.forceEnvironment(principal, committed); err != nil {
 		return false
 	}
-	seen[key] = true
+	if seen.visit(c) {
+		return false
+	}
 	if windDownAcceptable(c, principal, model.Acceptable) {
 		return true
 	}
@@ -600,9 +758,11 @@ func searchCommitted(c *Exec, principal model.PartyID, committed map[int]bool, s
 		// Move: early withdrawal from own persona trusted.
 		if q, ok := c.Problem.PersonaOf(e.Trusted); ok && q == principal {
 			if !c.Delivered(ei) && c.Holding(e.Trusted).Contains(e.Gets) {
-				next := c.Clone()
-				if err := next.EarlyWithdraw(ei); err == nil &&
-					searchCommitted(next, principal, committed, seen) {
+				next := c.ClonePooled()
+				hit := next.EarlyWithdraw(ei) == nil &&
+					searchCommitted(next, principal, committed, seen)
+				Release(next)
+				if hit {
 					return true
 				}
 			}
@@ -617,9 +777,9 @@ func searchCommitted(c *Exec, principal model.PartyID, committed map[int]bool, s
 		if !c.canFund(principal, ei) {
 			continue
 		}
-		next := c.Clone()
+		next := c.ClonePooled()
 		ok := true
-		for _, d := range model.DepositActions(e) {
+		for _, d := range c.Problem.DepositActionsOf(ei) {
 			if next.State.Has(d) {
 				continue
 			}
@@ -628,7 +788,9 @@ func searchCommitted(c *Exec, principal model.PartyID, committed map[int]bool, s
 				break
 			}
 		}
-		if ok && searchCommitted(next, principal, committed, seen) {
+		hit := ok && searchCommitted(next, principal, committed, seen)
+		Release(next)
+		if hit {
 			return true
 		}
 	}
@@ -669,7 +831,7 @@ func (x *Exec) forceEnvironment(analysed model.PartyID, committed map[int]bool) 
 			if x.DepositAttempted(ei) || !x.canFund(e.Principal, ei) {
 				continue
 			}
-			for _, d := range model.DepositActions(e) {
+			for _, d := range x.Problem.DepositActionsOf(ei) {
 				if x.State.Has(d) {
 					continue
 				}

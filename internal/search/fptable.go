@@ -1,0 +1,99 @@
+package search
+
+// fpTable memoizes verdicts keyed by packed 128-bit fingerprints in a
+// power-of-two open-addressing table with linear probing. It replaces
+// the previous map[[2]uint64]bool: the table stores keys and one-byte
+// verdict states in two flat arrays, so a lookup is a hash, a few
+// contiguous probes and no per-entry allocation. The all-zero
+// fingerprint is a valid key (the saturated root of a small problem),
+// so emptiness lives in the state byte, never in the key.
+type fpTable struct {
+	keys  [][2]uint64
+	state []uint8 // 0 = empty, 1 = memoized false, 2 = memoized true
+	n     int
+	mask  uint64
+}
+
+// fpHash mixes the two fingerprint words splitmix64-style; the probe
+// sequence must spread well even when only a couple of status bits vary
+// between states.
+func fpHash(fp [2]uint64) uint64 {
+	h := fp[0]*0x9e3779b97f4a7c15 ^ fp[1]*0xbf58476d1ce4e5b9
+	h ^= h >> 29
+	h *= 0x94d049bb133111eb
+	h ^= h >> 32
+	return h
+}
+
+func (t *fpTable) grow(capacity int) {
+	oldKeys, oldState := t.keys, t.state
+	t.keys = make([][2]uint64, capacity)
+	t.state = make([]uint8, capacity)
+	t.mask = uint64(capacity - 1)
+	for i, st := range oldState {
+		if st == 0 {
+			continue
+		}
+		j := fpHash(oldKeys[i]) & t.mask
+		for t.state[j] != 0 {
+			j = (j + 1) & t.mask
+		}
+		t.keys[j] = oldKeys[i]
+		t.state[j] = st
+	}
+}
+
+// slot returns the index holding fp, or the empty slot where it belongs.
+func (t *fpTable) slot(fp [2]uint64) uint64 {
+	i := fpHash(fp) & t.mask
+	for t.state[i] != 0 && t.keys[i] != fp {
+		i = (i + 1) & t.mask
+	}
+	return i
+}
+
+// lookupOrMark returns the memoized verdict for fp; when absent it
+// inserts the in-progress value `false` (the searchers' cycle cut) and
+// reports seen=false.
+func (t *fpTable) lookupOrMark(fp [2]uint64) (val, seen bool) {
+	if t.keys == nil {
+		t.grow(64)
+	}
+	i := t.slot(fp)
+	if t.state[i] != 0 {
+		return t.state[i] == 2, true
+	}
+	t.keys[i] = fp
+	t.state[i] = 1
+	t.n++
+	// Grow at 70% load so probe chains stay short.
+	if uint64(t.n)*10 >= uint64(len(t.keys))*7 {
+		t.grow(len(t.keys) * 2)
+	}
+	return false, false
+}
+
+// set records the verdict for fp (normally overwriting the in-progress
+// mark lookupOrMark left behind).
+func (t *fpTable) set(fp [2]uint64, v bool) {
+	if t.keys == nil {
+		t.grow(64)
+	}
+	i := t.slot(fp)
+	if t.state[i] == 0 {
+		t.keys[i] = fp
+		t.n++
+		if uint64(t.n+1)*10 >= uint64(len(t.keys))*7 {
+			t.grow(len(t.keys) * 2)
+			i = t.slot(fp)
+		}
+	}
+	if v {
+		t.state[i] = 2
+	} else {
+		t.state[i] = 1
+	}
+}
+
+// size returns the number of memoized states.
+func (t *fpTable) size() int { return t.n }

@@ -25,7 +25,7 @@ type sharedMemo struct {
 
 type memoShard struct {
 	mu  sync.Mutex
-	m64 map[[2]uint64]bool
+	m64 fpTable
 	str map[string]bool
 	// Telemetry tallies, guarded by mu and counted only when the memo
 	// was built with stats on (the lock is already held on every path
@@ -34,11 +34,7 @@ type memoShard struct {
 }
 
 func newSharedMemo(stats bool) *sharedMemo {
-	t := &sharedMemo{stats: stats}
-	for i := range t.shards {
-		t.shards[i].m64 = make(map[[2]uint64]bool)
-	}
-	return t
+	return &sharedMemo{stats: stats}
 }
 
 func (t *sharedMemo) shard(k memoKey) *memoShard {
@@ -66,17 +62,15 @@ func (t *sharedMemo) lookup(k memoKey) (val, seen bool) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if k.packed {
-		if v, ok := s.m64[k.fp]; ok {
-			if t.stats {
-				s.hits++
-			}
-			return v, true
-		}
+		v, ok := s.m64.lookupOrMark(k.fp)
 		if t.stats {
-			s.misses++
+			if ok {
+				s.hits++
+			} else {
+				s.misses++
+			}
 		}
-		s.m64[k.fp] = false
-		return false, false
+		return v, ok
 	}
 	if s.str == nil {
 		s.str = make(map[string]bool)
@@ -102,7 +96,7 @@ func (t *sharedMemo) flushStats(reg *obs.Registry) {
 	for i := range t.shards {
 		s := &t.shards[i]
 		s.mu.Lock()
-		h, m, entries := s.hits, s.misses, len(s.m64)+len(s.str)
+		h, m, entries := s.hits, s.misses, s.m64.size()+len(s.str)
 		s.mu.Unlock()
 		hits += h
 		misses += m
@@ -118,7 +112,7 @@ func (t *sharedMemo) store(k memoKey, v bool) {
 	s := t.shard(k)
 	s.mu.Lock()
 	if k.packed {
-		s.m64[k.fp] = v
+		s.m64.set(k.fp, v)
 	} else {
 		s.str[k.str] = v
 	}
@@ -130,7 +124,7 @@ func (t *sharedMemo) size() int {
 	for i := range t.shards {
 		s := &t.shards[i]
 		s.mu.Lock()
-		n += len(s.m64) + len(s.str)
+		n += s.m64.size() + len(s.str)
 		s.mu.Unlock()
 	}
 	return n
@@ -219,14 +213,18 @@ func (s *parSearcher) dfs(exec *safety.Exec, trail []Move, depth int) (bool, []M
 		return true, append([]Move(nil), trail...)
 	}
 	for _, mv := range s.moves(exec, depth) {
-		next := exec.Clone()
+		next := exec.ClonePooled()
 		if err := applyMove(next, s.problem, mv); err != nil {
+			safety.Release(next)
 			continue
 		}
 		if err := next.ForceCompletionsAll(); err != nil {
+			safety.Release(next)
 			continue
 		}
-		if ok, witness := s.dfs(next, append(trail, mv), depth+1); ok {
+		ok, witness := s.dfs(next, append(trail, mv), depth+1)
+		safety.Release(next)
+		if ok {
 			s.memo.store(key, true)
 			return true, witness
 		}
@@ -333,15 +331,19 @@ func feasibleParallelConfigured(p *model.Problem, mode Mode, workers int, forceS
 				if stop.Load() {
 					return
 				}
-				next := root.Clone()
+				next := root.ClonePooled()
 				if err := applyMove(next, p, mv); err != nil {
+					safety.Release(next)
 					continue
 				}
 				if err := next.ForceCompletionsAll(); err != nil {
+					safety.Release(next)
 					continue
 				}
 				trail := []Move{mv}
-				if ok, wseq := s.dfs(next, trail, 1); ok {
+				ok, wseq := s.dfs(next, trail, 1)
+				safety.Release(next)
+				if ok {
 					found.Store(true)
 					winOnce.Do(func() { witness = wseq })
 					stop.Store(true)

@@ -121,7 +121,7 @@ func feasibleConfigured(p *model.Problem, mode Mode, forceStringKeys bool, tel *
 		return Verdict{}, err
 	}
 	found := s.dfs(exec, nil, 0)
-	explored := len(s.memo64) + len(s.memoStr)
+	explored := s.memo64.size() + len(s.memoStr)
 	if s.obsOn {
 		reg := tel.Reg()
 		reg.Counter("search.nodes").Add(s.visited)
@@ -141,13 +141,13 @@ func feasibleConfigured(p *model.Problem, mode Mode, forceStringKeys bool, tel *
 // 128-bit fingerprint when the problem fits (the common case — two bits
 // per exchange, one per indemnity), falling back to the string
 // fingerprint for oversized problems. Both keys are injective, so the
-// representation cannot change a verdict; the packed form just avoids a
-// string allocation per visited state.
+// representation cannot change a verdict; the packed form lives in a
+// flat open-addressing table (fpTable) with no per-state allocation.
 type searcher struct {
 	problem     *model.Problem
 	mode        Mode
 	forceString bool
-	memo64      map[[2]uint64]bool
+	memo64      fpTable
 	memoStr     map[string]bool
 	witness     []Move
 	moveBufs    [][]Move // per-depth scratch, reused across siblings
@@ -182,14 +182,7 @@ func (s *searcher) key(exec *safety.Exec) memoKey {
 // in-progress value `false` when absent (cutting cycles, as before).
 func (s *searcher) memoLookup(k memoKey) (val, seen bool) {
 	if k.packed {
-		if s.memo64 == nil {
-			s.memo64 = make(map[[2]uint64]bool)
-		}
-		if v, ok := s.memo64[k.fp]; ok {
-			return v, true
-		}
-		s.memo64[k.fp] = false
-		return false, false
+		return s.memo64.lookupOrMark(k.fp)
 	}
 	if s.memoStr == nil {
 		s.memoStr = make(map[string]bool)
@@ -203,7 +196,7 @@ func (s *searcher) memoLookup(k memoKey) (val, seen bool) {
 
 func (s *searcher) memoStore(k memoKey, v bool) {
 	if k.packed {
-		s.memo64[k.fp] = v
+		s.memo64.set(k.fp, v)
 	} else {
 		s.memoStr[k.str] = v
 	}
@@ -263,14 +256,18 @@ func (s *searcher) dfs(exec *safety.Exec, trail []Move, depth int) bool {
 	}
 
 	for _, mv := range s.moves(exec, depth) {
-		next := exec.Clone()
+		next := exec.ClonePooled()
 		if err := applyMove(next, s.problem, mv); err != nil {
+			safety.Release(next)
 			continue
 		}
 		if err := next.ForceCompletionsAll(); err != nil {
+			safety.Release(next)
 			continue
 		}
-		if s.dfs(next, append(trail, mv), depth+1) {
+		ok := s.dfs(next, append(trail, mv), depth+1)
+		safety.Release(next)
+		if ok {
 			s.memoStore(key, true)
 			return true
 		}
@@ -314,7 +311,7 @@ func appendMoves(buf []Move, exec *safety.Exec, p *model.Problem) []Move {
 func applyMove(exec *safety.Exec, p *model.Problem, mv Move) error {
 	switch {
 	case mv.Deposit >= 0:
-		for _, d := range model.DepositActions(p.Exchanges[mv.Deposit]) {
+		for _, d := range p.DepositActionsOf(mv.Deposit) {
 			if exec.State.Has(d) {
 				continue
 			}

@@ -60,7 +60,10 @@ type Conjunction struct {
 	TrustedAgent bool
 }
 
-// Graph is the sequencing graph SG = (C, J, R, B).
+// Graph is the sequencing graph SG = (C, J, R, B). The adjacency is
+// compiled once, after construction, into CSR form: per-node edge
+// indices live in one flat array per side, sliced by offsets, so the
+// reduction's adjacency hops are contiguous reads with no map lookups.
 type Graph struct {
 	Problem      *model.Problem
 	Commitments  []Commitment
@@ -68,8 +71,10 @@ type Graph struct {
 	Edges        []Edge
 
 	conjByAgent map[model.PartyID]int
-	edgesByC    map[int][]int // commitment -> edge indices
-	edgesByJ    map[int][]int // conjunction -> edge indices
+	offC        []int32 // commitment i's edges: edgeIdxC[offC[i]:offC[i+1]]
+	edgeIdxC    []int32
+	offJ        []int32 // conjunction j's edges: edgeIdxJ[offJ[j]:offJ[j+1]]
+	edgeIdxJ    []int32
 }
 
 // New derives the plain Definition-4.1 sequencing graph from an
@@ -96,8 +101,6 @@ func build(ig *interaction.Graph, applySplits bool) (*Graph, error) {
 	g := &Graph{
 		Problem:     p,
 		conjByAgent: make(map[model.PartyID]int),
-		edgesByC:    make(map[int][]int),
-		edgesByJ:    make(map[int][]int),
 	}
 
 	for _, e := range ig.Edges {
@@ -163,24 +166,62 @@ func build(ig *interaction.Graph, applySplits bool) (*Graph, error) {
 				continue
 			}
 			isRed := agent == c.Principal && red[agent][c.ID]
-			g.addEdge(Edge{ID: EdgeID{C: c.ID, J: j}, Red: isRed})
+			g.Edges = append(g.Edges, Edge{ID: EdgeID{C: c.ID, J: j}, Red: isRed})
 		}
 	}
+	g.finalize()
 	return g, nil
 }
 
-func (g *Graph) addEdge(e Edge) {
-	idx := len(g.Edges)
-	g.Edges = append(g.Edges, e)
-	g.edgesByC[e.ID.C] = append(g.edgesByC[e.ID.C], idx)
-	g.edgesByJ[e.ID.J] = append(g.edgesByJ[e.ID.J], idx)
+// finalize compiles the CSR adjacency from g.Edges by counting sort.
+// Filling in ascending edge-index order reproduces the append order of
+// the previous map-of-slices form exactly, so every removal trace that
+// depends on neighbor enumeration order is unchanged.
+func (g *Graph) finalize() {
+	nc, nj, ne := len(g.Commitments), len(g.Conjunctions), len(g.Edges)
+	g.offC = make([]int32, nc+1)
+	g.offJ = make([]int32, nj+1)
+	for _, e := range g.Edges {
+		g.offC[e.ID.C+1]++
+		g.offJ[e.ID.J+1]++
+	}
+	for i := 0; i < nc; i++ {
+		g.offC[i+1] += g.offC[i]
+	}
+	for i := 0; i < nj; i++ {
+		g.offJ[i+1] += g.offJ[i]
+	}
+	g.edgeIdxC = make([]int32, ne)
+	g.edgeIdxJ = make([]int32, ne)
+	curC := make([]int32, nc)
+	curJ := make([]int32, nj)
+	copy(curC, g.offC[:nc])
+	copy(curJ, g.offJ[:nj])
+	for i, e := range g.Edges {
+		g.edgeIdxC[curC[e.ID.C]] = int32(i)
+		curC[e.ID.C]++
+		g.edgeIdxJ[curJ[e.ID.J]] = int32(i)
+		curJ[e.ID.J]++
+	}
 }
 
-// EdgesAtCommitment returns indices into g.Edges of the edges at c.
-func (g *Graph) EdgesAtCommitment(c int) []int { return g.edgesByC[c] }
+// EdgesAtCommitment returns indices into g.Edges of the edges at c — a
+// read-only slice of the CSR arrays.
+func (g *Graph) EdgesAtCommitment(c int) []int32 {
+	if g.offC == nil {
+		g.finalize()
+	}
+	return g.edgeIdxC[g.offC[c]:g.offC[c+1]]
+}
 
-// EdgesAtConjunction returns indices into g.Edges of the edges at j.
-func (g *Graph) EdgesAtConjunction(j int) []int { return g.edgesByJ[j] }
+// EdgesAtConjunction returns indices into g.Edges of the edges at j — a
+// read-only slice of the CSR arrays.
+func (g *Graph) EdgesAtConjunction(j int) []int32 {
+	if g.offJ == nil {
+		g.finalize()
+	}
+	return g.edgeIdxJ[g.offJ[j]:g.offJ[j+1]]
+}
 
 // ConjunctionOf returns the conjunction node ID for an agent.
 func (g *Graph) ConjunctionOf(agent model.PartyID) (int, bool) {
@@ -221,10 +262,16 @@ func (g *Graph) Validate() error {
 			return fmt.Errorf("sequencing: red edge %v at trusted conjunction ⋀%s", e.ID, j.Agent)
 		}
 	}
-	for ci := range g.Commitments {
-		if len(g.edgesByC[ci]) > 2 {
+	// Count degrees straight from the edge list: the IDs were range-checked
+	// above, so this stays safe even on graphs the CSR was never built for.
+	degC := make([]int, len(g.Commitments))
+	for _, e := range g.Edges {
+		degC[e.ID.C]++
+	}
+	for ci, deg := range degC {
+		if deg > 2 {
 			return fmt.Errorf("sequencing: commitment %d has %d edges (max 2: one per endpoint)",
-				ci, len(g.edgesByC[ci]))
+				ci, deg)
 		}
 	}
 	return nil

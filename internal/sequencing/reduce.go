@@ -5,6 +5,7 @@ import (
 	"math/rand"
 	"sort"
 	"strings"
+	"sync"
 
 	"trustseq/internal/obs"
 )
@@ -64,6 +65,23 @@ func (r *Reduction) RemovedSet() map[EdgeID]bool {
 	return out
 }
 
+// RemovedSorted returns the removed edge IDs sorted by commitment then
+// conjunction — a deterministic enumeration independent of the removal
+// order the reducer happened to follow.
+func (r *Reduction) RemovedSorted() []EdgeID {
+	out := make([]EdgeID, len(r.Removals))
+	for i, rm := range r.Removals {
+		out[i] = rm.Edge.ID
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].C != out[j].C {
+			return out[i].C < out[j].C
+		}
+		return out[i].J < out[j].J
+	})
+	return out
+}
+
 // String renders the trace in the style of the Section 4.2.2 walkthrough.
 func (r *Reduction) String() string {
 	var b strings.Builder
@@ -85,30 +103,67 @@ func (r *Reduction) String() string {
 	return b.String()
 }
 
-// state tracks remaining edges during a reduction.
+// state tracks remaining edges during a reduction. All per-node counts
+// are dense int32 arrays indexed like the graph's node slices, recycled
+// through a sync.Pool so a reduction over an already-seen size class
+// allocates nothing.
 type state struct {
 	g       *Graph
-	present []bool // indexed like g.Edges
-	degC    []int  // remaining degree of each commitment node
-	degJ    []int  // remaining degree of each conjunction node
-	redAtJ  []int  // remaining red edges at each conjunction node
+	present []bool  // indexed like g.Edges
+	degC    []int32 // remaining degree of each commitment node
+	degJ    []int32 // remaining degree of each conjunction node
+	redAtJ  []int32 // remaining red edges at each conjunction node
 
 	// Scratch for neighbors: one buffer reused across every removal, plus
 	// an epoch-stamped dedup array (the adjacency hops below revisit the
 	// same edges many times).
-	nscratch []int
-	nstamp   []int
-	nepoch   int
+	nscratch []int32
+	nstamp   []int32
+	nepoch   int32
+
+	// Worklist scratch for ReduceObs, kept here so the pool recycles it
+	// with the rest of the reduction state.
+	work   []int32
+	inWork []bool
+}
+
+var statePool = sync.Pool{New: func() any { return new(state) }}
+
+// boolSlice returns a zeroed bool slice of length n, reusing buf's
+// backing array when it is large enough.
+func boolSlice(buf []bool, n int) []bool {
+	if cap(buf) < n {
+		return make([]bool, n)
+	}
+	buf = buf[:n]
+	for i := range buf {
+		buf[i] = false
+	}
+	return buf
+}
+
+// i32Slice returns a zeroed int32 slice of length n, reusing buf's
+// backing array when it is large enough.
+func i32Slice(buf []int32, n int) []int32 {
+	if cap(buf) < n {
+		return make([]int32, n)
+	}
+	buf = buf[:n]
+	for i := range buf {
+		buf[i] = 0
+	}
+	return buf
 }
 
 func newState(g *Graph) *state {
-	s := &state{
-		g:       g,
-		present: make([]bool, len(g.Edges)),
-		degC:    make([]int, len(g.Commitments)),
-		degJ:    make([]int, len(g.Conjunctions)),
-		redAtJ:  make([]int, len(g.Conjunctions)),
-	}
+	s := statePool.Get().(*state)
+	s.g = g
+	s.present = boolSlice(s.present, len(g.Edges))
+	s.degC = i32Slice(s.degC, len(g.Commitments))
+	s.degJ = i32Slice(s.degJ, len(g.Conjunctions))
+	s.redAtJ = i32Slice(s.redAtJ, len(g.Conjunctions))
+	s.nstamp = i32Slice(s.nstamp, len(g.Edges))
+	s.nepoch = 0
 	for i, e := range g.Edges {
 		s.present[i] = true
 		s.degC[e.ID.C]++
@@ -118,6 +173,13 @@ func newState(g *Graph) *state {
 		}
 	}
 	return s
+}
+
+// release returns the state's buffers to the pool. The caller must not
+// touch s afterwards.
+func (s *state) release() {
+	s.g = nil
+	statePool.Put(s)
 }
 
 // applicable determines whether edge index ei may be removed now, and by
@@ -163,7 +225,16 @@ func (s *state) remove(ei int) {
 }
 
 func (s *state) remaining() []Edge {
-	var out []Edge
+	n := 0
+	for _, p := range s.present {
+		if p {
+			n++
+		}
+	}
+	if n == 0 {
+		return nil
+	}
+	out := make([]Edge, 0, n)
 	for i, p := range s.present {
 		if p {
 			out = append(out, s.g.Edges[i])
@@ -178,24 +249,12 @@ func (s *state) remaining() []Edge {
 // all edges at the conjunction. The result is deduplicated, filtered to
 // present edges not already queued (skip), and written into a scratch
 // buffer reused across removals; it is valid until the next call.
-func (s *state) neighbors(ei int, skip []bool) []int {
-	if s.nstamp == nil {
-		s.nstamp = make([]int, len(s.g.Edges))
-	}
+func (s *state) neighbors(ei int, skip []bool) []int32 {
 	s.nepoch++
 	out := s.nscratch[:0]
-	add := func(indices []int) {
-		for _, n := range indices {
-			if s.nstamp[n] == s.nepoch || !s.present[n] || (skip != nil && skip[n]) {
-				continue
-			}
-			s.nstamp[n] = s.nepoch
-			out = append(out, n)
-		}
-	}
 	e := s.g.Edges[ei]
-	add(s.g.EdgesAtCommitment(e.ID.C))
-	add(s.g.EdgesAtConjunction(e.ID.J))
+	out = s.addNeighbors(out, s.g.EdgesAtCommitment(e.ID.C), skip)
+	out = s.addNeighbors(out, s.g.EdgesAtConjunction(e.ID.J), skip)
 	// Removing the last sibling at a commitment can make that commitment
 	// a fringe node; its other-end conjunction edges are covered above.
 	// Removing an edge at a conjunction can make another commitment's
@@ -204,12 +263,26 @@ func (s *state) neighbors(ei int, skip []bool) []int {
 	// commitment at this conjunction just became fringe, its *other* edge
 	// (at a different conjunction) may now be removable.
 	for _, sib := range s.g.EdgesAtConjunction(e.ID.J) {
-		add(s.g.EdgesAtCommitment(s.g.Edges[sib].ID.C))
+		out = s.addNeighbors(out, s.g.EdgesAtCommitment(s.g.Edges[sib].ID.C), skip)
 	}
 	for _, sib := range s.g.EdgesAtCommitment(e.ID.C) {
-		add(s.g.EdgesAtConjunction(s.g.Edges[sib].ID.J))
+		out = s.addNeighbors(out, s.g.EdgesAtConjunction(s.g.Edges[sib].ID.J), skip)
 	}
 	s.nscratch = out
+	return out
+}
+
+// addNeighbors appends the present, unqueued, not-yet-stamped edges of
+// indices to out. A method instead of a closure: the closure form
+// escaped to the heap once per removal.
+func (s *state) addNeighbors(out []int32, indices []int32, skip []bool) []int32 {
+	for _, n := range indices {
+		if s.nstamp[n] == s.nepoch || !s.present[n] || (skip != nil && skip[n]) {
+			continue
+		}
+		s.nstamp[n] = s.nepoch
+		out = append(out, n)
+	}
 	return out
 }
 
@@ -232,16 +305,17 @@ func ReduceObs(g *Graph, tel *obs.Telemetry) *Reduction {
 			obs.Int("conjunctions", len(g.Conjunctions)))
 	}
 	s := newState(g)
-	red := &Reduction{Graph: g}
-	work := make([]int, len(g.Edges))
-	inWork := make([]bool, len(g.Edges))
+	red := &Reduction{Graph: g, Removals: make([]Removal, 0, len(g.Edges))}
+	work := i32Slice(s.work, len(g.Edges))
+	inWork := boolSlice(s.inWork, len(g.Edges))
 	for i := range work {
-		work[i] = i
+		work[i] = int32(i)
 		inWork[i] = true
 	}
-	for len(work) > 0 {
-		ei := work[0]
-		work = work[1:]
+	// FIFO via a head index: the same dequeue order as the previous
+	// work[0]/work[1:] slicing, without losing the buffer's front capacity.
+	for head := 0; head < len(work); head++ {
+		ei := int(work[head])
 		inWork[ei] = false
 		rule, byPersona := s.applicable(ei)
 		if rule == RuleNone {
@@ -257,7 +331,9 @@ func ReduceObs(g *Graph, tel *obs.Telemetry) *Reduction {
 			inWork[n] = true
 		}
 	}
+	s.work, s.inWork = work, inWork
 	red.Remaining = s.remaining()
+	s.release()
 	if tel.Enabled() {
 		tel.Reg().Counter("sequencing.reductions").Inc()
 		sp.End(
@@ -312,6 +388,7 @@ func ReduceNaive(g *Graph) *Reduction {
 		}
 	}
 	red.Remaining = s.remaining()
+	s.release()
 	return red
 }
 
@@ -337,6 +414,7 @@ func ReduceRandomOrder(g *Graph, rng *rand.Rand) *Reduction {
 		red.Removals = append(red.Removals, Removal{Edge: g.Edges[ei], Rule: rule, ByPersona: byPersona})
 	}
 	red.Remaining = s.remaining()
+	s.release()
 	return red
 }
 
@@ -356,6 +434,7 @@ func (r *Reduction) Impasse() string {
 			}
 		}
 	}
+	defer s.release()
 	var lines []string
 	for j := range r.Graph.Conjunctions {
 		if s.redAtJ[j] >= 2 {
@@ -406,5 +485,6 @@ func ReducePreferred(g *Graph, priority func(Edge) int) *Reduction {
 		red.Removals = append(red.Removals, Removal{Edge: g.Edges[best], Rule: rule, ByPersona: byPersona})
 	}
 	red.Remaining = s.remaining()
+	s.release()
 	return red
 }

@@ -262,6 +262,37 @@ func TestReductionRemovalCountsAgree(t *testing.T) {
 	}
 }
 
+// RemovedSorted must enumerate the same edge set in the same (C, J)
+// order regardless of which removal order the reducer followed.
+func TestRemovedSortedOrderIndependent(t *testing.T) {
+	t.Parallel()
+	rng := rand.New(rand.NewSource(23))
+	for name, p := range paperex.All() {
+		g, err := NewSplit(mustInteraction(t, p))
+		if err != nil {
+			t.Fatalf("NewSplit(%s) = %v", name, err)
+		}
+		want := Reduce(g).RemovedSorted()
+		for i := 1; i < len(want); i++ {
+			prev, cur := want[i-1], want[i]
+			if cur.C < prev.C || (cur.C == prev.C && cur.J < prev.J) {
+				t.Fatalf("%s: RemovedSorted out of order at %d: %v after %v", name, i, cur, prev)
+			}
+		}
+		for trial := 0; trial < 5; trial++ {
+			got := ReduceRandomOrder(g, rng).RemovedSorted()
+			if len(got) != len(want) {
+				t.Fatalf("%s trial %d: %d removed IDs, want %d", name, trial, len(got), len(want))
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("%s trial %d: RemovedSorted[%d] = %v, want %v", name, trial, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
 // --- DOT output -------------------------------------------------------------
 
 func TestDOTRendering(t *testing.T) {

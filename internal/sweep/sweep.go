@@ -201,8 +201,25 @@ type Report struct {
 	Elapsed time.Duration
 }
 
+// workerScratch is the reusable working state of one sweep worker: a
+// single RNG reseeded per problem (the reseeded stream is identical to
+// a fresh rand.New(rand.NewSource(seed)), so verdicts don't change) and
+// the Petri scratch buffers. One scratch per worker goroutine keeps the
+// sweep's allocation volume O(workers) instead of O(problems).
+type workerScratch struct {
+	rng   *rand.Rand
+	cover *petri.CoverScratch
+}
+
+func newWorkerScratch() *workerScratch {
+	return &workerScratch{
+		rng:   rand.New(rand.NewSource(0)),
+		cover: petri.NewCoverScratch(),
+	}
+}
+
 // problemFor deterministically generates problem i of the sweep.
-func problemFor(cfg Config, i int) (*model.Problem, int64) {
+func problemFor(cfg Config, i int, ws *workerScratch) (*model.Problem, int64) {
 	// Decorrelate per-problem streams with a fixed odd multiplier; the
 	// exact constant is irrelevant, distinctness per index is not.
 	seed := cfg.Seed + int64(i)*0x9E3779B1 + 1
@@ -213,14 +230,14 @@ func problemFor(cfg Config, i int) (*model.Problem, int64) {
 	case FamilyStar:
 		pieces := 1 + i%cfg.MaxPieces
 		prices := make([]model.Money, pieces)
-		rng := rand.New(rand.NewSource(seed))
+		ws.rng.Seed(seed)
 		for j := range prices {
-			prices[j] = model.Money(5 + rng.Intn(20))
+			prices[j] = model.Money(5 + ws.rng.Intn(20))
 		}
 		return gen.Star(prices), seed
 	default:
-		rng := rand.New(rand.NewSource(seed))
-		return gen.Random(rng, cfg.Gen), seed
+		ws.rng.Seed(seed)
+		return gen.Random(ws.rng, cfg.Gen), seed
 	}
 }
 
@@ -268,12 +285,13 @@ func RunContext(ctx context.Context, cfg Config) *Report {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			ws := newWorkerScratch()
 			for i := range jobs {
 				if ctx.Err() != nil {
 					return
 				}
 				t0 := time.Now()
-				results[i] = runOne(cfg, i)
+				results[i] = runOne(cfg, i, ws)
 				durations[i] = time.Since(t0)
 				done[i] = true
 				n := int(completed.Add(1))
@@ -354,8 +372,8 @@ func familyOf(name string) string {
 }
 
 // runOne cross-validates a single generated problem.
-func runOne(cfg Config, i int) Result {
-	p, seed := problemFor(cfg, i)
+func runOne(cfg Config, i int, ws *workerScratch) Result {
+	p, seed := problemFor(cfg, i, ws)
 	res := Result{Index: i, Seed: seed, Name: p.Name, Exchanges: len(p.Exchanges)}
 	tel := cfg.Obs
 
@@ -394,7 +412,7 @@ func runOne(cfg Config, i int) Result {
 		res.Err = fmt.Sprintf("petri encoding: %v", err)
 		return res
 	}
-	cov := enc.CompletableObs(cfg.PetriBudget, tel)
+	cov := enc.CompletableObsWith(cfg.PetriBudget, tel, ws.cover)
 	res.PetriFound = cov.Found
 	res.PetriCapped = cov.Capped
 	res.PetriComparable = !cov.Capped && len(p.DirectTrust) == 0 && len(p.Indemnities) == 0

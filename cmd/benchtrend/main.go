@@ -7,7 +7,7 @@
 //
 // Usage:
 //
-//	benchtrend                      # run the gate benchmarks, write BENCH_pr3.json
+//	benchtrend                      # run the gate benchmarks, write BENCH_latest.json
 //	benchtrend -benchtime 100x      # CI setting: fixed iteration count
 //	benchtrend -bench 'Sweep'       # restrict the benchmark regexp
 //	benchtrend -out trend.json      # alternate output path
@@ -59,7 +59,10 @@ var baseline = map[string]Metrics{
 }
 
 func main() {
-	out := flag.String("out", "BENCH_pr3.json", "output JSON path")
+	// The default is PR-agnostic: CI always overwrites the same latest
+	// file, while committed historical snapshots (e.g. BENCH_pr3.json)
+	// stay frozen.
+	out := flag.String("out", "BENCH_latest.json", "output JSON path")
 	bench := flag.String("bench", "BenchmarkReduceChain|BenchmarkPetriCompletableFigure7|BenchmarkSweepSerial", "benchmark regexp passed to go test")
 	benchtime := flag.String("benchtime", "100x", "go test -benchtime value")
 	flag.Parse()

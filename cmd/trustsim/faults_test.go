@@ -1,0 +1,104 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"trustseq/internal/sim"
+)
+
+// The CI chaos gate: a full-menu chaos sweep must report zero
+// violations and exit clean. This is the same invocation the robustness
+// job runs (with a larger N there).
+func TestChaosGateSweep(t *testing.T) {
+	var out bytes.Buffer
+	if err := runCLI([]string{"-n", "12", "-faults", "all", "-seed", "1"}, &out); err != nil {
+		t.Fatalf("chaos gate failed: %v\n%s", err, out.String())
+	}
+	got := out.String()
+	if !strings.Contains(got, "chaos runs") {
+		t.Errorf("summary lacks chaos accounting:\n%s", got)
+	}
+	if !strings.Contains(got, "(unsafe 0)") {
+		t.Errorf("summary reports unsafe chaos runs:\n%s", got)
+	}
+}
+
+// -faults in single-simulation mode samples a plan from the seed,
+// reports the injection accounting, and stays deterministic.
+func TestFaultsFlagSingleSim(t *testing.T) {
+	var a, b bytes.Buffer
+	args := []string{"-faults", "all", "-retries", "2", "-deadline", "60", "-seed", "7", spec("example1.exch")}
+	if err := runCLI(args, &a); err != nil {
+		t.Fatalf("run = %v", err)
+	}
+	if err := runCLI(args, &b); err != nil {
+		t.Fatalf("rerun = %v", err)
+	}
+	if a.String() != b.String() {
+		t.Fatalf("faulted run not reproducible:\n%s\nvs\n%s", a.String(), b.String())
+	}
+	if !strings.Contains(a.String(), "faults: dup=") {
+		t.Errorf("fault accounting line missing:\n%s", a.String())
+	}
+}
+
+// Explicit -crash and -partition flags drive the injectors directly;
+// the crash shows up in the timeline and the run still ends safe.
+func TestCrashAndPartitionFlags(t *testing.T) {
+	var out bytes.Buffer
+	args := []string{"-crash", "t1@5+20", "-partition", "c~t1@2..10", "-deadline", "40",
+		"-timeline", spec("example1.exch")}
+	if err := runCLI(args, &out); err != nil {
+		t.Fatalf("run = %v", err)
+	}
+	got := out.String()
+	for _, want := range []string{"crash", "restart", "crashes=1 restarts=1", "assets-safe=true"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("output missing %q:\n%s", want, got)
+		}
+	}
+}
+
+func TestBadFaultSpecsRejected(t *testing.T) {
+	for _, args := range [][]string{
+		{"-faults", "quantum", spec("example1.exch")},
+		{"-crash", "t1+5@20", spec("example1.exch")},
+		{"-crash", "b@5+20", spec("example1.exch")}, // not a trusted node
+		{"-partition", "c~c@2..10", spec("example1.exch")},
+		{"-partition", "c-t1@2..10", spec("example1.exch")},
+		{"-n", "4", "-crash", "t1@5+20"}, // explicit nodes in sweep mode
+	} {
+		var out bytes.Buffer
+		if err := runCLI(args, &out); err == nil {
+			t.Errorf("args %v accepted", args)
+		}
+	}
+}
+
+func TestParseCrashesAndPartitions(t *testing.T) {
+	crashes, err := parseCrashes("t1@5+20, t2@1+3")
+	if err != nil || len(crashes) != 2 {
+		t.Fatalf("parseCrashes = %v, %v", crashes, err)
+	}
+	if crashes[1] != (sim.CrashEvent{Node: "t2", At: 1, Downtime: 3}) {
+		t.Errorf("crashes[1] = %+v", crashes[1])
+	}
+	parts, err := parsePartitions("a~b@0..9")
+	if err != nil || len(parts) != 1 {
+		t.Fatalf("parsePartitions = %v, %v", parts, err)
+	}
+	if parts[0] != (sim.Partition{A: "a", B: "b", From: 0, Until: 9}) {
+		t.Errorf("parts[0] = %+v", parts[0])
+	}
+	if _, err := parseCrashes("t1@x+2"); err == nil {
+		t.Error("garbage crash tick accepted")
+	}
+	if _, err := parsePartitions("a~b@5"); err == nil {
+		t.Error("partition without window end accepted")
+	}
+	if c, err := parseCrashes(""); err != nil || c != nil {
+		t.Errorf("empty crash spec = %v, %v", c, err)
+	}
+}

@@ -15,10 +15,24 @@
 //	-deadline N    escrow deadline in ticks (default 1000)
 //	-timeline      print the delivered-message timeline
 //
+// Fault injection (see the README's fault-injection section):
+//
+//	-faults SPEC   sample a fault plan from the seed; SPEC is "all",
+//	               "none", or a comma list of dup, reorder, spike,
+//	               partition, crash, drop
+//	-crash LIST    explicit crash-restarts of trusted nodes, each
+//	               "node@at+downtime" (composes with -faults)
+//	-partition L   explicit link cuts, each "a~b@from..until"
+//	-retries N     re-send every notification up to N extra times with
+//	               exponential backoff and jitter
+//
 // With -n > 0 the command runs a cross-validation sweep instead of a
 // simulation: N generated problems are driven through synthesis, both
 // exhaustive searches and Petri-net coverability on a worker pool, and
-// the aggregate agreement statistics are printed. SIGINT cancels the
+// the aggregate agreement statistics are printed. With -faults the
+// sweep adds a chaos stage: -chaos-runs fault-injected simulations per
+// feasible problem, each audited against the safety contract; unsafe
+// outcomes are violations and fail the command. SIGINT cancels the
 // sweep gracefully: in-flight problems finish, partial statistics are
 // summarized on stderr, and the report covers what completed.
 //
@@ -36,6 +50,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math/rand"
 	"net"
 	"net/http"
 	"os"
@@ -67,6 +82,11 @@ func run(ctx context.Context, args []string, out, errw io.Writer) (err error) {
 	defect := fs.String("defect", "", "defectors: party[:steps],...")
 	deadline := fs.Int64("deadline", 1000, "escrow deadline in ticks")
 	dropRate := fs.Float64("drop", 0, "notification drop probability [0,1)")
+	faults := fs.String("faults", "", "fault families to inject: all, none, or dup,reorder,spike,partition,crash,drop")
+	crashSpec := fs.String("crash", "", "explicit crash-restarts: node@at+downtime,...")
+	partSpec := fs.String("partition", "", "explicit link cuts: a~b@from..until,...")
+	retries := fs.Int("retries", 0, "extra notification re-sends with exponential backoff")
+	chaosRuns := fs.Int("chaos-runs", 8, "fault-injected simulations per feasible sweep problem (with -faults)")
 	timeline := fs.Bool("timeline", false, "print the delivered-message timeline")
 	traceFile := fs.String("trace", "", "write a JSONL span/event trace to FILE")
 	metricsFile := fs.String("metrics", "", "write a JSON metrics snapshot to FILE")
@@ -90,9 +110,17 @@ func run(ctx context.Context, args []string, out, errw io.Writer) (err error) {
 		}
 	}()
 
+	menu, err := sim.ParseFaultMenu(*faults)
+	if err != nil {
+		return err
+	}
+
 	if *sweepN > 0 {
 		if fs.NArg() != 0 {
 			return fmt.Errorf("usage: trustsim -n N [-workers W] [-family F] (no spec file in sweep mode)")
+		}
+		if *crashSpec != "" || *partSpec != "" {
+			return fmt.Errorf("-crash and -partition name specific parties; use -faults to sample plans in sweep mode")
 		}
 		fam, err := sweep.ParseFamily(*family)
 		if err != nil {
@@ -105,6 +133,10 @@ func run(ctx context.Context, args []string, out, errw io.Writer) (err error) {
 			Family:        fam,
 			SearchWorkers: *searchWorkers,
 			Obs:           tel,
+		}
+		if menu.Any() {
+			cfg.ChaosRuns = *chaosRuns
+			cfg.ChaosFaults = menu
 		}
 		if *progress {
 			cfg.Progress = func(done, total int) {
@@ -154,12 +186,18 @@ func run(ctx context.Context, args []string, out, errw io.Writer) (err error) {
 	if err != nil {
 		return err
 	}
+	fp, err := assembleFaultPlan(menu, *crashSpec, *partSpec, problem, *seed, sim.Time(*deadline))
+	if err != nil {
+		return err
+	}
 	res, err := sim.Run(plan, sim.Options{
 		Seed:           *seed,
 		Jitter:         sim.Time(*jitter),
 		Deadline:       sim.Time(*deadline),
 		Defectors:      defectors,
 		NotifyDropRate: *dropRate,
+		Faults:         fp,
+		NotifyRetries:  *retries,
 		Obs:            tel,
 	})
 	if err != nil {
@@ -172,6 +210,12 @@ func run(ctx context.Context, args []string, out, errw io.Writer) (err error) {
 
 	fmt.Fprintf(out, "problem %s (seed %d, %d defectors)\n", problem.Name, *seed, len(defectors))
 	fmt.Fprint(out, res.Summary())
+	if fp.Enabled() || *retries > 0 {
+		st := res.FaultStats
+		fmt.Fprintf(out, "faults: dup=%d reorder=%d spike=%d partition-drop=%d crash-drop=%d deferred=%d retries=%d crashes=%d restarts=%d\n",
+			st.DupNotifies, st.Reorders, st.Spikes, st.PartitionDrops, st.CrashDrops,
+			st.Deferred, st.RetriesSent, st.Crashes, st.Restarts)
+	}
 	for _, pa := range problem.Parties {
 		if pa.IsTrusted() {
 			fmt.Fprintf(out, "trusted %-8s neutral=%v\n", pa.ID, res.TrustedNeutral(pa.ID))
@@ -246,6 +290,88 @@ func setupTelemetry(traceFile, metricsFile, metricsAddr string, errw io.Writer) 
 		return err
 	}
 	return tel, flush, nil
+}
+
+// assembleFaultPlan builds the single-simulation fault plan: a plan
+// sampled from the seed for the enabled families (if any), with the
+// explicitly specified crashes and partitions layered on top. Returns
+// nil when nothing was requested.
+func assembleFaultPlan(menu sim.FaultMenu, crashSpec, partSpec string, p *model.Problem, seed int64, deadline sim.Time) (*sim.FaultPlan, error) {
+	var fp *sim.FaultPlan
+	if menu.Any() {
+		rng := rand.New(rand.NewSource(seed ^ 0x5DEECE66D))
+		fp = sim.SampleFaultPlan(rng, p, menu, deadline)
+	}
+	crashes, err := parseCrashes(crashSpec)
+	if err != nil {
+		return nil, err
+	}
+	parts, err := parsePartitions(partSpec)
+	if err != nil {
+		return nil, err
+	}
+	if len(crashes) > 0 || len(parts) > 0 {
+		if fp == nil {
+			fp = &sim.FaultPlan{}
+		}
+		fp.Crashes = append(fp.Crashes, crashes...)
+		fp.Partitions = append(fp.Partitions, parts...)
+	}
+	return fp, nil
+}
+
+// parseCrashes parses a -crash value: "node@at+downtime,...".
+func parseCrashes(spec string) ([]sim.CrashEvent, error) {
+	var out []sim.CrashEvent
+	for _, part := range splitSpec(spec) {
+		name, window, ok := strings.Cut(part, "@")
+		atStr, downStr, ok2 := strings.Cut(window, "+")
+		if !ok || !ok2 {
+			return nil, fmt.Errorf("bad crash spec %q (want node@at+downtime)", part)
+		}
+		at, err1 := strconv.ParseInt(atStr, 10, 64)
+		down, err2 := strconv.ParseInt(downStr, 10, 64)
+		if err1 != nil || err2 != nil {
+			return nil, fmt.Errorf("bad crash spec %q (want node@at+downtime)", part)
+		}
+		out = append(out, sim.CrashEvent{
+			Node: model.PartyID(name), At: sim.Time(at), Downtime: sim.Time(down),
+		})
+	}
+	return out, nil
+}
+
+// parsePartitions parses a -partition value: "a~b@from..until,...".
+func parsePartitions(spec string) ([]sim.Partition, error) {
+	var out []sim.Partition
+	for _, part := range splitSpec(spec) {
+		link, window, ok := strings.Cut(part, "@")
+		a, b, ok2 := strings.Cut(link, "~")
+		fromStr, untilStr, ok3 := strings.Cut(window, "..")
+		if !ok || !ok2 || !ok3 {
+			return nil, fmt.Errorf("bad partition spec %q (want a~b@from..until)", part)
+		}
+		from, err1 := strconv.ParseInt(fromStr, 10, 64)
+		until, err2 := strconv.ParseInt(untilStr, 10, 64)
+		if err1 != nil || err2 != nil {
+			return nil, fmt.Errorf("bad partition spec %q (want a~b@from..until)", part)
+		}
+		out = append(out, sim.Partition{
+			A: model.PartyID(a), B: model.PartyID(b),
+			From: sim.Time(from), Until: sim.Time(until),
+		})
+	}
+	return out, nil
+}
+
+func splitSpec(spec string) []string {
+	var out []string
+	for _, part := range strings.Split(spec, ",") {
+		if part = strings.TrimSpace(part); part != "" {
+			out = append(out, part)
+		}
+	}
+	return out
 }
 
 func parseDefectors(spec string) (map[model.PartyID]int, error) {

@@ -182,6 +182,32 @@ func (h *Holding) Clone() *Holding {
 // IsEmpty reports whether the holding owns nothing.
 func (h *Holding) IsEmpty() bool { return h.Cash == 0 && len(h.Items) == 0 }
 
+// Equal reports whether two holdings own exactly the same assets.
+// Zero-count item entries are ignored; a nil holding equals an empty
+// one.
+func (h *Holding) Equal(other *Holding) bool {
+	if h == nil {
+		h = NewHolding()
+	}
+	if other == nil {
+		other = NewHolding()
+	}
+	if h.Cash != other.Cash {
+		return false
+	}
+	for it, n := range h.Items {
+		if n != other.Items[it] {
+			return false
+		}
+	}
+	for it, n := range other.Items {
+		if n != h.Items[it] {
+			return false
+		}
+	}
+	return true
+}
+
 // String renders the holding deterministically (items sorted).
 func (h *Holding) String() string {
 	items := make([]string, 0, len(h.Items))

@@ -186,3 +186,39 @@ func TestHoldingContainsMonotone(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestHoldingEqual(t *testing.T) {
+	t.Parallel()
+	h := func(cash Money, items ...ItemID) *Holding {
+		out := NewHolding()
+		out.Cash = cash
+		for _, it := range items {
+			out.Items[it]++
+		}
+		return out
+	}
+	zeroEntry := h(5)
+	zeroEntry.Items["x"] = 0
+	tests := []struct {
+		name string
+		a, b *Holding
+		want bool
+	}{
+		{"both empty", NewHolding(), NewHolding(), true},
+		{"nil vs empty", nil, NewHolding(), true},
+		{"nil vs nonempty", nil, h(1), false},
+		{"same", h(5, "x"), h(5, "x"), true},
+		{"diff cash", h(5), h(6), false},
+		{"diff items", h(0, "x"), h(0, "y"), false},
+		{"diff counts", h(0, "x", "x"), h(0, "x"), false},
+		{"zero-count entry ignored", zeroEntry, h(5), true},
+	}
+	for _, tt := range tests {
+		if got := tt.a.Equal(tt.b); got != tt.want {
+			t.Errorf("%s: Equal = %v, want %v", tt.name, got, tt.want)
+		}
+		if got := tt.b.Equal(tt.a); got != tt.want {
+			t.Errorf("%s: Equal not symmetric", tt.name)
+		}
+	}
+}

@@ -1,0 +1,358 @@
+package sim
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"trustseq/internal/core"
+	"trustseq/internal/gen"
+	"trustseq/internal/model"
+	"trustseq/internal/obs"
+	"trustseq/internal/paperex"
+)
+
+// chaosCorpus assembles feasible plans across every generator family
+// the chaos property sweeps: the paper's fixtures, resale chains,
+// broker stars, parallel markets, and random brokered problems.
+func chaosCorpus(t testing.TB) []*core.Plan {
+	t.Helper()
+	var plans []*core.Plan
+	add := func(p *model.Problem) {
+		pl, err := core.Synthesize(p)
+		if err != nil {
+			t.Fatalf("synthesize %s: %v", p.Name, err)
+		}
+		if pl.Feasible {
+			plans = append(plans, pl)
+		}
+	}
+	for _, name := range []string{"example1", "example2-variant1", "example2-indemnified"} {
+		add(paperex.All()[name])
+	}
+	for depth := 1; depth <= 3; depth++ {
+		add(gen.Chain(depth, model.Money(depth+12)))
+	}
+	add(gen.Star([]model.Money{8, 13}))
+	add(gen.Parallel(2, 9))
+	rng := rand.New(rand.NewSource(20260805))
+	found := 0
+	for i := 0; i < 60 && found < 3; i++ {
+		p := gen.Random(rng, gen.Options{
+			Consumers: 1, Brokers: 1 + rng.Intn(2), Producers: 1 + rng.Intn(2),
+			MaxPrice: 40, DirectTrustProb: 0.3,
+		})
+		pl, err := core.Synthesize(p)
+		if err != nil {
+			t.Fatalf("synthesize %s: %v", p.Name, err)
+		}
+		if pl.Feasible {
+			plans = append(plans, pl)
+			found++
+		}
+	}
+	if len(plans) < 8 {
+		t.Fatalf("chaos corpus too small: %d plans", len(plans))
+	}
+	return plans
+}
+
+// The chaos property (the tentpole's acceptance bar): across at least
+// 2000 seeded runs under the full fault menu — duplication, bounded
+// reordering, latency spikes, link partitions, crash-restarts of the
+// trusted intermediaries and notify loss, with deadlines short enough
+// to force unwinds — no honest principal ever breaks the safety
+// contract, every trace replays to the live balances, and every fault
+// family demonstrably fired.
+func TestChaosPropertyHonest(t *testing.T) {
+	t.Parallel()
+	plans := chaosCorpus(t)
+	const seedsPer = 2400/10 + 1
+	var total FaultStats
+	runs, completed, stalled := 0, 0, 0
+	for pi, pl := range plans {
+		for s := 0; s < seedsPer; s++ {
+			seed := int64(pi)*1_000_003 + int64(s)
+			rng := rand.New(rand.NewSource(seed))
+			opts := ChaosOptions(rng, pl.Problem, AllFaults(), seed, 0)
+			res, err := Run(pl, opts)
+			if err != nil {
+				t.Fatalf("%s seed %d: %v", pl.Problem.Name, seed, err)
+			}
+			runs++
+			if v := ChaosViolations(res, nil); len(v) > 0 {
+				t.Fatalf("%s seed %d: %s\n%s\n%s",
+					pl.Problem.Name, seed, strings.Join(v, "; "), RenderTrace(res.Trace), res.Summary())
+			}
+			if res.Completed() {
+				completed++
+			} else {
+				stalled++
+			}
+			st := res.FaultStats
+			total.DupNotifies += st.DupNotifies
+			total.Reorders += st.Reorders
+			total.Spikes += st.Spikes
+			total.PartitionDrops += st.PartitionDrops
+			total.CrashDrops += st.CrashDrops
+			total.Deferred += st.Deferred
+			total.RetriesSent += st.RetriesSent
+			total.Crashes += st.Crashes
+			total.Restarts += st.Restarts
+		}
+	}
+	if runs < 2000 {
+		t.Fatalf("only %d chaos runs executed, want ≥ 2000", runs)
+	}
+	// The property is vacuous unless the chaos is real: every fault
+	// family must have fired somewhere in the sweep, and the outcomes
+	// must include both completions and forced unwinds.
+	for _, f := range []struct {
+		name string
+		n    int
+	}{
+		{"dup", total.DupNotifies}, {"reorder", total.Reorders}, {"spike", total.Spikes},
+		{"partition-drop", total.PartitionDrops}, {"crash-drop", total.CrashDrops},
+		{"deferred", total.Deferred}, {"retries", total.RetriesSent},
+		{"crashes", total.Crashes}, {"restarts", total.Restarts},
+	} {
+		if f.n == 0 {
+			t.Errorf("fault family %q never fired across %d runs", f.name, runs)
+		}
+	}
+	if completed == 0 || stalled == 0 {
+		t.Errorf("outcomes not mixed: %d completed, %d stalled", completed, stalled)
+	}
+	if total.Crashes != total.Restarts {
+		t.Errorf("crash/restart mismatch: %d crashes, %d restarts", total.Crashes, total.Restarts)
+	}
+}
+
+// Chaos and defection together: silencing each principal in turn under
+// the full fault menu never costs any other honest principal assets —
+// with the two contractual exceptions ChaosViolations already encodes
+// (forfeited collateral with an observable payout; direct trust in the
+// defector).
+func TestChaosWithDefectors(t *testing.T) {
+	t.Parallel()
+	for _, name := range []string{"example1", "example2-variant1", "example2-indemnified"} {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			pl := plan(t, paperex.All()[name])
+			for _, pa := range pl.Problem.Parties {
+				if pa.IsTrusted() {
+					continue
+				}
+				defectors := map[model.PartyID]int{pa.ID: 0}
+				for s := int64(0); s < 40; s++ {
+					rng := rand.New(rand.NewSource(s * 7_919))
+					opts := ChaosOptions(rng, pl.Problem, AllFaults(), s, 0)
+					opts.Defectors = defectors
+					res, err := Run(pl, opts)
+					if err != nil {
+						t.Fatalf("defector %s seed %d: %v", pa.ID, s, err)
+					}
+					if v := ChaosViolations(res, defectors); len(v) > 0 {
+						t.Fatalf("defector %s seed %d: %s\n%s",
+							pa.ID, s, strings.Join(v, "; "), res.Summary())
+					}
+				}
+			}
+		})
+	}
+}
+
+// A crash-restart straddling the whole protocol: whatever tick the
+// trusted nodes go down at, they restore from the durable escrow log to
+// a state whose replayed balances match the live run, end neutral, and
+// the principals stay whole. Crashing before the deadline resumes the
+// escrow; crashing across it runs the unwind (give⁻¹/pay⁻¹
+// compensations) on recovery.
+func TestCrashRecoveryAtEveryTick(t *testing.T) {
+	t.Parallel()
+	pl := plan(t, paperex.Example1())
+	for at := Time(1); at <= 50; at += 3 {
+		for _, down := range []Time{4, 25, 60} {
+			fp := &FaultPlan{Crashes: []CrashEvent{
+				{Node: paperex.Trusted1, At: at, Downtime: down},
+				{Node: paperex.Trusted2, At: at, Downtime: down},
+			}}
+			res, err := Run(pl, Options{Seed: int64(at), Jitter: 3, Deadline: 40, Faults: fp})
+			if err != nil {
+				t.Fatalf("crash@%d+%d: %v", at, down, err)
+			}
+			if res.FaultStats.Crashes != 2 || res.FaultStats.Restarts != 2 {
+				t.Fatalf("crash@%d+%d: %d crashes, %d restarts, want 2 each",
+					at, down, res.FaultStats.Crashes, res.FaultStats.Restarts)
+			}
+			if v := ChaosViolations(res, nil); len(v) > 0 {
+				t.Fatalf("crash@%d+%d: %s\n%s\n%s",
+					at, down, strings.Join(v, "; "), RenderTrace(res.Trace), res.Summary())
+			}
+		}
+	}
+}
+
+// A crash before any deposit arrives is harmless; a crash window that
+// swallows the deadline runs the unwind immediately on restart, and the
+// refunds land even though the deadline timer itself was lost with the
+// crash.
+func TestCrashAcrossDeadlineUnwinds(t *testing.T) {
+	t.Parallel()
+	pl := plan(t, paperex.Example1())
+	fp := &FaultPlan{Crashes: []CrashEvent{{Node: paperex.Trusted1, At: 4, Downtime: 200}}}
+	// Deadline 20 expires while t1 is down; nothing can complete because
+	// t1 holds the consumer's deposit the broker's side depends on.
+	res, err := Run(pl, Options{Seed: 3, Deadline: 20, Faults: fp, NotifyDropRate: 1.0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Completed() {
+		t.Fatalf("completed despite total notify loss and a crashed trustee")
+	}
+	if got := res.Balances[paperex.Consumer].Cash; got != paperex.RetailPrice {
+		t.Errorf("consumer not refunded after recovery unwind: %v\n%s", got, RenderTrace(res.Trace))
+	}
+	if !res.TrustedNeutral(paperex.Trusted1) {
+		t.Errorf("t1 not neutral after recovery: %v", res.Balances[paperex.Trusted1])
+	}
+	if v := ChaosViolations(res, nil); len(v) > 0 {
+		t.Errorf("violations: %s", strings.Join(v, "; "))
+	}
+}
+
+// Fault events round-trip through the trace: crashes and restarts are
+// recorded, rendered, excluded from the delivered-message count, and
+// ReplayBalances reproduces the live balances from a trace containing
+// them.
+func TestFaultEventsInTrace(t *testing.T) {
+	t.Parallel()
+	pl := plan(t, paperex.Example1())
+	fp := &FaultPlan{Crashes: []CrashEvent{{Node: paperex.Trusted2, At: 6, Downtime: 9}}}
+	res, err := Run(pl, Options{Seed: 11, Deadline: 60, Faults: fp})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var crashes, restarts int
+	for _, m := range res.Trace {
+		switch m.Kind {
+		case MsgCrash:
+			crashes++
+			if m.To != paperex.Trusted2 || m.At != 6 {
+				t.Errorf("crash event misrecorded: %v", m)
+			}
+		case MsgRestart:
+			restarts++
+			if m.To != paperex.Trusted2 || m.At != 15 {
+				t.Errorf("restart event misrecorded: %v", m)
+			}
+		}
+	}
+	if crashes != 1 || restarts != 1 {
+		t.Fatalf("trace has %d crash, %d restart events, want 1 each", crashes, restarts)
+	}
+	rendered := RenderTrace(res.Trace)
+	if !strings.Contains(rendered, "crash") || !strings.Contains(rendered, "restart") {
+		t.Errorf("rendered trace lacks fault markers:\n%s", rendered)
+	}
+	delivered := 0
+	for _, m := range res.Trace {
+		if m.Kind != MsgCrash && m.Kind != MsgRestart {
+			delivered++
+		}
+	}
+	if res.Messages != delivered {
+		t.Errorf("Messages = %d counts fault events (delivered %d)", res.Messages, delivered)
+	}
+	replayed, err := res.ReplayBalances()
+	if err != nil {
+		t.Fatalf("replay: %v", err)
+	}
+	for _, pa := range pl.Problem.Parties {
+		if !replayed[pa.ID].Equal(res.Balances[pa.ID]) {
+			t.Errorf("replay diverges for %s: %v vs %v", pa.ID, replayed[pa.ID], res.Balances[pa.ID])
+		}
+	}
+}
+
+// The retry layer alone (no fault plan) must also keep the RNG stream
+// deterministic and strictly improve delivery under loss: with the same
+// seed, a retried run is tick-for-tick reproducible, and across seeds
+// retries rescue runs that stall without them.
+func TestNotifyRetriesRescueDrops(t *testing.T) {
+	t.Parallel()
+	pl := plan(t, paperex.Example1())
+	rescued := 0
+	for seed := int64(0); seed < 30; seed++ {
+		base, err := Run(pl, Options{Seed: seed, Deadline: 80, NotifyDropRate: 0.5})
+		if err != nil {
+			t.Fatal(err)
+		}
+		retried, err := Run(pl, Options{Seed: seed, Deadline: 80, NotifyDropRate: 0.5, NotifyRetries: 3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if retried.FaultStats.RetriesSent == 0 {
+			t.Fatalf("seed %d: retry layer sent nothing", seed)
+		}
+		if !base.Completed() && retried.Completed() {
+			rescued++
+		}
+		if base.Completed() && !retried.Completed() {
+			t.Errorf("seed %d: retries broke a completing run", seed)
+		}
+	}
+	if rescued == 0 {
+		t.Errorf("retries never rescued a stalled run across 30 seeds")
+	}
+}
+
+// Telemetry must be purely additive under chaos: a faulted run with a
+// live tracer and registry produces the identical trace, duration and
+// fault accounting as the same run without observability.
+func TestChaosTelemetryAdditive(t *testing.T) {
+	t.Parallel()
+	plans := chaosCorpus(t)
+	for pi, pl := range plans[:4] {
+		for s := int64(0); s < 8; s++ {
+			seed := int64(pi)*31 + s
+			rng := rand.New(rand.NewSource(seed))
+			opts := ChaosOptions(rng, pl.Problem, AllFaults(), seed, 0)
+			bare, err := Run(pl, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rng = rand.New(rand.NewSource(seed))
+			traced := ChaosOptions(rng, pl.Problem, AllFaults(), seed, 0)
+			traced.Obs = &obs.Telemetry{
+				Metrics: obs.NewRegistry(),
+				Tracer:  obs.NewTracer(obs.NewJSONLSink(io.Discard)),
+			}
+			instrumented, err := Run(pl, traced)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if a, b := RenderTrace(bare.Trace), RenderTrace(instrumented.Trace); a != b {
+				t.Fatalf("%s seed %d: telemetry changed the schedule:\n--- bare ---\n%s--- traced ---\n%s",
+					pl.Problem.Name, seed, a, b)
+			}
+			if bare.Duration != instrumented.Duration || bare.FaultStats != instrumented.FaultStats {
+				t.Fatalf("%s seed %d: telemetry changed accounting: %+v vs %+v",
+					pl.Problem.Name, seed, bare.FaultStats, instrumented.FaultStats)
+			}
+		}
+	}
+}
+
+// Sanity for the printable fault summary used by the CLI gate.
+func TestFaultStatsString(t *testing.T) {
+	t.Parallel()
+	st := FaultStats{DupNotifies: 1, Crashes: 2, Restarts: 2}
+	s := fmt.Sprintf("%+v", st)
+	if !strings.Contains(s, "Crashes:2") {
+		t.Errorf("unexpected rendering: %s", s)
+	}
+}

@@ -14,6 +14,8 @@ import (
 	"container/heap"
 	"fmt"
 	"math/rand"
+	"sort"
+	"strings"
 
 	"trustseq/internal/model"
 	"trustseq/internal/obs"
@@ -26,11 +28,16 @@ type Time int64
 type MsgKind int
 
 // Message kinds. Transfers move assets through the ledger; notifies move
-// information; timers are self-scheduled wakeups.
+// information; timers are self-scheduled wakeups. Crash and restart are
+// fault events injected by a FaultPlan: they appear in the trace (the
+// audit log records when a trusted node was down) but move nothing, so
+// replay skips them.
 const (
 	MsgTransfer MsgKind = iota + 1
 	MsgNotify
 	MsgTimer
+	MsgCrash
+	MsgRestart
 )
 
 // String names the kind.
@@ -42,6 +49,10 @@ func (k MsgKind) String() string {
 		return "notify"
 	case MsgTimer:
 		return "timer"
+	case MsgCrash:
+		return "crash"
+	case MsgRestart:
+		return "restart"
 	default:
 		return fmt.Sprintf("msg(%d)", int(k))
 	}
@@ -65,11 +76,40 @@ func (m Message) String() string {
 	switch m.Kind {
 	case MsgTimer:
 		return fmt.Sprintf("@%d timer %s at %s", m.At, m.Tag, m.To)
+	case MsgCrash:
+		return fmt.Sprintf("@%d crash %s", m.At, m.To)
+	case MsgRestart:
+		return fmt.Sprintf("@%d restart %s", m.At, m.To)
 	case MsgNotify:
 		return fmt.Sprintf("@%d %v", m.At, m.Action)
 	default:
 		return fmt.Sprintf("@%d %v", m.At, m.Action)
 	}
+}
+
+// FaultStats counts what a run's fault injection actually did — the
+// property tests use it to prove the chaos is real, and Result carries
+// it so CLIs can report it.
+type FaultStats struct {
+	// DupNotifies counts duplicated notification copies scheduled.
+	DupNotifies int
+	// Reorders counts messages given extra bounded latency.
+	Reorders int
+	// Spikes counts latency spikes applied.
+	Spikes int
+	// PartitionDrops counts notifications lost to a cut link.
+	PartitionDrops int
+	// CrashDrops counts notifications and armed timers lost because the
+	// target was down.
+	CrashDrops int
+	// Deferred counts transfers (and recall demands) held back by a
+	// partition or a down node and delivered after heal/restart.
+	Deferred int
+	// RetriesSent counts extra notification copies from the retry layer.
+	RetriesSent int
+	// Crashes and Restarts count fault events processed.
+	Crashes  int
+	Restarts int
 }
 
 type queue []*Message
@@ -102,6 +142,16 @@ type Node interface {
 	OnMessage(ctx *Context, m Message)
 }
 
+// Recoverable is a node that survives scheduled crash-restarts: Crash
+// wipes its volatile state (the durable log survives), Restore rebuilds
+// from the log and runs the recovery protocol — re-arming timers and
+// executing any compensations the outage made due.
+type Recoverable interface {
+	Node
+	Crash()
+	Restore(ctx *Context)
+}
+
 // Network is the deterministic discrete-event simulator core.
 type Network struct {
 	nodes    map[model.PartyID]Node
@@ -115,6 +165,16 @@ type Network struct {
 	maxMsgs  int
 	dropRate float64
 	dropped  int
+
+	// Fault-injection state: the plan, the per-node down flags with the
+	// pending restart ticks, and the realized-fault counters.
+	faults    *FaultPlan
+	retries   int
+	retryBase Time
+	down      map[model.PartyID]bool
+	restartAt map[model.PartyID]Time
+	crashEnds map[model.PartyID][]Time
+	fstats    FaultStats
 
 	// sendHook runs when a transfer is sent (debit the sender);
 	// deliverHook runs when it is delivered (credit the receiver). The
@@ -146,6 +206,17 @@ type Config struct {
 	// the distributed-systems failure the deadline machinery must
 	// absorb.
 	NotifyDropRate float64
+	// Faults composes the deterministic fault injectors (duplication,
+	// reordering, spikes, partitions, crash-restarts). Nil injects
+	// nothing beyond NotifyDropRate.
+	Faults *FaultPlan
+	// NotifyRetries re-sends every notification up to that many extra
+	// times with exponentially backed-off, jittered delays (clamped to
+	// 6). Receivers are idempotent, so retries change liveness under
+	// faults, never the protocol outcome. 0 disables.
+	NotifyRetries int
+	// RetryBase is the first retry delay (default 8 ticks).
+	RetryBase Time
 	// Obs receives per-message trace events and network counters.
 	// Telemetry is additive: it never alters scheduling, so a traced
 	// run is tick-for-tick identical to an untraced one.
@@ -163,14 +234,29 @@ func NewNetwork(cfg Config) *Network {
 	if cfg.MaxMessages <= 0 {
 		cfg.MaxMessages = 100_000
 	}
+	if cfg.NotifyRetries < 0 {
+		cfg.NotifyRetries = 0
+	}
+	if cfg.NotifyRetries > 6 {
+		cfg.NotifyRetries = 6
+	}
+	if cfg.RetryBase <= 0 {
+		cfg.RetryBase = 8
+	}
 	return &Network{
-		nodes:    make(map[model.PartyID]Node),
-		rng:      rand.New(rand.NewSource(cfg.Seed)),
-		baseLat:  cfg.BaseLatency,
-		jitter:   cfg.Jitter,
-		maxMsgs:  cfg.MaxMessages,
-		dropRate: cfg.NotifyDropRate,
-		tel:      cfg.Obs,
+		nodes:     make(map[model.PartyID]Node),
+		rng:       rand.New(rand.NewSource(cfg.Seed)),
+		baseLat:   cfg.BaseLatency,
+		jitter:    cfg.Jitter,
+		maxMsgs:   cfg.MaxMessages,
+		dropRate:  cfg.NotifyDropRate,
+		faults:    cfg.Faults,
+		retries:   cfg.NotifyRetries,
+		retryBase: cfg.RetryBase,
+		down:      make(map[model.PartyID]bool),
+		restartAt: make(map[model.PartyID]Time),
+		crashEnds: make(map[model.PartyID][]Time),
+		tel:       cfg.Obs,
 	}
 }
 
@@ -194,10 +280,48 @@ func (n *Network) schedule(m *Message) {
 // Dropped reports the number of notifications lost in transit.
 func (n *Network) Dropped() int { return n.dropped }
 
-// send schedules a message with network latency. Notifications may be
-// lost; transfers never are.
+// FaultStats reports the realized fault-injection counters.
+func (n *Network) FaultStats() FaultStats { return n.fstats }
+
+// reliable reports whether a message rides the reliable channel:
+// transfers always (the paper scopes out payment-mechanism failures),
+// and the trusted component's recall demand — the §2.5 unwind is an
+// enforcement action, so its control message is carried with
+// transfer-grade delivery (deferred by partitions and crashes, never
+// lost). Everything else is a best-effort notification.
+func reliable(m Message) bool {
+	return m.Kind == MsgTransfer || strings.HasPrefix(m.Tag, "recall:")
+}
+
+// send schedules a message with network latency and fault injection,
+// then layers the notify retry copies on top. Notifications may be
+// lost; reliable messages never are.
 func (n *Network) send(m Message) {
-	if m.Kind == MsgNotify && n.dropRate > 0 && n.rng.Float64() < n.dropRate {
+	n.sendAfter(m, 0)
+	if m.Kind != MsgNotify || n.retries == 0 {
+		return
+	}
+	delay := n.retryBase
+	for i := 0; i < n.retries; i++ {
+		jit := Time(0)
+		if n.jitter > 0 {
+			jit = Time(n.rng.Int63n(int64(n.jitter) + 1))
+		}
+		n.fstats.RetriesSent++
+		if n.tel.Enabled() {
+			n.tel.Reg().Counter("sim.notifies.retried").Inc()
+		}
+		n.sendAfter(m, delay+jit)
+		delay *= 2
+	}
+}
+
+// sendAfter schedules one copy of a message with `extra` latency on top
+// of the network's base+jitter, running it through the fault injectors
+// in a fixed order (drop, partition, reorder, spike, duplication) so
+// the RNG stream — and therefore the schedule — is deterministic.
+func (n *Network) sendAfter(m Message, extra Time) {
+	if !reliable(m) && n.dropRate > 0 && n.rng.Float64() < n.dropRate {
 		n.dropped++
 		if n.tel.Enabled() {
 			n.tel.Reg().Counter("sim.notifies.dropped").Inc()
@@ -208,12 +332,73 @@ func (n *Network) send(m Message) {
 		}
 		return
 	}
-	lat := n.baseLat
+	lat := n.baseLat + extra
 	if n.jitter > 0 {
 		lat += Time(n.rng.Int63n(int64(n.jitter) + 1))
 	}
+	f := n.faults
+	if f == nil {
+		m.At = n.now + lat
+		n.schedule(&m)
+		return
+	}
+	if heal, cut := n.partitioned(m.From, m.To); cut {
+		if !reliable(m) {
+			n.fstats.PartitionDrops++
+			if n.tel.Enabled() {
+				n.tel.Reg().Counter("sim.faults.partition_drops").Inc()
+			}
+			return
+		}
+		// Reliable traffic waits out the partition.
+		n.fstats.Deferred++
+		if n.tel.Enabled() {
+			n.tel.Reg().Counter("sim.faults.deferred").Inc()
+		}
+		m.At = heal + lat
+		n.schedule(&m)
+		return
+	}
+	if f.ReorderRate > 0 && n.rng.Float64() < f.ReorderRate {
+		lat += 1 + Time(n.rng.Int63n(int64(f.ReorderBound)))
+		n.fstats.Reorders++
+	}
+	if f.SpikeRate > 0 && n.rng.Float64() < f.SpikeRate {
+		lat += f.SpikeTicks
+		n.fstats.Spikes++
+	}
+	if m.Kind == MsgNotify && f.DupRate > 0 && n.rng.Float64() < f.DupRate {
+		dupLat := n.baseLat
+		if n.jitter > 0 {
+			dupLat += Time(n.rng.Int63n(int64(n.jitter) + 1))
+		}
+		dup := m
+		dup.At = n.now + dupLat
+		n.fstats.DupNotifies++
+		if n.tel.Enabled() {
+			n.tel.Reg().Counter("sim.faults.dup_notifies").Inc()
+		}
+		n.schedule(&dup)
+	}
 	m.At = n.now + lat
 	n.schedule(&m)
+}
+
+// partitioned reports whether the from→to link is cut right now, and if
+// so when it heals (the latest heal tick across matching partitions).
+func (n *Network) partitioned(from, to model.PartyID) (heal Time, cut bool) {
+	if n.faults == nil {
+		return 0, false
+	}
+	for _, pt := range n.faults.Partitions {
+		if pt.covers(n.now, from, to) {
+			cut = true
+			if pt.Until > heal {
+				heal = pt.Until
+			}
+		}
+	}
+	return heal, cut
 }
 
 // timer schedules a self-wakeup at an absolute time.
@@ -221,7 +406,8 @@ func (n *Network) timer(to model.PartyID, at Time, tag string) {
 	n.schedule(&Message{At: at, From: to, To: to, Kind: MsgTimer, Tag: tag})
 }
 
-// Run initializes every node and processes events to quiescence.
+// Run initializes every node, schedules the fault plan's crash events,
+// and processes events to quiescence.
 func (n *Network) Run() error {
 	ids := make([]model.PartyID, 0, len(n.nodes))
 	for id := range n.nodes {
@@ -235,6 +421,7 @@ func (n *Network) Run() error {
 			}
 		}
 	}
+	n.scheduleCrashes()
 	for _, id := range ids {
 		node := n.nodes[id]
 		node.Init(&Context{net: n, self: id})
@@ -253,6 +440,18 @@ func (n *Network) Run() error {
 		if !ok {
 			return fmt.Errorf("sim: message to unknown node %s", m.To)
 		}
+		switch m.Kind {
+		case MsgCrash:
+			n.handleCrash(*m, node)
+			continue
+		case MsgRestart:
+			n.handleRestart(*m, node)
+			continue
+		}
+		if n.down[m.To] {
+			n.divert(m)
+			continue
+		}
 		if m.Kind != MsgTimer {
 			n.trace = append(n.trace, *m)
 			if n.deliverHook != nil {
@@ -269,6 +468,87 @@ func (n *Network) Run() error {
 		node.OnMessage(&Context{net: n, self: m.To}, *m)
 	}
 	return nil
+}
+
+// scheduleCrashes turns the fault plan's crash events into scheduled
+// crash/restart messages and records each node's restart ticks in At
+// order (Validate guarantees the windows don't overlap).
+func (n *Network) scheduleCrashes() {
+	if n.faults == nil {
+		return
+	}
+	evs := append([]CrashEvent(nil), n.faults.Crashes...)
+	sort.Slice(evs, func(i, j int) bool {
+		if evs[i].At != evs[j].At {
+			return evs[i].At < evs[j].At
+		}
+		return evs[i].Node < evs[j].Node
+	})
+	for _, ev := range evs {
+		end := ev.At + ev.Downtime
+		n.crashEnds[ev.Node] = append(n.crashEnds[ev.Node], end)
+		n.schedule(&Message{At: ev.At, From: ev.Node, To: ev.Node, Kind: MsgCrash, Tag: "crash"})
+		n.schedule(&Message{At: end, From: ev.Node, To: ev.Node, Kind: MsgRestart, Tag: "restart"})
+	}
+}
+
+// handleCrash marks the node down and wipes its volatile state. The
+// event lands in the trace: the audit log records the outage.
+func (n *Network) handleCrash(m Message, node Node) {
+	n.down[m.To] = true
+	ends := n.crashEnds[m.To]
+	n.restartAt[m.To] = ends[0]
+	n.crashEnds[m.To] = ends[1:]
+	n.fstats.Crashes++
+	n.trace = append(n.trace, m)
+	if r, ok := node.(Recoverable); ok {
+		r.Crash()
+	}
+	if n.tel.Enabled() {
+		n.tel.Reg().Counter("sim.crashes").Inc()
+		n.tel.Trace().Event("sim.crash",
+			obs.Int64("t", int64(m.At)),
+			obs.Str("node", string(m.To)))
+	}
+}
+
+// handleRestart brings the node back and lets it restore from its
+// durable log.
+func (n *Network) handleRestart(m Message, node Node) {
+	delete(n.down, m.To)
+	n.fstats.Restarts++
+	n.trace = append(n.trace, m)
+	if r, ok := node.(Recoverable); ok {
+		r.Restore(&Context{net: n, self: m.To})
+	}
+	if n.tel.Enabled() {
+		n.tel.Reg().Counter("sim.restarts").Inc()
+		n.tel.Trace().Event("sim.restart",
+			obs.Int64("t", int64(m.At)),
+			obs.Str("node", string(m.To)))
+	}
+}
+
+// divert disposes of a message addressed to a down node: timers and
+// notifications are lost (the node was not there to hear them);
+// reliable traffic is re-delivered right after the restart.
+func (n *Network) divert(m *Message) {
+	if !reliable(*m) {
+		// Best-effort notifications and armed timers die with the node:
+		// a crashed trustee's deadline timer is gone, and recovery must
+		// re-arm it from the durable log.
+		n.fstats.CrashDrops++
+		if n.tel.Enabled() {
+			n.tel.Reg().Counter("sim.faults.crash_drops").Inc()
+		}
+		return
+	}
+	n.fstats.Deferred++
+	if n.tel.Enabled() {
+		n.tel.Reg().Counter("sim.faults.deferred").Inc()
+	}
+	m.At = n.restartAt[m.To]
+	n.schedule(m)
 }
 
 // observeDelivery emits the audit-log record of one delivered message:

@@ -30,16 +30,129 @@ type TrustedNode struct {
 
 	adjacent []int // exchange indices mediated here
 
+	// Volatile working state, lost on a crash and rebuilt from the wal.
 	received  map[model.Action]bool
 	refunded  map[model.Action]bool
 	delivered map[int]bool
 	aborted   bool
+	// deadlineAt is the earliest armed escrow expiry (0 = unarmed); a
+	// recovering node re-arms it, or unwinds immediately if it passed
+	// while the node was down.
+	deadlineAt Time
 
 	collateral map[int]bool // offer index -> currently held
 	settled    map[int]bool // offer index -> refunded or paid out
+
+	// wal is the durable escrow log: every state mutation is appended
+	// before it is applied, so Restore can rebuild the exact pre-crash
+	// state by replay. (The in-flight ledger is the network's problem;
+	// the wal covers only this node's decisions.)
+	wal []walEntry
 }
 
 var _ Node = (*TrustedNode)(nil)
+var _ Recoverable = (*TrustedNode)(nil)
+
+// walOp enumerates the durable log record types.
+type walOp int
+
+const (
+	walReceived walOp = iota + 1
+	walRefunded
+	walDelivered
+	walUndelivered
+	walAborted
+	walCollateral
+	walSettled
+	walDeadline
+)
+
+// walEntry is one durable log record. Action is set for walReceived and
+// walRefunded, idx for the exchange/offer records, at for walDeadline
+// (the absolute expiry tick).
+type walEntry struct {
+	op     walOp
+	action model.Action
+	idx    int
+	at     Time
+}
+
+// logApply appends a record to the durable log, then applies it to the
+// volatile state. All trusted-node mutations flow through here so a
+// crash can never observe a half-recorded decision (the simulator only
+// crashes nodes between messages).
+func (n *TrustedNode) logApply(e walEntry) {
+	n.wal = append(n.wal, e)
+	n.apply(e)
+}
+
+// apply mutates the volatile state per one log record.
+func (n *TrustedNode) apply(e walEntry) {
+	switch e.op {
+	case walReceived:
+		n.received[e.action] = true
+	case walRefunded:
+		n.refunded[e.action] = true
+	case walDelivered:
+		n.delivered[e.idx] = true
+	case walUndelivered:
+		n.delivered[e.idx] = false
+	case walAborted:
+		n.aborted = true
+	case walCollateral:
+		n.collateral[e.idx] = true
+	case walSettled:
+		n.settled[e.idx] = true
+	case walDeadline:
+		if n.deadlineAt == 0 || e.at < n.deadlineAt {
+			n.deadlineAt = e.at
+		}
+	}
+}
+
+// armDeadline records and schedules an escrow expiry Deadline ticks out.
+func (n *TrustedNode) armDeadline(ctx *Context, tag string) {
+	n.logApply(walEntry{op: walDeadline, at: ctx.Now() + n.Deadline})
+	ctx.SetTimer(n.Deadline, tag)
+}
+
+// Crash implements Recoverable: volatile state is lost; the wal (and
+// the node's configuration) survives.
+func (n *TrustedNode) Crash() {
+	n.received = make(map[model.Action]bool)
+	n.refunded = make(map[model.Action]bool)
+	n.delivered = make(map[int]bool)
+	n.collateral = make(map[int]bool)
+	n.settled = make(map[int]bool)
+	n.aborted = false
+	n.deadlineAt = 0
+}
+
+// Restore implements Recoverable: replay the durable log, then run the
+// recovery protocol — re-arm the escrow clock (or unwind with
+// compensations immediately if it expired during the outage), resume an
+// interrupted unwind, and retry any completion that was in flight.
+func (n *TrustedNode) Restore(ctx *Context) {
+	for _, e := range n.wal {
+		n.apply(e)
+	}
+	if !n.Honest {
+		return // the corrupted persona absorbs; it runs no recovery
+	}
+	if n.deadlineAt != 0 && !n.aborted {
+		if ctx.Now() >= n.deadlineAt {
+			n.onDeadline(ctx)
+		} else {
+			ctx.SetTimer(n.deadlineAt-ctx.Now(), "deadline:recovered")
+		}
+	}
+	if n.aborted {
+		n.retryRefunds(ctx)
+		return
+	}
+	n.maybeForwardPersona(ctx)
+	n.maybeComplete(ctx)
+}
 
 // NewTrustedNode builds the node for one trusted component.
 func NewTrustedNode(p *model.Problem, self model.PartyID, deadline Time, honest bool) *TrustedNode {
@@ -95,7 +208,7 @@ func (n *TrustedNode) onTransfer(ctx *Context, a model.Action) {
 		for _, ei := range n.adjacent {
 			for _, r := range model.ReceiptActions(n.Problem.Exchanges[ei]) {
 				if r.Compensation() == a && n.delivered[ei] {
-					n.delivered[ei] = false
+					n.logApply(walEntry{op: walUndelivered, idx: ei})
 					n.retryRefunds(ctx)
 					return
 				}
@@ -104,9 +217,16 @@ func (n *TrustedNode) onTransfer(ctx *Context, a model.Action) {
 		return // other inverses (stray refunds) are final
 	}
 	if oi, ok := n.matchCollateral(a); ok {
-		n.collateral[oi] = true
-		n.received[a] = true
-		ctx.SetTimer(n.Deadline, "deadline:collateral")
+		n.logApply(walEntry{op: walCollateral, idx: oi})
+		n.logApply(walEntry{op: walReceived, action: a})
+		if n.aborted {
+			// Collateral delayed past the unwind (a partition or spike
+			// held it in transit): settle it immediately under the
+			// deadline rule instead of absorbing it.
+			n.settleOffer(ctx, oi, n.Problem.Indemnities[oi])
+			return
+		}
+		n.armDeadline(ctx, "deadline:collateral")
 		// Confirm the indemnity account to the protected principal: its
 		// split-dependent deposits wait for this (Section 6 — the
 		// customer treats the transfers as separate transactions only
@@ -125,7 +245,7 @@ func (n *TrustedNode) onTransfer(ctx *Context, a model.Action) {
 		if n.delivered[ei] {
 			// A persona owner settling its withdrawal with payment after
 			// the unwind: accept and finish the counterpart sides.
-			n.received[a] = true
+			n.logApply(walEntry{op: walReceived, action: a})
 			n.settleAfterAbort(ctx)
 			return
 		}
@@ -134,9 +254,9 @@ func (n *TrustedNode) onTransfer(ctx *Context, a model.Action) {
 		return
 	}
 	first := !n.anyDepositReceived()
-	n.received[a] = true
+	n.logApply(walEntry{op: walReceived, action: a})
 	if first {
-		ctx.SetTimer(n.Deadline, "deadline:"+strconv.Itoa(ei))
+		n.armDeadline(ctx, "deadline:"+strconv.Itoa(ei))
 	}
 	if n.exchangeWhole(ei) {
 		// Notify the principals of the still-missing sides.
@@ -160,7 +280,7 @@ func (n *TrustedNode) retryRefunds(ctx *Context) {
 		for _, d := range model.DepositActions(n.Problem.Exchanges[ei]) {
 			if n.received[d] && !n.refunded[d] {
 				if err := ctx.SendTransfer(d.Compensation()); err == nil {
-					n.refunded[d] = true
+					n.logApply(walEntry{op: walRefunded, action: d})
 				}
 			}
 		}
@@ -186,7 +306,7 @@ func (n *TrustedNode) settleAfterAbort(ctx *Context) {
 			}
 		}
 		if allSent {
-			n.delivered[ei] = true
+			n.logApply(walEntry{op: walDelivered, idx: ei})
 		}
 	}
 }
@@ -213,10 +333,10 @@ func (n *TrustedNode) maybeForwardPersona(ctx *Context) {
 		if !ready {
 			continue
 		}
-		n.delivered[ei] = true
+		n.logApply(walEntry{op: walDelivered, idx: ei})
 		for _, r := range model.ReceiptActions(e) {
 			if err := ctx.SendTransfer(r); err != nil {
-				n.delivered[ei] = false
+				n.logApply(walEntry{op: walUndelivered, idx: ei})
 				return
 			}
 		}
@@ -242,12 +362,12 @@ func (n *TrustedNode) maybeComplete(ctx *Context) {
 		if n.delivered[ei] {
 			continue
 		}
-		n.delivered[ei] = true
+		n.logApply(walEntry{op: walDelivered, idx: ei})
 		for _, r := range model.ReceiptActions(n.Problem.Exchanges[ei]) {
 			if err := ctx.SendTransfer(r); err != nil {
 				// Completion failure indicates a runner bug; surface via
 				// the runner's fault channel through a refund.
-				n.delivered[ei] = false
+				n.logApply(walEntry{op: walUndelivered, idx: ei})
 				return
 			}
 		}
@@ -257,7 +377,7 @@ func (n *TrustedNode) maybeComplete(ctx *Context) {
 		if off.Via != n.Self || !n.collateral[oi] || n.settled[oi] {
 			continue
 		}
-		n.settled[oi] = true
+		n.logApply(walEntry{op: walSettled, idx: oi})
 		post := model.Pay(off.By, n.Self, n.offerAmount(off))
 		_ = ctx.SendTransfer(post.Compensation())
 	}
@@ -276,21 +396,14 @@ func (n *TrustedNode) onDeadline(ctx *Context) {
 	if complete {
 		return
 	}
-	n.aborted = true
+	n.logApply(walEntry{op: walAborted})
 	// Settle collateral first: a covered, attempted, undelivered exchange
 	// forfeits the collateral to the protected principal.
 	for oi, off := range n.Problem.Indemnities {
 		if off.Via != n.Self || !n.collateral[oi] || n.settled[oi] {
 			continue
 		}
-		n.settled[oi] = true
-		amount := n.offerAmount(off)
-		if n.depositAttempted(off.Covers) && !n.delivered[off.Covers] {
-			_ = ctx.SendTransfer(model.Pay(n.Self, n.Problem.Exchanges[off.Covers].Principal, amount))
-			continue
-		}
-		post := model.Pay(off.By, n.Self, amount)
-		_ = ctx.SendTransfer(post.Compensation())
+		n.settleOffer(ctx, oi, off)
 	}
 	// Refund every held, undelivered deposit the node can still fund.
 	n.retryRefunds(ctx)
@@ -301,6 +414,22 @@ func (n *TrustedNode) onDeadline(ctx *Context) {
 			ctx.SendTagged(n.PersonaOwner, "recall:"+strconv.Itoa(ei))
 		}
 	}
+}
+
+// settleOffer resolves one held collateral account under the deadline
+// rule: a covered, attempted, undelivered exchange forfeits the
+// collateral to the protected principal; otherwise it is refunded to
+// the offerer. Called from onDeadline for each held offer, and from the
+// transfer handler when collateral arrives after the unwind already ran.
+func (n *TrustedNode) settleOffer(ctx *Context, oi int, off model.IndemnityOffer) {
+	n.logApply(walEntry{op: walSettled, idx: oi})
+	amount := n.offerAmount(off)
+	if n.depositAttempted(off.Covers) && !n.delivered[off.Covers] {
+		_ = ctx.SendTransfer(model.Pay(n.Self, n.Problem.Exchanges[off.Covers].Principal, amount))
+		return
+	}
+	post := model.Pay(off.By, n.Self, amount)
+	_ = ctx.SendTransfer(post.Compensation())
 }
 
 func (n *TrustedNode) offerAmount(off model.IndemnityOffer) model.Money {
@@ -387,7 +516,35 @@ type PrincipalNode struct {
 	seenTags map[string]bool
 	fired    int
 	faults   []error
+	recalls  []*recallState
+	// sent records every transfer this node successfully sent; recall
+	// settlement consults it so a deposit the script already paid is not
+	// paid again (and makes the recall moot — the owner's side is
+	// settled).
+	sent map[model.Action]bool
 }
+
+// recallState tracks one unwind demand from a persona trustee until the
+// owner settles it. Settlement may not be immediately fundable under
+// chaos — the goods or funds can sit in another escrow in flight — so
+// the node re-attempts on every subsequent delivery instead of giving
+// up. Once the first transfer of a path succeeds the state commits to
+// that path (returning or paying); retries then only send the
+// remainder, never both sides.
+type recallState struct {
+	ei   int
+	mode recallMode
+	sent map[model.Action]bool
+	done bool
+}
+
+type recallMode int
+
+const (
+	recallUndecided recallMode = iota
+	recallReturning
+	recallPaying
+)
 
 var _ Node = (*PrincipalNode)(nil)
 
@@ -413,6 +570,7 @@ func NewPrincipalNode(plan *core.Plan, self model.PartyID, stopAfter int) *Princ
 		StopAfter: stopAfter,
 		seen:      make(map[model.Action]bool),
 		seenTags:  make(map[string]bool),
+		sent:      make(map[model.Action]bool),
 	}
 	var observed []model.Action
 	var observedTags []string
@@ -514,13 +672,24 @@ func (n *PrincipalNode) OnMessage(ctx *Context, m Message) {
 		n.seen[m.Action] = true
 	}
 	n.tryFire(ctx)
+	n.pumpRecalls(ctx)
 }
 
 // onRecall answers a persona trustee's unwind demand: an honest owner
 // returns the withdrawn goods if it still holds them, or pays its side
 // if it sold them on. A defector (StopAfter reached) ignores the demand
 // — the loss lands on the party that declared direct trust.
+//
+// Handling is idempotent per recall tag: the network may duplicate or
+// retry the demand, and answering twice would make an honest owner
+// that already returned the goods pay its deposit on top. Settlement
+// that cannot be funded yet (the assets are in flight or in another
+// escrow) is parked and re-attempted on every later delivery.
 func (n *PrincipalNode) onRecall(ctx *Context, m Message) {
+	if n.seenTags[m.Tag] {
+		return
+	}
+	n.seenTags[m.Tag] = true
 	if n.StopAfter >= 0 && n.fired >= n.StopAfter {
 		return
 	}
@@ -528,25 +697,82 @@ func (n *PrincipalNode) onRecall(ctx *Context, m Message) {
 	if err != nil || ei < 0 || ei >= len(n.Problem.Exchanges) {
 		return
 	}
-	e := n.Problem.Exchanges[ei]
-	if e.Principal != n.Self {
+	if n.Problem.Exchanges[ei].Principal != n.Self {
 		return
 	}
-	returned := true
-	for _, r := range model.ReceiptActions(e) {
-		if err := ctx.SendTransfer(r.Compensation()); err != nil {
-			returned = false
-			break
+	rc := &recallState{ei: ei, sent: make(map[model.Action]bool)}
+	n.recalls = append(n.recalls, rc)
+	n.attemptRecall(ctx, rc)
+}
+
+// pumpRecalls re-attempts every unsettled recall; called after each
+// delivery, when newly arrived assets may make settlement fundable.
+func (n *PrincipalNode) pumpRecalls(ctx *Context) {
+	for _, rc := range n.recalls {
+		if !rc.done {
+			n.attemptRecall(ctx, rc)
 		}
 	}
-	if returned {
-		return
-	}
-	for _, d := range model.DepositActions(e) {
-		if err := ctx.SendTransfer(d); err != nil {
-			n.faults = append(n.faults, fmt.Errorf("sim: %s cannot settle recall for exchange %d: %w", n.Self, ei, err))
+}
+
+// attemptRecall advances one recall settlement as far as current
+// holdings allow. A recall whose deposits the owner's script already
+// paid is moot — the owner's side is settled and the aborted trustee
+// forwards or bounces as appropriate. Otherwise the preference order
+// matches the honest script: return the withdrawn goods if they can
+// still be returned; only when nothing was returnable, pay the owner's
+// own side instead.
+func (n *PrincipalNode) attemptRecall(ctx *Context, rc *recallState) {
+	e := n.Problem.Exchanges[rc.ei]
+	deposits := model.DepositActions(e)
+	if rc.mode != recallReturning {
+		paid := true
+		for _, d := range deposits {
+			if !n.sent[d] && !rc.sent[d] {
+				paid = false
+			}
+		}
+		if paid {
+			rc.done = true
 			return
 		}
+	}
+	if rc.mode == recallUndecided || rc.mode == recallReturning {
+		all := true
+		for _, r := range model.ReceiptActions(e) {
+			c := r.Compensation()
+			if rc.sent[c] {
+				continue
+			}
+			if err := ctx.SendTransfer(c); err != nil {
+				all = false
+				continue
+			}
+			rc.sent[c] = true
+			rc.mode = recallReturning
+		}
+		if all {
+			rc.done = true
+			return
+		}
+		if rc.mode == recallReturning {
+			return // committed to returning; retry the remainder later
+		}
+	}
+	all := true
+	for _, d := range deposits {
+		if rc.sent[d] || n.sent[d] {
+			continue
+		}
+		if err := ctx.SendTransfer(d); err != nil {
+			all = false
+			continue
+		}
+		rc.sent[d] = true
+		rc.mode = recallPaying
+	}
+	if all {
+		rc.done = true
 	}
 }
 
@@ -586,6 +812,7 @@ func (n *PrincipalNode) tryFire(ctx *Context) {
 				n.faults = append(n.faults, fmt.Errorf("sim: %s step %d: %w", n.Self, n.next, err))
 				return
 			}
+			n.sent[a] = true
 		}
 		n.next++
 		n.fired++

@@ -92,7 +92,7 @@ func TestRandomDefectionFuzz(t *testing.T) {
 				if other.IsTrusted() || other.ID == defector {
 					continue
 				}
-				if trustsDefectorsPersona(p, other.ID, defector) {
+				if TrustsDefectorPersona(p, other.ID, defector) {
 					continue // accepted risk: direct trust in the defector
 				}
 				if !res.AssetsSafeFor(other.ID) {
@@ -105,18 +105,4 @@ func TestRandomDefectionFuzz(t *testing.T) {
 	if checked < 3 {
 		t.Fatalf("only %d feasible instances fuzzed", checked)
 	}
-}
-
-// trustsDefectorsPersona reports whether `victim` relies on a trusted
-// component played by the defector.
-func trustsDefectorsPersona(p *model.Problem, victim, defector model.PartyID) bool {
-	for _, e := range p.Exchanges {
-		if e.Principal != victim {
-			continue
-		}
-		if q, ok := p.PersonaOf(e.Trusted); ok && q == defector {
-			return true
-		}
-	}
-	return false
 }

@@ -31,6 +31,17 @@ type Options struct {
 	// NotifyDropRate injects control-plane message loss (see
 	// Config.NotifyDropRate).
 	NotifyDropRate float64
+	// Faults composes the deterministic fault injectors — duplication,
+	// bounded reordering, latency spikes, link partitions and
+	// crash-restarts of trusted nodes. Nil injects nothing beyond
+	// NotifyDropRate. The plan is validated against the problem.
+	Faults *FaultPlan
+	// NotifyRetries enables the notification retry layer: every notify
+	// is re-sent up to that many extra times with exponential backoff
+	// and jitter (see Config.NotifyRetries). RetryBase tunes the first
+	// delay (default 8 ticks).
+	NotifyRetries int
+	RetryBase     Time
 	// Obs receives a span per run, the per-message audit events and the
 	// network counters (see Config.Obs). Nil disables; telemetry never
 	// changes the simulated schedule.
@@ -55,6 +66,8 @@ type Result struct {
 	DuplicateActions int
 	// DroppedNotifies counts control messages lost in transit.
 	DroppedNotifies int
+	// FaultStats counts what the fault plan actually injected.
+	FaultStats FaultStats
 	// Trace holds every delivered message in delivery order; render it
 	// with RenderTrace.
 	Trace []Message
@@ -124,6 +137,9 @@ func Run(plan *core.Plan, opts Options) (*Result, error) {
 		opts.Deadline = 1000
 	}
 	p := plan.Problem
+	if err := opts.Faults.Validate(p); err != nil {
+		return nil, err
+	}
 
 	initial := model.InitialHoldings(p)
 	initial[transitAccount] = model.NewHolding()
@@ -135,12 +151,14 @@ func Run(plan *core.Plan, opts Options) (*Result, error) {
 		span = tel.Trace().StartSpan("sim.run",
 			obs.Str("problem", p.Name),
 			obs.Int64("seed", opts.Seed),
-			obs.Int("defectors", len(opts.Defectors)))
+			obs.Int("defectors", len(opts.Defectors)),
+			obs.Bool("faults", opts.Faults.Enabled()))
 	}
 
 	net := NewNetwork(Config{
 		Seed: opts.Seed, BaseLatency: opts.BaseLatency, Jitter: opts.Jitter,
-		NotifyDropRate: opts.NotifyDropRate, Obs: tel,
+		NotifyDropRate: opts.NotifyDropRate, Faults: opts.Faults,
+		NotifyRetries: opts.NotifyRetries, RetryBase: opts.RetryBase, Obs: tel,
 	})
 	net.SetHooks(
 		func(m Message) error {
@@ -190,7 +208,11 @@ func Run(plan *core.Plan, opts Options) (*Result, error) {
 		DroppedNotifies: net.Dropped(),
 	}
 	res.Trace = net.Trace()
+	res.FaultStats = net.FaultStats()
 	for _, m := range res.Trace {
+		if m.Kind == MsgCrash || m.Kind == MsgRestart {
+			continue // fault events are not deliveries
+		}
 		res.Messages++
 		if m.Tag != "" {
 			continue // control messages are not exchange actions
@@ -219,7 +241,8 @@ func Run(plan *core.Plan, opts Options) (*Result, error) {
 			obs.Int("messages", res.Messages),
 			obs.Int64("duration_ticks", int64(res.Duration)),
 			obs.Int("faults", len(res.Faults)),
-			obs.Int("dropped", res.DroppedNotifies))
+			obs.Int("dropped", res.DroppedNotifies),
+			obs.Int("crashes", res.FaultStats.Crashes))
 	}
 	return res, nil
 }

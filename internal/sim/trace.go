@@ -7,10 +7,15 @@ import (
 
 // RenderTrace formats a delivered-message trace as a timeline, one line
 // per message: virtual time, sender, payload, receiver. Control messages
-// (tagged notifies) are annotated.
+// (tagged notifies) are annotated; fault events (crash/restart of a
+// trusted node) get their own marker lines.
 func RenderTrace(trace []Message) string {
 	var b strings.Builder
 	for _, m := range trace {
+		if m.Kind == MsgCrash || m.Kind == MsgRestart {
+			fmt.Fprintf(&b, "t=%-4d %-10s ×× %s\n", m.At, m.To, m.Kind)
+			continue
+		}
 		payload := ""
 		switch {
 		case m.Kind == MsgNotify && m.Tag != "":

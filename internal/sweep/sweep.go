@@ -28,6 +28,7 @@ import (
 	"trustseq/internal/obs"
 	"trustseq/internal/petri"
 	"trustseq/internal/search"
+	"trustseq/internal/sim"
 )
 
 // Family selects the generator family driven by the sweep.
@@ -92,6 +93,18 @@ type Config struct {
 	// of the cross-problem pool. Default: serial per-problem search (the
 	// sweep already saturates the machine across problems).
 	SearchWorkers int
+
+	// ChaosRuns > 0 adds a chaos stage to every graph-feasible problem:
+	// that many fault-injected simulations, each with a fault plan,
+	// deadline, retry budget and (one run in ~three) a silent defector
+	// sampled from a seed derived from the problem's own, each audited
+	// with sim.ChaosViolations. Unsafe outcomes count as sweep
+	// violations. The stage is as deterministic as the rest of the
+	// sweep: same Config, same Results, any worker count.
+	ChaosRuns int
+	// ChaosFaults selects the fault families the chaos stage samples
+	// from. The zero value with ChaosRuns > 0 means all families.
+	ChaosFaults sim.FaultMenu
 
 	// Obs receives sweep telemetry: a span per sweep, a sweep.problem
 	// event per instance, per-family latency histograms and the
@@ -158,6 +171,13 @@ type Result struct {
 	// not encoded in the net) and a conclusive, uncapped exploration.
 	PetriComparable bool
 
+	// ChaosRuns is the number of fault-injected simulations executed for
+	// this problem; ChaosUnsafe counts those that broke the safety
+	// contract, and ChaosViolation describes the first break.
+	ChaosRuns      int
+	ChaosUnsafe    int
+	ChaosViolation string
+
 	Err string
 }
 
@@ -175,6 +195,9 @@ type Stats struct {
 	Disorder  int // strong-feasible but NOT assets-feasible (must stay 0)
 	PetriSkew int // comparable instances where petri ≠ assets (must stay 0)
 	Gap       int // strong-feasible but graph impasse (the paper's incompleteness)
+
+	ChaosRuns   int // fault-injected simulations executed
+	ChaosUnsafe int // chaos runs that broke the safety contract (must stay 0)
 }
 
 // Report is a completed sweep.
@@ -357,6 +380,8 @@ func observeProblem(tel *obs.Telemetry, r *Result, d time.Duration) {
 		obs.Bool("strong", r.StrongFeasible),
 		obs.Bool("petri", r.PetriFound),
 		obs.Bool("skipped", r.SearchSkipped),
+		obs.Int("chaos_runs", r.ChaosRuns),
+		obs.Int("chaos_unsafe", r.ChaosUnsafe),
 		obs.Str("err", r.Err),
 		obs.Float("seconds", d.Seconds()))
 }
@@ -383,6 +408,9 @@ func runOne(cfg Config, i int, ws *workerScratch) Result {
 		return res
 	}
 	res.GraphFeasible = plan.Feasible
+	if plan.Feasible && cfg.ChaosRuns > 0 {
+		runChaos(cfg, plan, seed, ws, &res)
+	}
 
 	if len(p.Exchanges) > cfg.MaxSearchExchanges {
 		res.SearchSkipped = true
@@ -419,6 +447,53 @@ func runOne(cfg Config, i int, ws *workerScratch) Result {
 	return res
 }
 
+// chaosSeedSalt decorrelates the chaos stage's RNG stream from the
+// generator stream that shares the worker's RNG.
+const chaosSeedSalt = 0x5DEECE66D
+
+// runChaos executes the fault-injection stage for one feasible problem:
+// ChaosRuns simulations whose fault plans, deadlines, retry budgets and
+// occasional silent defector all derive from the problem seed, each
+// audited against the chaos safety contract.
+func runChaos(cfg Config, plan *core.Plan, seed int64, ws *workerScratch, res *Result) {
+	menu := cfg.ChaosFaults
+	if !menu.Any() {
+		menu = sim.AllFaults()
+	}
+	p := plan.Problem
+	var principals []model.PartyID
+	for _, pa := range p.Parties {
+		if !pa.IsTrusted() {
+			principals = append(principals, pa.ID)
+		}
+	}
+	ws.rng.Seed(seed ^ chaosSeedSalt)
+	res.ChaosRuns = cfg.ChaosRuns
+	for k := 0; k < cfg.ChaosRuns; k++ {
+		opts := sim.ChaosOptions(ws.rng, p, menu, seed+int64(k)*0x85EBCA6B+3, 0)
+		opts.Obs = cfg.Obs
+		if len(principals) > 0 && ws.rng.Intn(3) == 0 {
+			opts.Defectors = map[model.PartyID]int{
+				principals[ws.rng.Intn(len(principals))]: ws.rng.Intn(2),
+			}
+		}
+		out, err := sim.Run(plan, opts)
+		if err != nil {
+			res.ChaosUnsafe++
+			if res.ChaosViolation == "" {
+				res.ChaosViolation = fmt.Sprintf("chaos run %d: %v", k, err)
+			}
+			continue
+		}
+		if v := sim.ChaosViolations(out, opts.Defectors); len(v) > 0 {
+			res.ChaosUnsafe++
+			if res.ChaosViolation == "" {
+				res.ChaosViolation = fmt.Sprintf("chaos run %d: %s", k, v[0])
+			}
+		}
+	}
+}
+
 // aggregatePartial aggregates only the problems that completed before
 // cancellation.
 func aggregatePartial(results []Result, done []bool) Stats {
@@ -439,6 +514,8 @@ func aggregate(results []Result) Stats {
 			st.Errors++
 			continue
 		}
+		st.ChaosRuns += r.ChaosRuns
+		st.ChaosUnsafe += r.ChaosUnsafe
 		if r.GraphFeasible {
 			st.Feasible++
 		}
@@ -476,9 +553,10 @@ func aggregate(results []Result) Stats {
 
 // Violations reports the soundness-violation count: agreement properties
 // that must hold on every instance (graph ⊆ assets, strong ⊆ assets,
-// petri = assets where comparable) plus outright errors.
+// petri = assets where comparable), chaos runs that broke the safety
+// contract, plus outright errors.
 func (st Stats) Violations() int {
-	return st.Errors + st.Unsound + st.Disorder + st.PetriSkew
+	return st.Errors + st.Unsound + st.Disorder + st.PetriSkew + st.ChaosUnsafe
 }
 
 // Summary renders the report for the command line.
@@ -493,7 +571,10 @@ func (r *Report) Summary() string {
 	fmt.Fprintf(&b, "  petri-completable   %4d (capped %d)\n", st.Covered, st.Capped)
 	fmt.Fprintf(&b, "  search-skipped      %4d (over %d exchanges)\n", st.Skipped, r.Config.MaxSearchExchanges)
 	fmt.Fprintf(&b, "  incompleteness gap  %4d (strong-feasible, graph impasse)\n", st.Gap)
-	fmt.Fprintf(&b, "  violations          %4d (errors %d, unsound %d, order %d, petri skew %d)\n",
-		st.Violations(), st.Errors, st.Unsound, st.Disorder, st.PetriSkew)
+	if st.ChaosRuns > 0 {
+		fmt.Fprintf(&b, "  chaos runs          %4d (unsafe %d)\n", st.ChaosRuns, st.ChaosUnsafe)
+	}
+	fmt.Fprintf(&b, "  violations          %4d (errors %d, unsound %d, order %d, petri skew %d, chaos %d)\n",
+		st.Violations(), st.Errors, st.Unsound, st.Disorder, st.PetriSkew, st.ChaosUnsafe)
 	return b.String()
 }

@@ -7,10 +7,13 @@
 //
 // Usage:
 //
-//	benchtrend                      # run the gate benchmarks, write BENCH_latest.json
-//	benchtrend -benchtime 100x      # CI setting: fixed iteration count
+//	benchtrend                      # gate benchmarks at the default -benchtime 100x, write BENCH_latest.json
+//	benchtrend -benchtime 1s        # time-based sampling instead of the fixed-iteration default
 //	benchtrend -bench 'Sweep'       # restrict the benchmark regexp
 //	benchtrend -out trend.json      # alternate output path
+//
+// BENCH_latest.json is the rolling, gitignored output; the committed
+// BENCH_pr3.json is the frozen baseline snapshot it is compared against.
 package main
 
 import (

@@ -1,0 +1,111 @@
+// Command doclint enforces the repository's documentation floor: every
+// Go package under the given roots must carry a package comment (the
+// doc.go convention), and that comment must be long enough to say
+// something — a bare "Package x implements x" does not survive review
+// here. CI runs it over ./internal/... and ./cmd/...; it exits nonzero
+// listing every offender.
+//
+// Usage:
+//
+//	doclint [-min-words N] DIR [DIR...]
+//
+//	-min-words  minimum words in the package comment (default 10)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+func main() {
+	minWords := flag.Int("min-words", 10, "minimum words in a package comment")
+	flag.Parse()
+	if flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "usage: doclint [-min-words N] DIR [DIR...]")
+		os.Exit(2)
+	}
+	var problems []string
+	for _, root := range flag.Args() {
+		ps, err := lintTree(root, *minWords)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "doclint:", err)
+			os.Exit(2)
+		}
+		problems = append(problems, ps...)
+	}
+	if len(problems) > 0 {
+		sort.Strings(problems)
+		for _, p := range problems {
+			fmt.Println(p)
+		}
+		fmt.Fprintf(os.Stderr, "doclint: %d package(s) below the documentation floor\n", len(problems))
+		os.Exit(1)
+	}
+}
+
+// lintTree walks root and reports every directory holding a Go package
+// without an adequate package comment.
+func lintTree(root string, minWords int) ([]string, error) {
+	var problems []string
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		if name := d.Name(); name != root && strings.HasPrefix(name, ".") {
+			return fs.SkipDir
+		}
+		ok, found, why := lintDir(path, minWords)
+		if found && !ok {
+			problems = append(problems, fmt.Sprintf("%s: %s", path, why))
+		}
+		return nil
+	})
+	return problems, err
+}
+
+// lintDir reports whether the directory holds Go files (found) and, if
+// so, whether some non-test file carries an adequate package comment.
+func lintDir(dir string, minWords int) (ok, found bool, why string) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return false, true, err.Error()
+	}
+	best := ""
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		found = true
+		fset := token.NewFileSet()
+		f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.PackageClauseOnly|parser.ParseComments)
+		if err != nil {
+			return false, true, fmt.Sprintf("parsing %s: %v", name, err)
+		}
+		if f.Doc == nil {
+			continue
+		}
+		text := f.Doc.Text()
+		if n := len(strings.Fields(text)); n >= minWords {
+			return true, true, ""
+		}
+		best = fmt.Sprintf("package comment in %s is under %d words", name, minWords)
+	}
+	if !found {
+		return true, false, ""
+	}
+	if best != "" {
+		return false, true, best
+	}
+	return false, true, "no package comment (add a doc.go)"
+}

@@ -1,0 +1,103 @@
+// Command trustd is the resident protocol-synthesis daemon: a
+// stdlib-only HTTP service that analyses commercial-exchange problems
+// (.exch or JSON spec) and returns the feasibility verdict, reduction
+// trace, execution sequence, indemnity proposal, exhaustive-search and
+// Petri cross-checks, and optionally a seeded simulation — serving
+// repeated and concurrent-duplicate requests from a content-addressed
+// result cache instead of re-running the engines. See internal/service
+// for the request lifecycle and ARCHITECTURE.md for the dataflow.
+//
+// Usage:
+//
+//	trustd [flags]
+//
+//	-addr ADDR          listen address (default :8086)
+//	-cache N            result-cache capacity in entries (default 512)
+//	-concurrency N      max concurrent engine runs (default GOMAXPROCS)
+//	-timeout D          per-request analysis timeout (default 30s)
+//	-sweep-timeout D    per-request sweep timeout (default 2m)
+//	-drain D            shutdown drain budget after SIGINT/SIGTERM (default 10s)
+//	-search-workers N   workers per exhaustive cross-check search (default 1)
+//	-petri-budget N     coverability state budget (default 131072)
+//	-max-search N       skip exhaustive cross-checks above N exchanges (default 10)
+//	-quiet              suppress the startup line
+//
+// SIGINT/SIGTERM starts a graceful drain: the listener stops accepting,
+// in-flight requests get up to -drain to finish, then the process
+// exits.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
+	"time"
+
+	"trustseq/internal/obs"
+	"trustseq/internal/service"
+)
+
+func main() {
+	if err := run(context.Background(), os.Args[1:], os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "trustd:", err)
+		os.Exit(1)
+	}
+}
+
+// run is the testable body of main: it owns flag parsing, the signal
+// contract and the server lifecycle, and reports the bound address on
+// errw so scripts (and the CI smoke job) can wait for readiness.
+func run(ctx context.Context, args []string, errw io.Writer) error {
+	fs := flag.NewFlagSet("trustd", flag.ContinueOnError)
+	addr := fs.String("addr", ":8086", "listen address")
+	cacheEntries := fs.Int("cache", 512, "result-cache capacity in entries")
+	concurrency := fs.Int("concurrency", 0, "max concurrent engine runs (0 = GOMAXPROCS)")
+	timeout := fs.Duration("timeout", 30*time.Second, "per-request analysis timeout")
+	sweepTimeout := fs.Duration("sweep-timeout", 2*time.Minute, "per-request sweep timeout")
+	drain := fs.Duration("drain", 10*time.Second, "shutdown drain budget")
+	searchWorkers := fs.Int("search-workers", 1, "workers per exhaustive cross-check search")
+	petriBudget := fs.Int("petri-budget", 1<<17, "coverability state budget")
+	maxSearch := fs.Int("max-search", 10, "skip exhaustive cross-checks above this many exchanges")
+	quiet := fs.Bool("quiet", false, "suppress the startup line")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 0 {
+		return fmt.Errorf("usage: trustd [flags] (no positional arguments)")
+	}
+
+	tel := &obs.Telemetry{Metrics: obs.NewRegistry()}
+	svc := service.New(service.Options{
+		CacheEntries:       *cacheEntries,
+		MaxConcurrent:      *concurrency,
+		RequestTimeout:     *timeout,
+		SweepTimeout:       *sweepTimeout,
+		MaxSearchExchanges: *maxSearch,
+		PetriBudget:        *petriBudget,
+		SearchWorkers:      *searchWorkers,
+		Telemetry:          tel,
+	})
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	if !*quiet {
+		workers := *concurrency
+		if workers < 1 {
+			workers = runtime.GOMAXPROCS(0)
+		}
+		fmt.Fprintf(errw, "trustd: serving on http://%s (cache %d entries, %d concurrent runs)\n",
+			ln.Addr(), *cacheEntries, workers)
+	}
+
+	ctx, stop := signal.NotifyContext(ctx, os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	return service.Serve(ctx, ln, svc.Handler(), *drain)
+}

@@ -1,0 +1,94 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"io"
+	"net/http"
+	"regexp"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestRunServesAndDrains boots the daemon on an ephemeral port, drives
+// one analysis through it, then cancels the lifecycle context (the
+// SIGTERM path) and requires a clean exit.
+func TestRunServesAndDrains(t *testing.T) {
+	var errw lockedBuffer
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	done := make(chan error, 1)
+	go func() {
+		done <- run(ctx, []string{"-addr", "127.0.0.1:0", "-cache", "4", "-timeout", "5s"}, &errw)
+	}()
+
+	// The startup line reports the bound address.
+	addrRe := regexp.MustCompile(`http://([0-9.]+:[0-9]+)`)
+	var addr string
+	deadline := time.After(10 * time.Second)
+	for addr == "" {
+		select {
+		case err := <-done:
+			t.Fatalf("run exited early: %v\n%s", err, errw.String())
+		case <-deadline:
+			t.Fatalf("no startup line after 10s: %q", errw.String())
+		case <-time.After(5 * time.Millisecond):
+			if m := addrRe.FindStringSubmatch(errw.String()); m != nil {
+				addr = m[1]
+			}
+		}
+	}
+
+	resp, err := http.Post("http://"+addr+"/v1/analyze", "text/plain", strings.NewReader(
+		`problem p {
+    consumer c
+    producer s
+    trusted  t
+    exchange c with s via t { c gives $10; s gives doc "d" }
+}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || !strings.Contains(string(body), `"feasible": true`) {
+		t.Fatalf("analyze: status %d, body %s", resp.StatusCode, body)
+	}
+
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("run: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("daemon did not exit after context cancel")
+	}
+}
+
+func TestRunRejectsPositionalArgs(t *testing.T) {
+	err := run(context.Background(), []string{"stray.exch"}, io.Discard)
+	if err == nil || !strings.Contains(err.Error(), "usage") {
+		t.Fatalf("want usage error, got %v", err)
+	}
+}
+
+// lockedBuffer makes the run goroutine's log writes race-free to poll.
+type lockedBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *lockedBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *lockedBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}

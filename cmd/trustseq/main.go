@@ -23,7 +23,7 @@ import (
 
 	"trustseq/internal/core"
 	"trustseq/internal/dsl"
-	"trustseq/internal/indemnity"
+	"trustseq/internal/service"
 )
 
 func main() {
@@ -58,37 +58,18 @@ func run(args []string, out io.Writer) error {
 		return err
 	}
 
-	fmt.Fprintf(out, "problem %s: %d principals, %d trusted components, %d pairwise exchanges\n",
-		problem.Name, len(problem.Parties)-trustedCount(plan), trustedCount(plan), len(problem.Exchanges)/2)
-	if *showTrace {
-		fmt.Fprintln(out, "\nreduction trace:")
-		fmt.Fprint(out, plan.Reduction.String())
+	// The report body is shared with the trustd service so the CLI and
+	// the daemon stay byte-identical by construction (the parity test
+	// in this package re-checks it per example spec).
+	report, err := service.RenderText(plan, service.RenderOptions{
+		Trace:     *showTrace,
+		Indemnify: *proposeIndemnity,
+		Verify:    *verify,
+	})
+	if err != nil {
+		return err
 	}
-	if plan.Feasible {
-		fmt.Fprintln(out, "\nFEASIBLE — execution sequence:")
-		fmt.Fprint(out, plan.ExecutionSequence())
-		if *verify {
-			if err := plan.Verify(); err != nil {
-				return fmt.Errorf("verification FAILED: %w", err)
-			}
-			fmt.Fprintln(out, "\nverified: every step keeps every participant's assets safe")
-		}
-	} else {
-		fmt.Fprintln(out, "\nINFEASIBLE — impasse:")
-		fmt.Fprintln(out, plan.Reduction.Impasse())
-		if *proposeIndemnity {
-			res, err := indemnity.Greedy(problem)
-			if err != nil {
-				return err
-			}
-			if res.Feasible {
-				fmt.Fprintln(out, "\nminimal indemnification (Section 6 greedy):")
-				fmt.Fprintln(out, res.String())
-			} else {
-				fmt.Fprintln(out, "\nno indemnification resolves the impasse (ordering constraints)")
-			}
-		}
-	}
+	fmt.Fprint(out, report)
 
 	if *dotDir != "" {
 		if err := os.MkdirAll(*dotDir, 0o755); err != nil {
@@ -108,14 +89,4 @@ func run(args []string, out io.Writer) error {
 		}
 	}
 	return nil
-}
-
-func trustedCount(plan *core.Plan) int {
-	n := 0
-	for _, pa := range plan.Problem.Parties {
-		if pa.IsTrusted() {
-			n++
-		}
-	}
-	return n
 }

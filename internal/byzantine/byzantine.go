@@ -1,19 +1,3 @@
-// Package byzantine is the Section 7.3 baseline: the Byzantine generals
-// oral-messages algorithm OM(m) of Pease, Shostak and Lamport. The paper
-// contrasts its trust framework with Byzantine agreement: agreement
-// protocols protect protocol-followers from traitors by REPLICATION (n >
-// 3m loyal majority voting), where the trust framework instead
-// concentrates reliance in explicitly trusted nodes and protects parties
-// with DIFFERENT acceptable outcomes rather than forcing one agreed
-// value.
-//
-// The implementation is the classic recursive OM(m): a commander sends
-// its value; each lieutenant relays what it received acting as commander
-// in OM(m-1); values are combined by majority. Traitors here send an
-// arbitrary (index-dependent) value instead of the one they received.
-// The package exists so the comparison is runnable: the n > 3m bound is
-// demonstrated, as is the message-count blowup relative to the trusted
-// intermediary protocols of the main library.
 package byzantine
 
 import (

@@ -1,15 +1,3 @@
-// Package core is the public orchestration layer of the library: it takes
-// a commercial-exchange problem (model.Problem), derives the interaction
-// and sequencing graphs, reduces the sequencing graph, and — when the
-// exchange is feasible — recovers a concrete execution sequence (Section
-// 5): the total order of deposits, notifications and deliveries that
-// protects every participant at every step.
-//
-// The recovered plan follows the paper's recipe: pairwise exchanges
-// execute in the order their commitment nodes disconnected during the
-// reduction; commitments attached to their conjunction by a red edge are
-// committed first but executed last; a notify action is generated when a
-// trusted component's conjunction node disconnects.
 package core
 
 import (

@@ -1,9 +1,3 @@
-// Package cost implements Section 8, "Cost of Mistrust": message-count
-// accounting for exchanges executed directly (two messages), through
-// trusted intermediaries (four messages plus notifications), and through
-// a single universal trusted intermediary, which makes any exchange
-// feasible without indemnities by validating every party's constraints
-// before executing atomically.
 package cost
 
 import (

@@ -1,25 +1,3 @@
-// Package distred implements the fully distributed feasibility decision
-// the paper leaves as future work (Section 9: "extend the algorithms
-// proposed here to allow a fully distributed approach, with each
-// participant locally making decisions about the feasibility and
-// sequencing of its own parts of the transaction").
-//
-// Every party runs an agent that owns its own conjunction node and
-// applies the two reduction rules using only local knowledge plus
-// removal announcements from the counterpart endpoint of each shared
-// commitment:
-//
-//   - Rule #2 (conjunction fringe) is entirely local: the agent sees its
-//     own remaining degree.
-//   - Rule #1 (commitment fringe) needs one remote fact — whether the
-//     commitment's edge at the *other* endpoint is gone — which arrives
-//     as a removal announcement; the red-pre-emption check and persona
-//     clause are local to the conjunction owner.
-//
-// When the network quiesces, the union of local removals equals a greedy
-// centralized reduction (confluence, Section 4.2.4 — property-tested),
-// so every agent knows the global verdict from its own residual edges
-// plus the announcements it heard.
 package distred
 
 import (

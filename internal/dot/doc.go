@@ -1,0 +1,18 @@
+// Package dot renders graphs in Graphviz DOT syntax. It is a minimal
+// writer shared by the interaction and sequencing graph packages so that
+// every figure of the paper can be regenerated as a .dot file.
+//
+// # Key types
+//
+//   - Graph accumulates nodes, edges and attributes; New names it and
+//     fixes directedness; String emits DOT with nodes and edges sorted,
+//     so output is deterministic regardless of insertion order.
+//   - Quote escapes arbitrary labels into DOT string literals.
+//
+// # Concurrency and ownership
+//
+// A Graph is a single-owner builder with no locking: construct, fill and
+// render on one goroutine. Rendering does not mutate the Graph, and the
+// package holds no global state, so independent Graphs may be built
+// concurrently.
+package dot

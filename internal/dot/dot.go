@@ -1,6 +1,3 @@
-// Package dot renders graphs in Graphviz DOT syntax. It is a minimal
-// writer shared by the interaction and sequencing graph packages so that
-// every figure of the paper can be regenerated as a .dot file.
 package dot
 
 import (

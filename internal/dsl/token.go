@@ -1,27 +1,3 @@
-// Package dsl implements the specification language the paper introduces
-// for commercial exchange problems ("We introduce a language for
-// specifying these commercial exchange problems", Section 1): a lexer,
-// recursive-descent parser, semantic analysis, a compiler to
-// model.Problem, and a pretty-printer that round-trips.
-//
-// A problem file looks like:
-//
-//	problem example1 {
-//	    consumer c
-//	    broker   b
-//	    producer p
-//	    trusted  t1
-//	    trusted  t2
-//
-//	    exchange c with b via t1 { c gives $100; b gives doc "d" }
-//	    exchange b with p via t2 { b gives $80;  p gives doc "d" }
-//
-//	    // optional clauses:
-//	    // endowment b $80
-//	    // trust p -> b
-//	    // red b via t2
-//	    // indemnify b covers c via t1 amount $100
-//	}
 package dsl
 
 import "fmt"

@@ -1,0 +1,22 @@
+// Package gen generates synthetic commercial-exchange problems — chains,
+// stars and randomized brokered markets — for property tests, the
+// exhaustive-search cross-validation (E10) and the scaling benchmarks
+// (E13). All generators are deterministic in their parameters.
+//
+// # Key types
+//
+//   - Pair, Chain, Star and Parallel build the named fixed topologies;
+//     ConsumerStarIndices exposes the star's exchange indexing for
+//     assertions.
+//   - Random draws a brokered market from Options (party counts, price
+//     ranges, endowment and trust probabilities) using the caller's
+//     *rand.Rand; identical seeds yield identical problems.
+//
+// # Concurrency and ownership
+//
+// Generators are pure apart from the *rand.Rand the caller passes to
+// Random: a Rand is not safe for concurrent use, so parallel callers
+// (sweep workers) each derive their own Rand from a per-index seed. The
+// returned Problems are fresh, unshared, and valid by construction —
+// every generator output passes model.Validate (property-tested).
+package gen

@@ -1,7 +1,3 @@
-// Package gen generates synthetic commercial-exchange problems — chains,
-// stars and randomized brokered markets — for property tests, the
-// exhaustive-search cross-validation (E10) and the scaling benchmarks
-// (E13). All generators are deterministic in their parameters.
 package gen
 
 import (

@@ -1,20 +1,3 @@
-// Package hierarchy implements the "hierarchy of trust" the paper leaves
-// as future work (Section 9: "Another interesting extension is trust
-// relationships among the trusted intermediaries. A 'hierarchy of trust'
-// may allow more completed transactions").
-//
-// A topology records which intermediaries each principal trusts and
-// which intermediaries trust each other. Two principals with no common
-// intermediary can still exchange when a chain of intermediaries
-// connects their trust sets: the composite escrow hands assets down the
-// chain, each hop protected by the trust relation between adjacent
-// intermediaries.
-//
-// The reduction to the paper's own formalism is exact: intermediaries on
-// the path become zero-margin broker principals, and every hop is
-// mediated by a virtual trusted component played as a persona by the
-// hop's trustee (the Section 4.2.3 device). Feasibility, execution,
-// verification and simulation then all come from the existing machinery.
 package hierarchy
 
 import (

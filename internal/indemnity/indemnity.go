@@ -1,8 +1,3 @@
-// Package indemnity implements Section 6: indemnity accounts that split
-// conjunction nodes, the required-collateral computation, and the greedy
-// ordering that minimizes the total collateral posted. A brute-force
-// enumerator over all indemnification orders validates the greedy
-// algorithm on small instances (Figure 7's $90-vs-$70 comparison).
 package indemnity
 
 import (

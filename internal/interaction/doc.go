@@ -1,0 +1,25 @@
+// Package interaction implements the interaction graphs of Section 3:
+// the bipartite graph I = (P, T, E) of principals, trusted components,
+// and the edges between principals and the intermediaries that carry one
+// side of their exchanges. The graph is derived mechanically from a
+// model.Problem and is the input to sequencing-graph construction.
+//
+// # Key types
+//
+//   - Graph carries the node sets and Edges plus derived facts the
+//     sequencing layer needs: which parties are personas (a principal
+//     playing its own trusted component, Section 4.2.3), which nodes are
+//     isolated, and whether the graph is connected.
+//   - Edge ties one side of one pairwise exchange to the intermediary
+//     that escrows it.
+//   - New is the only constructor; it validates the Problem first and
+//     returns an error rather than a partial graph.
+//
+// # Concurrency and ownership
+//
+// New is pure: it does not retain or mutate its Problem (beyond the
+// idempotent pre-fan-out Compile contract described in package model)
+// and each call returns a fresh Graph. Graphs are immutable after
+// construction and safe for concurrent reads; the package holds no
+// locks and starts no goroutines.
+package interaction

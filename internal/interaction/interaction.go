@@ -1,8 +1,3 @@
-// Package interaction implements the interaction graphs of Section 3:
-// the bipartite graph I = (P, T, E) of principals, trusted components,
-// and the edges between principals and the intermediaries that carry one
-// side of their exchanges. The graph is derived mechanically from a
-// model.Problem and is the input to sequencing-graph construction.
 package interaction
 
 import (

@@ -1,7 +1,3 @@
-// Package ledger tracks asset ownership during a simulated exchange: a
-// set of accounts holding money and documents, an append-only transfer
-// journal, and conservation auditing. The simulator refuses transfers
-// the payer cannot fund, so double-spends are structurally impossible.
 package ledger
 
 import (

@@ -1,13 +1,3 @@
-// Package model defines the action/state formalism of Ketchpel &
-// Garcia-Molina's "Making Trust Explicit in Distributed Commerce
-// Transactions" (ICDCS 1996), Section 2: principals, trusted components,
-// transfer actions (give/pay and their compensations), notifications,
-// exchange states as unordered action sets, acceptable-state predicates,
-// and ordering constraints.
-//
-// Everything downstream — interaction graphs, sequencing graphs, protocol
-// synthesis, the simulator, and the baselines — is expressed in terms of
-// this package.
 package model
 
 import "fmt"

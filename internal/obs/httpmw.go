@@ -1,0 +1,66 @@
+package obs
+
+import (
+	"net/http"
+	"time"
+)
+
+// statusWriter records the status code a handler sent so the middleware
+// can bucket it after the fact. WriteHeader-less handlers imply 200.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.status == 0 {
+		w.status = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	return w.ResponseWriter.Write(b)
+}
+
+// HTTPMetrics wraps h with per-endpoint request accounting: a
+// `http.<name>.requests` counter, a `http.<name>.seconds` latency
+// histogram (DurationBuckets layout), per-status-class counters
+// (`http.<name>.status.2xx` …) and an `http.inflight` gauge shared by
+// every wrapped endpoint. A nil registry returns h unchanged, so the
+// disabled path costs nothing — the same additivity contract as the
+// rest of the telemetry layer.
+func HTTPMetrics(reg *Registry, name string, h http.Handler) http.Handler {
+	if reg == nil {
+		return h
+	}
+	requests := reg.Counter("http." + name + ".requests")
+	seconds := reg.Histogram("http."+name+".seconds", DurationBuckets())
+	inflight := reg.Gauge("http.inflight")
+	classes := [5]*Counter{
+		reg.Counter("http." + name + ".status.1xx"),
+		reg.Counter("http." + name + ".status.2xx"),
+		reg.Counter("http." + name + ".status.3xx"),
+		reg.Counter("http." + name + ".status.4xx"),
+		reg.Counter("http." + name + ".status.5xx"),
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		requests.Inc()
+		inflight.Add(1)
+		start := time.Now()
+		sw := &statusWriter{ResponseWriter: w}
+		h.ServeHTTP(sw, req)
+		seconds.Observe(time.Since(start).Seconds())
+		inflight.Add(-1)
+		status := sw.status
+		if status == 0 {
+			status = http.StatusOK
+		}
+		if cls := status/100 - 1; cls >= 0 && cls < len(classes) {
+			classes[cls].Inc()
+		}
+	})
+}

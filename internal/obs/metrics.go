@@ -1,15 +1,3 @@
-// Package obs is the stdlib-only observability layer of the repo: a
-// cheap, concurrency-safe metrics registry (counters, gauges, fixed-
-// bucket histograms) and a structured span/event tracer with pluggable
-// sinks (JSONL for files, a ring buffer for tests, the nil tracer as a
-// no-op). Everything is nil-safe: a nil *Registry, *Tracer or
-// *Telemetry simply does nothing, so instrumented hot paths cost one
-// pointer check when observability is off — the PR-1 serial-vs-parallel
-// benchmarks run with nil telemetry and are unchanged.
-//
-// Telemetry is additive by contract: nothing recorded here may feed
-// back into verdicts, plans or sweep Results, so enabling a trace can
-// never change what the engines decide (property-tested in the sweep).
 package obs
 
 import (

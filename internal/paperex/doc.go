@@ -1,0 +1,23 @@
+// Package paperex constructs the worked examples of the paper as model
+// problems. Every figure and variant discussed in Sections 3–6 has a
+// constructor here; tests, benchmarks, the figures command and the
+// examples all build on these fixtures so that the reproduction is keyed
+// to a single source of truth.
+//
+// # Key types
+//
+//   - Example1, Example2, Example2Variant1/2, Example2Indemnified,
+//     PoorBroker and Figure7 each return one paper scenario;
+//     UniversalTrust rewrites any problem onto a single universal
+//     intermediary (the Section 8 device).
+//   - All returns the complete named catalogue, which is what the
+//     examples directory, the figures command and the cross-check tests
+//     iterate over.
+//
+// # Concurrency and ownership
+//
+// Every constructor allocates a fresh Problem on each call — there are
+// no shared package-level fixtures — so callers may mutate what they
+// receive (tests build variants this way) and concurrent calls are
+// trivially safe.
+package paperex

@@ -1,8 +1,3 @@
-// Package paperex constructs the worked examples of the paper as model
-// problems. Every figure and variant discussed in Sections 3–6 has a
-// constructor here; tests, benchmarks, the figures command and the
-// examples all build on these fixtures so that the reproduction is keyed
-// to a single source of truth.
 package paperex
 
 import "trustseq/internal/model"

@@ -1,0 +1,31 @@
+// Package petri is a place/transition Petri-net substrate with firing,
+// bounded reachability, and Karp–Miller coverability. Section 7.4 of the
+// paper relates exchange feasibility to subset coverability of a Petri
+// net in which "consumable resources (such as money) are modeled very
+// naturally in the tokens"; FromProblem performs that encoding and
+// CompletedTarget gives the "exchange completed" sub-marking whose
+// coverability witnesses a completing execution.
+//
+// # Key types
+//
+//   - Net is the immutable structure: places, Transitions with
+//     consume/produce vectors; NewNet builds one incrementally.
+//   - Marking is a token count per place; firing produces fresh
+//     Markings.
+//   - Encoding is the problem→net translation: the Net, the initial
+//     Marking, the completed-target sub-marking, and the place/party
+//     correspondence used in diagnostics.
+//   - CoverScratch is reusable working memory (arena, queue, seen-set)
+//     for repeated coverability queries; ReachabilityResult reports the
+//     bounded-exploration outcome and whether the budget was exhausted.
+//
+// # Concurrency and ownership
+//
+// A Net and an Encoding are immutable once built and safe to share
+// across goroutines. All mutable exploration state lives in a
+// CoverScratch, which is strictly single-owner: one goroutine, one
+// scratch, reused across queries to amortize allocation (the sweep
+// pipeline keeps one per worker). Budgets (PetriBudget in callers) bound
+// exploration, so a query either answers within budget or reports
+// truncation explicitly — it never silently spins.
+package petri

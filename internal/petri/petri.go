@@ -1,10 +1,3 @@
-// Package petri is a place/transition Petri-net substrate with firing,
-// bounded reachability, and Karp–Miller coverability. Section 7.4 of the
-// paper relates exchange feasibility to subset coverability of a Petri
-// net in which "consumable resources (such as money) are modeled very
-// naturally in the tokens"; FromProblem performs that encoding and
-// CompletedTarget gives the "exchange completed" sub-marking whose
-// coverability witnesses a completing execution.
 package petri
 
 import (

@@ -1,16 +1,3 @@
-// Package safety implements the risk semantics behind the paper's notion
-// of feasibility: "a feasible exchange can be carried out in such a way
-// that no participant ever risks losing money or goods without receiving
-// everything promised in exchange" (Section 1).
-//
-// The central predicate is SafeFor: after any prefix of an execution, a
-// principal x is safe iff x — acting alone, with every other principal
-// stopped and trusted components honouring their Section 2.5 guarantees —
-// can still steer the exchange into a state acceptable to x. A whole
-// execution sequence is safe iff every principal is safe after every
-// prefix. This is the property the sequencing-graph reduction promises
-// for feasible graphs, and the property the exhaustive-search baseline
-// optimizes over directly.
 package safety
 
 import (

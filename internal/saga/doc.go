@@ -1,0 +1,28 @@
+// Package saga is the Section 7.2 baseline: a saga is a sequence of
+// steps that yields an acceptable final state when executed; on failure,
+// completed steps are compensated in reverse order. The paper's state
+// representation was motivated by sagas — "what we propose here is for
+// each agent to have its own set of acceptable sagas". This package
+// provides a generic saga executor plus an exchange adapter, so the
+// difference from the trust protocol is measurable: saga compensation
+// presumes every holder cooperates in giving assets back, which is
+// exactly what a defecting counterparty refuses.
+//
+// # Key types
+//
+//   - Step pairs a forward action with its compensation, either of which
+//     may fail; Run executes the sequence and, on failure, the
+//     compensations in reverse.
+//   - Outcome reports how far execution got (Completed), how much of the
+//     rollback succeeded (Compensated), the error that stopped forward
+//     progress, and CompensationErrs — the stuck states a saga cannot
+//     repair, which the exchange adapter compares against the trust
+//     protocol's zero-loss guarantee.
+//
+// # Concurrency and ownership
+//
+// Run executes steps strictly in order on the calling goroutine; any
+// shared state lives inside the caller's Step closures, which therefore
+// carry the synchronization burden if they touch shared data. The
+// package itself holds no state and Outcome is plain data.
+package saga

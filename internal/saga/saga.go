@@ -1,12 +1,3 @@
-// Package saga is the Section 7.2 baseline: a saga is a sequence of
-// steps that yields an acceptable final state when executed; on failure,
-// completed steps are compensated in reverse order. The paper's state
-// representation was motivated by sagas — "what we propose here is for
-// each agent to have its own set of acceptable sagas". This package
-// provides a generic saga executor plus an exchange adapter, so the
-// difference from the trust protocol is measurable: saga compensation
-// presumes every holder cooperates in giving assets back, which is
-// exactly what a defecting counterparty refuses.
 package saga
 
 import (

@@ -1,0 +1,45 @@
+// Package search is the exhaustive baseline the paper does not provide:
+// it explores every interleaving of physical moves (deposits, persona
+// withdrawals; trusted completions are forced) and reports whether some
+// execution sequence completes every exchange while keeping every
+// principal safe after every prefix.
+//
+// Two safety semantics are supported, bracketing the paper's informal
+// guarantee:
+//
+//   - ModeAssets: per-exchange asset integrity (safety.AssetSafe) — "no
+//     participant ever risks losing money or goods without receiving
+//     everything promised in exchange". This is the weaker, purely
+//     physical reading.
+//   - ModeStrong: full conjunction acceptability (safety.SafeFor) — every
+//     principal can always steer to a state acceptable to its stated
+//     all-or-nothing preferences, assuming only physical deposits bind.
+//
+// Comparing the sequencing-graph verdict against both search verdicts
+// measures where the graph algorithm sits between the two semantics
+// (experiment E10): graph-feasible exchanges are always ModeAssets-
+// feasible; some (those leaning on binding commitments, like the Section
+// 4.2.3 persona variant) are not ModeStrong-feasible.
+//
+// # Key types
+//
+//   - Verdict reports feasibility, the witness Move sequence when
+//     feasible, and how many distinct states were explored.
+//   - Mode selects the safety semantics; Move is one physical action in
+//     a witness.
+//   - Feasible / FeasibleObs run the memoized depth-first search
+//     serially; FeasibleParallel / FeasibleParallelObs shard the
+//     top-level branching across a worker pool and return the identical
+//     verdict for any worker count.
+//
+// # Concurrency and ownership
+//
+// The serial searcher owns one safety.Exec and one seen-set keyed on
+// safety.Fingerprint128 digests; it is reentrant across calls but a
+// single call runs on one goroutine. FeasibleParallel gives each worker
+// its own Exec and seen-set shard — workers share only the immutable
+// compiled Problem and a cancellation flag, so no locks sit on the hot
+// path and verdicts are deterministic regardless of scheduling. The
+// telemetry handed to the Obs variants must be nil or concurrency-safe
+// (obs types are).
+package search

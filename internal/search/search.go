@@ -1,25 +1,3 @@
-// Package search is the exhaustive baseline the paper does not provide:
-// it explores every interleaving of physical moves (deposits, persona
-// withdrawals; trusted completions are forced) and reports whether some
-// execution sequence completes every exchange while keeping every
-// principal safe after every prefix.
-//
-// Two safety semantics are supported, bracketing the paper's informal
-// guarantee:
-//
-//   - ModeAssets: per-exchange asset integrity (safety.AssetSafe) — "no
-//     participant ever risks losing money or goods without receiving
-//     everything promised in exchange". This is the weaker, purely
-//     physical reading.
-//   - ModeStrong: full conjunction acceptability (safety.SafeFor) — every
-//     principal can always steer to a state acceptable to its stated
-//     all-or-nothing preferences, assuming only physical deposits bind.
-//
-// Comparing the sequencing-graph verdict against both search verdicts
-// measures where the graph algorithm sits between the two semantics
-// (experiment E10): graph-feasible exchanges are always ModeAssets-
-// feasible; some (those leaning on binding commitments, like the Section
-// 4.2.3 persona variant) are not ModeStrong-feasible.
 package search
 
 import (

@@ -1,10 +1,3 @@
-// Package sequencing implements the sequencing graphs of Section 4 — the
-// paper's central contribution. A sequencing graph SG = (C, J, R, B) is
-// derived mechanically from an interaction graph: one commitment node per
-// interaction edge, one conjunction node per internal interaction node,
-// and red (ordered) or black (unordered) edges between them. Two
-// reduction rules remove edges; the exchange is declared feasible when
-// every edge can be removed (Section 4.2.4).
 package sequencing
 
 import (

@@ -1,0 +1,69 @@
+package service
+
+import "container/list"
+
+// cached is one immutable analysis result as stored in the cache: the
+// rendered bodies, ready to replay byte-for-byte. Entries are never
+// mutated after insertion, so concurrent readers share them without
+// copying.
+type cached struct {
+	json []byte // the JSON body
+	text []byte // the trustseq-identical text body
+}
+
+// lruCache is a bounded LRU keyed by the [2]uint64 request fingerprint.
+// It is not safe for concurrent use on its own; the Service serializes
+// access under its own mutex (every operation is O(1) map+list work, so
+// a single lock is never the bottleneck next to an engine run).
+type lruCache struct {
+	max     int
+	order   *list.List // front = most recently used; values are *lruEntry
+	entries map[[2]uint64]*list.Element
+}
+
+type lruEntry struct {
+	key [2]uint64
+	val *cached
+}
+
+func newLRU(max int) *lruCache {
+	if max < 1 {
+		max = 1
+	}
+	return &lruCache{
+		max:     max,
+		order:   list.New(),
+		entries: make(map[[2]uint64]*list.Element, max),
+	}
+}
+
+// get returns the cached result and bumps its recency.
+func (c *lruCache) get(key [2]uint64) (*cached, bool) {
+	el, ok := c.entries[key]
+	if !ok {
+		return nil, false
+	}
+	c.order.MoveToFront(el)
+	return el.Value.(*lruEntry).val, true
+}
+
+// put inserts or refreshes a result, evicting the least recently used
+// entry when full. It returns the number of evictions (0 or 1).
+func (c *lruCache) put(key [2]uint64, val *cached) int {
+	if el, ok := c.entries[key]; ok {
+		el.Value.(*lruEntry).val = val
+		c.order.MoveToFront(el)
+		return 0
+	}
+	c.entries[key] = c.order.PushFront(&lruEntry{key: key, val: val})
+	if c.order.Len() <= c.max {
+		return 0
+	}
+	oldest := c.order.Back()
+	c.order.Remove(oldest)
+	delete(c.entries, oldest.Value.(*lruEntry).key)
+	return 1
+}
+
+// len reports the number of cached results.
+func (c *lruCache) len() int { return c.order.Len() }

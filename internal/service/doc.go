@@ -1,0 +1,54 @@
+// Package service is the resident protocol-synthesis layer behind the
+// trustd daemon (cmd/trustd): it turns the one-shot analysis pipeline
+// of the CLIs — parse, compile, reduce, recover the execution sequence,
+// cross-check, simulate — into a cached request/response system, the
+// long-lived escrow-intermediary shape the paper's Section 2.5 trusted
+// components are meant to have in deployment.
+//
+// # Request lifecycle
+//
+// POST /v1/analyze accepts a problem either as a raw .exch body or as a
+// JSON spec {"source": …, options…}; query parameters (?seq, ?verify,
+// ?crosscheck, ?simulate, ?seed, ?format=text) override body options.
+// The handler parses and compiles the source once (dsl.LoadReader +
+// model.Problem.Compile), derives the request's cache key, and then:
+//
+//  1. cache hit — the stored body is replayed byte-for-byte
+//     (X-Trustd-Cache: hit);
+//  2. an identical run is already in flight — the request parks on it
+//     instead of starting another engine run (X-Trustd-Cache:
+//     coalesced; this is the singleflight collapse);
+//  3. otherwise a leader goroutine takes a slot on the bounded engine
+//     semaphore, runs the pipeline, renders both bodies (JSON and the
+//     trustseq-identical text), publishes to the LRU cache and wakes
+//     every waiter (X-Trustd-Cache: miss).
+//
+// Every waiter — leader's request included — honors its own per-request
+// timeout; a timed-out request returns 504 while the engine run it
+// started completes and still populates the cache, so the work is never
+// wasted.
+//
+// # Cache key
+//
+// The cache is content-addressed on the compiled problem, not the
+// source text: requestKey streams a canonical, length-prefixed encoding
+// of every verdict-relevant problem field (parties, exchanges, trust
+// declarations, indemnities, constraints — in declaration order, which
+// is semantically meaningful) plus the option set through a two-lane
+// FNV-1a/splitmix digest into the same [2]uint64 key shape as the
+// packed-fingerprint memo in internal/search. Reformatted or
+// re-commented sources therefore share one cache slot; any change that
+// could alter the response body changes the key.
+//
+// # Concurrency and ownership
+//
+// A Service is safe for unbounded concurrent use. One mutex guards the
+// LRU cache and the in-flight table and is never held across an engine
+// run; engine parallelism is bounded only by the MaxConcurrent
+// semaphore. Cached bodies are immutable after insertion and shared by
+// reference — handlers must never mutate them. Telemetry follows the
+// repo-wide contract: counters (service.cache.hits/misses/evictions,
+// service.flight.collapsed, service.timeouts) and per-endpoint HTTP
+// histograms are additive and nil-disabled, and response bodies are
+// identical with telemetry on or off.
+package service

@@ -1,0 +1,300 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"trustseq/internal/dsl"
+	"trustseq/internal/model"
+	"trustseq/internal/obs"
+	"trustseq/internal/sim"
+	"trustseq/internal/sweep"
+)
+
+// maxSweepN caps the batch endpoint so one request cannot pin the
+// process for minutes; larger corpora belong to the trustsim CLI.
+const maxSweepN = 5000
+
+// Handler returns the service mux:
+//
+//	POST /v1/analyze   analyse one problem (.exch body, or JSON spec)
+//	POST /v1/sweep     run a bounded generated-corpus sweep
+//	GET  /v1/stats     cache occupancy and limits
+//	GET  /metrics      the obs registry snapshot (JSON, ?format=text)
+//	GET  /healthz      liveness
+//
+// Every endpoint is wrapped in the obs HTTP middleware, so latency
+// histograms and status counters appear per endpoint in /metrics.
+func (s *Service) Handler() http.Handler {
+	reg := s.opts.Telemetry.Reg()
+	mux := http.NewServeMux()
+	mux.Handle("/v1/analyze", obs.HTTPMetrics(reg, "analyze", http.HandlerFunc(s.handleAnalyze)))
+	mux.Handle("/v1/sweep", obs.HTTPMetrics(reg, "sweep", http.HandlerFunc(s.handleSweep)))
+	mux.Handle("/v1/stats", obs.HTTPMetrics(reg, "stats", http.HandlerFunc(s.handleStats)))
+	mux.Handle("/metrics", obs.HTTPMetrics(reg, "metrics", reg.Handler()))
+	mux.Handle("/healthz", obs.HTTPMetrics(reg, "healthz", http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		io.WriteString(w, "{\"status\":\"ok\"}\n")
+	})))
+	return mux
+}
+
+// analyzeRequest is the JSON request schema of POST /v1/analyze. The
+// same options are also settable as query parameters (?seq=1&verify=1
+// …), which then override the body fields — that is what lets a plain
+// .exch body express every option.
+type analyzeRequest struct {
+	Source string `json:"source"`
+	AnalyzeOptions
+}
+
+func (s *Service) handleAnalyze(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	p, opts, wantText, err := parseAnalyzeRequest(r)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), s.opts.RequestTimeout)
+	defer cancel()
+	res, disposition, err := s.Analyze(ctx, p, opts)
+	if err != nil {
+		switch {
+		case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
+			httpError(w, http.StatusGatewayTimeout, "analysis timed out; retry — the result will be cached when ready")
+		default:
+			writeStatusError(w, err)
+		}
+		return
+	}
+	w.Header().Set("X-Trustd-Cache", string(disposition))
+	if wantText {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		w.Write(res.text)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(res.json)
+}
+
+// parseAnalyzeRequest decodes either request form into a compiled-ready
+// problem plus options, reporting whether the caller wants the
+// trustseq-identical text rendering.
+func parseAnalyzeRequest(r *http.Request) (*model.Problem, AnalyzeOptions, bool, error) {
+	var req analyzeRequest
+	ct := r.Header.Get("Content-Type")
+	if strings.HasPrefix(ct, "application/json") {
+		dec := json.NewDecoder(io.LimitReader(r.Body, 1<<20))
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&req); err != nil {
+			return nil, AnalyzeOptions{}, false, fmt.Errorf("decoding JSON spec: %w", err)
+		}
+		if strings.TrimSpace(req.Source) == "" {
+			return nil, AnalyzeOptions{}, false, errors.New("JSON spec is missing \"source\"")
+		}
+	} else {
+		src, err := io.ReadAll(io.LimitReader(r.Body, 1<<20))
+		if err != nil {
+			return nil, AnalyzeOptions{}, false, fmt.Errorf("reading body: %w", err)
+		}
+		req.Source = string(src)
+	}
+	opts := req.AnalyzeOptions
+
+	q := r.URL.Query()
+	boolParam := func(dst *bool, names ...string) {
+		for _, n := range names {
+			if v := q.Get(n); v != "" {
+				*dst = v != "0" && !strings.EqualFold(v, "false")
+			}
+		}
+	}
+	boolParam(&opts.Trace, "trace", "seq")
+	boolParam(&opts.Indemnify, "indemnify")
+	boolParam(&opts.Verify, "verify")
+	boolParam(&opts.CrossCheck, "crosscheck")
+	boolParam(&opts.Simulate, "simulate", "sim")
+	for name, dst := range map[string]*int64{"seed": &opts.SimSeed, "deadline": &opts.SimDeadline} {
+		if v := q.Get(name); v != "" {
+			n, err := strconv.ParseInt(v, 10, 64)
+			if err != nil {
+				return nil, AnalyzeOptions{}, false, fmt.Errorf("query parameter %s: %w", name, err)
+			}
+			*dst = n
+		}
+	}
+	wantText := q.Get("format") == "text" ||
+		strings.Contains(r.Header.Get("Accept"), "text/plain")
+
+	p, err := dsl.LoadReader(strings.NewReader(req.Source))
+	if err != nil {
+		return nil, AnalyzeOptions{}, false, err
+	}
+	return p, opts, wantText, nil
+}
+
+// sweepRequest is the JSON request schema of POST /v1/sweep, a bounded
+// subset of sweep.Config.
+type sweepRequest struct {
+	N                  int    `json:"n"`
+	Workers            int    `json:"workers"`
+	Seed               int64  `json:"seed"`
+	Family             string `json:"family"`
+	MaxSearchExchanges int    `json:"max_search_exchanges"`
+	PetriBudget        int    `json:"petri_budget"`
+	ChaosRuns          int    `json:"chaos_runs"`
+	ChaosFaults        string `json:"chaos_faults"`
+}
+
+// sweepResponse summarizes a completed sweep.
+type sweepResponse struct {
+	Completed  int         `json:"completed"`
+	Canceled   bool        `json:"canceled"`
+	Violations int         `json:"violations"`
+	Stats      sweep.Stats `json:"stats"`
+	Summary    string      `json:"summary"`
+	ElapsedMS  int64       `json:"elapsed_ms"`
+}
+
+func (s *Service) handleSweep(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	var req sweepRequest
+	dec := json.NewDecoder(io.LimitReader(r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, fmt.Sprintf("decoding sweep config: %v", err))
+		return
+	}
+	if req.N > maxSweepN {
+		httpError(w, http.StatusBadRequest, fmt.Sprintf("n %d exceeds the service cap %d", req.N, maxSweepN))
+		return
+	}
+	cfg := sweep.Config{
+		N:                  req.N,
+		Workers:            req.Workers,
+		Seed:               req.Seed,
+		MaxSearchExchanges: req.MaxSearchExchanges,
+		PetriBudget:        req.PetriBudget,
+		ChaosRuns:          req.ChaosRuns,
+		Obs:                s.opts.Telemetry,
+	}
+	if req.Family != "" {
+		fam, err := sweep.ParseFamily(req.Family)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, err.Error())
+			return
+		}
+		cfg.Family = fam
+	}
+	if req.ChaosFaults != "" {
+		menu, err := sim.ParseFaultMenu(req.ChaosFaults)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, err.Error())
+			return
+		}
+		cfg.ChaosFaults = menu
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), s.opts.SweepTimeout)
+	defer cancel()
+	rep := sweep.RunContext(ctx, cfg)
+	writeJSON(w, http.StatusOK, sweepResponse{
+		Completed:  rep.Completed,
+		Canceled:   rep.Canceled,
+		Violations: rep.Stats.Violations(),
+		Stats:      rep.Stats,
+		Summary:    rep.Summary(),
+		ElapsedMS:  rep.Elapsed.Milliseconds(),
+	})
+}
+
+// statsResponse is the GET /v1/stats schema.
+type statsResponse struct {
+	CacheEntries  int `json:"cache_entries"`
+	CacheCapacity int `json:"cache_capacity"`
+	MaxConcurrent int `json:"max_concurrent"`
+}
+
+func (s *Service) handleStats(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		httpError(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	writeJSON(w, http.StatusOK, statsResponse{
+		CacheEntries:  s.CacheLen(),
+		CacheCapacity: s.opts.CacheEntries,
+		MaxConcurrent: s.opts.MaxConcurrent,
+	})
+}
+
+func writeJSON(w http.ResponseWriter, code int, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	data, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		fmt.Fprintf(w, "{\"error\":%q}\n", err.Error())
+		return
+	}
+	w.Write(append(data, '\n'))
+}
+
+func httpError(w http.ResponseWriter, code int, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	data, _ := json.Marshal(map[string]string{"error": msg})
+	w.Write(append(data, '\n'))
+}
+
+func writeStatusError(w http.ResponseWriter, err error) {
+	var se *StatusError
+	if errors.As(err, &se) {
+		httpError(w, se.Code, se.Msg)
+		return
+	}
+	httpError(w, http.StatusInternalServerError, err.Error())
+}
+
+// Serve runs the handler on ln until ctx is canceled, then drains:
+// in-flight requests get up to drain to finish before the listener's
+// connections are torn down. It is the lifecycle cmd/trustd wraps in
+// SIGTERM handling, factored here so the drain behavior is testable
+// in-process.
+func Serve(ctx context.Context, ln net.Listener, h http.Handler, drain time.Duration) error {
+	srv := &http.Server{
+		Handler:           h,
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	errc := make(chan error, 1)
+	go func() {
+		if err := srv.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			errc <- err
+			return
+		}
+		errc <- nil
+	}()
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	drainCtx, cancel := context.WithTimeout(context.Background(), drain)
+	defer cancel()
+	if err := srv.Shutdown(drainCtx); err != nil {
+		srv.Close()
+		return fmt.Errorf("drain incomplete after %v: %w", drain, err)
+	}
+	return <-errc
+}

@@ -1,0 +1,66 @@
+package service
+
+import (
+	"fmt"
+	"strings"
+
+	"trustseq/internal/core"
+	"trustseq/internal/indemnity"
+)
+
+// RenderOptions selects the optional sections of the text report,
+// mirroring the trustseq CLI flags of the same names.
+type RenderOptions struct {
+	Trace     bool // -seq: print the reduction trace
+	Indemnify bool // -indemnify: propose collateral when infeasible
+	Verify    bool // -verify: re-verify the plan step by step
+}
+
+// RenderText renders the analysis report exactly as the trustseq CLI
+// prints it — byte for byte, which cmd/trustseq enforces by calling
+// this function itself (and its parity test re-checks per spec). A
+// verification failure is an error, not a report section: it means the
+// synthesized plan is unsound, which the CLI treats as exit 1 and the
+// service treats as an internal error.
+func RenderText(plan *core.Plan, opts RenderOptions) (string, error) {
+	var b strings.Builder
+	p := plan.Problem
+	trusted := 0
+	for _, pa := range p.Parties {
+		if pa.IsTrusted() {
+			trusted++
+		}
+	}
+	fmt.Fprintf(&b, "problem %s: %d principals, %d trusted components, %d pairwise exchanges\n",
+		p.Name, len(p.Parties)-trusted, trusted, len(p.Exchanges)/2)
+	if opts.Trace {
+		fmt.Fprintln(&b, "\nreduction trace:")
+		fmt.Fprint(&b, plan.Reduction.String())
+	}
+	if plan.Feasible {
+		fmt.Fprintln(&b, "\nFEASIBLE — execution sequence:")
+		fmt.Fprint(&b, plan.ExecutionSequence())
+		if opts.Verify {
+			if err := plan.Verify(); err != nil {
+				return "", fmt.Errorf("verification FAILED: %w", err)
+			}
+			fmt.Fprintln(&b, "\nverified: every step keeps every participant's assets safe")
+		}
+	} else {
+		fmt.Fprintln(&b, "\nINFEASIBLE — impasse:")
+		fmt.Fprintln(&b, plan.Reduction.Impasse())
+		if opts.Indemnify {
+			res, err := indemnity.Greedy(p)
+			if err != nil {
+				return "", err
+			}
+			if res.Feasible {
+				fmt.Fprintln(&b, "\nminimal indemnification (Section 6 greedy):")
+				fmt.Fprintln(&b, res.String())
+			} else {
+				fmt.Fprintln(&b, "\nno indemnification resolves the impasse (ordering constraints)")
+			}
+		}
+	}
+	return b.String(), nil
+}

@@ -1,0 +1,406 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"runtime"
+	"sync"
+	"time"
+
+	"trustseq/internal/core"
+	"trustseq/internal/indemnity"
+	"trustseq/internal/model"
+	"trustseq/internal/obs"
+	"trustseq/internal/petri"
+	"trustseq/internal/search"
+	"trustseq/internal/sim"
+)
+
+// Options configures a Service. The zero value is usable: every field
+// has a production default.
+type Options struct {
+	// CacheEntries bounds the content-addressed result cache. Default
+	// 512 entries; the minimum is 1 (a cache is load-bearing for the
+	// duplicate-collapse contract, so it cannot be disabled).
+	CacheEntries int
+	// MaxConcurrent bounds how many engine runs execute at once; excess
+	// requests queue until a slot frees or their timeout fires. Default
+	// GOMAXPROCS.
+	MaxConcurrent int
+	// RequestTimeout bounds one analysis request end to end, queueing
+	// included. A request that times out returns 504 while its engine
+	// run (if already started) completes and still populates the cache.
+	// Default 30s.
+	RequestTimeout time.Duration
+	// SweepTimeout bounds one batch sweep request. Default 2m.
+	SweepTimeout time.Duration
+	// MaxSearchExchanges caps the exhaustive cross-checks exactly as in
+	// sweep.Config: larger problems report SearchSkipped instead of
+	// burning exponential time. Default 10.
+	MaxSearchExchanges int
+	// PetriBudget bounds the coverability exploration. Default 1<<17.
+	PetriBudget int
+	// SearchWorkers > 1 parallelizes each exhaustive search. Default 1.
+	SearchWorkers int
+	// Telemetry receives the service counters (cache hits/misses/
+	// evictions, collapsed duplicates, timeouts), the per-endpoint HTTP
+	// histograms, and is threaded into every engine run. Nil disables.
+	Telemetry *obs.Telemetry
+}
+
+func (o Options) withDefaults() Options {
+	if o.CacheEntries < 1 {
+		o.CacheEntries = 512
+	}
+	if o.MaxConcurrent < 1 {
+		o.MaxConcurrent = runtime.GOMAXPROCS(0)
+	}
+	if o.RequestTimeout <= 0 {
+		o.RequestTimeout = 30 * time.Second
+	}
+	if o.SweepTimeout <= 0 {
+		o.SweepTimeout = 2 * time.Minute
+	}
+	if o.MaxSearchExchanges <= 0 {
+		o.MaxSearchExchanges = 10
+	}
+	if o.PetriBudget <= 0 {
+		o.PetriBudget = 1 << 17
+	}
+	if o.SearchWorkers < 1 {
+		o.SearchWorkers = 1
+	}
+	return o
+}
+
+// AnalyzeOptions selects what one analysis request computes. Every
+// field participates in the cache key, so two requests share a cached
+// body only when they agree on all of it.
+type AnalyzeOptions struct {
+	Trace      bool  `json:"trace"`      // include the reduction trace
+	Indemnify  bool  `json:"indemnify"`  // propose collateral when infeasible
+	Verify     bool  `json:"verify"`     // re-verify the plan step by step
+	CrossCheck bool  `json:"crosscheck"` // exhaustive-search + Petri verdicts
+	Simulate   bool  `json:"simulate"`   // run the plan on the simulated network
+	SimSeed    int64 `json:"seed"`       // simulation RNG seed
+	// SimDeadline is the escrow expiry in ticks; 0 means the simulator
+	// default (1000, comfortably beyond any honest run).
+	SimDeadline int64 `json:"deadline"`
+}
+
+// Result is the JSON answer of POST /v1/analyze.
+type Result struct {
+	Problem    ProblemInfo     `json:"problem"`
+	Feasible   bool            `json:"feasible"`
+	Reduction  string          `json:"reduction,omitempty"`
+	Impasse    string          `json:"impasse,omitempty"`
+	Sequence   string          `json:"sequence,omitempty"`
+	Steps      []string        `json:"steps,omitempty"`
+	Verified   *bool           `json:"verified,omitempty"`
+	Indemnity  *IndemnityInfo  `json:"indemnity,omitempty"`
+	CrossCheck *CrossCheckInfo `json:"crosscheck,omitempty"`
+	Simulation *SimulationInfo `json:"simulation,omitempty"`
+}
+
+// ProblemInfo summarizes the compiled problem.
+type ProblemInfo struct {
+	Name       string `json:"name"`
+	Principals int    `json:"principals"`
+	Trusted    int    `json:"trusted"`
+	Exchanges  int    `json:"pairwise_exchanges"`
+}
+
+// IndemnityInfo is the Section 6 proposal for an infeasible exchange.
+type IndemnityInfo struct {
+	Feasible bool   `json:"feasible"`
+	Text     string `json:"text,omitempty"`
+}
+
+// CrossCheckInfo carries the independent verdicts (Section 7.4 and the
+// exhaustive baseline) next to the graph verdict.
+type CrossCheckInfo struct {
+	SearchSkipped  bool `json:"search_skipped"`
+	AssetsFeasible bool `json:"assets_feasible"`
+	StrongFeasible bool `json:"strong_feasible"`
+	PetriFound     bool `json:"petri_found"`
+	PetriCapped    bool `json:"petri_capped"`
+	// Agreement is the sweep's soundness predicate evaluated on this
+	// problem: graph-feasible implies assets-feasible.
+	Agreement bool `json:"agreement"`
+}
+
+// SimulationInfo summarizes one seeded honest run of the plan.
+type SimulationInfo struct {
+	Completed bool   `json:"completed"`
+	Messages  int    `json:"messages"`
+	Duration  int64  `json:"duration_ticks"`
+	Summary   string `json:"summary"`
+}
+
+// Service is the protocol-synthesis daemon behind cmd/trustd: it
+// compiles each request once, runs the engines at most once per
+// distinct (problem, options) pair, and replays cached bodies
+// byte-for-byte. See the package comment for the request lifecycle.
+type Service struct {
+	opts Options
+	sem  chan struct{}
+
+	mu     sync.Mutex // guards cache and flight — never held across an engine run
+	cache  *lruCache
+	flight map[[2]uint64]*call
+
+	// Pre-interned counters: the analyze path must not take the
+	// registry lock per request.
+	cacheHits, cacheMisses, cacheEvictions *obs.Counter
+	collapsed, timeouts                    *obs.Counter
+
+	// testComputeHook, when set, runs at the top of every engine run.
+	// Tests use it to hold runs open and provoke collapses/timeouts.
+	testComputeHook func()
+}
+
+// call is one in-flight engine run; duplicate requests for the same
+// key park on done instead of starting their own run.
+type call struct {
+	done chan struct{}
+	val  *cached
+	err  error
+}
+
+// New constructs a Service.
+func New(opts Options) *Service {
+	opts = opts.withDefaults()
+	reg := opts.Telemetry.Reg()
+	return &Service{
+		opts:           opts,
+		sem:            make(chan struct{}, opts.MaxConcurrent),
+		cache:          newLRU(opts.CacheEntries),
+		flight:         make(map[[2]uint64]*call),
+		cacheHits:      reg.Counter("service.cache.hits"),
+		cacheMisses:    reg.Counter("service.cache.misses"),
+		cacheEvictions: reg.Counter("service.cache.evictions"),
+		collapsed:      reg.Counter("service.flight.collapsed"),
+		timeouts:       reg.Counter("service.timeouts"),
+	}
+}
+
+// cacheDisposition labels how a request was served, for the
+// X-Trustd-Cache response header and the counters.
+type cacheDisposition string
+
+const (
+	dispositionHit       cacheDisposition = "hit"
+	dispositionMiss      cacheDisposition = "miss"
+	dispositionCoalesced cacheDisposition = "coalesced"
+)
+
+// Analyze serves one compiled problem: from the cache when possible,
+// by joining an identical in-flight run when one exists, and by a
+// fresh engine run otherwise. The returned body is immutable shared
+// state — callers must not modify it.
+func (s *Service) Analyze(ctx context.Context, p *model.Problem, opts AnalyzeOptions) (*cached, cacheDisposition, error) {
+	p.Compile() // compile once; every engine below reuses the dense tables
+	key := requestKey(p, opts)
+
+	s.mu.Lock()
+	if c, ok := s.cache.get(key); ok {
+		s.mu.Unlock()
+		s.cacheHits.Inc()
+		return c, dispositionHit, nil
+	}
+	if fl, ok := s.flight[key]; ok {
+		s.mu.Unlock()
+		s.collapsed.Inc()
+		return s.await(ctx, fl, dispositionCoalesced)
+	}
+	fl := &call{done: make(chan struct{})}
+	s.flight[key] = fl
+	s.mu.Unlock()
+	s.cacheMisses.Inc()
+
+	// The leader's run is decoupled from the leader's context: once
+	// started it always finishes and publishes — a request that gives
+	// up waiting must not waste the work for the next identical one.
+	go func() {
+		s.sem <- struct{}{}
+		val, err := s.compute(p, opts)
+		<-s.sem
+		s.mu.Lock()
+		if err == nil {
+			s.cacheEvictions.Add(int64(s.cache.put(key, val)))
+		}
+		delete(s.flight, key)
+		s.mu.Unlock()
+		fl.val, fl.err = val, err
+		close(fl.done)
+	}()
+	return s.await(ctx, fl, dispositionMiss)
+}
+
+// await parks on an in-flight run until it publishes or the request's
+// own deadline fires.
+func (s *Service) await(ctx context.Context, fl *call, d cacheDisposition) (*cached, cacheDisposition, error) {
+	select {
+	case <-fl.done:
+		return fl.val, d, fl.err
+	case <-ctx.Done():
+		s.timeouts.Inc()
+		return nil, d, ctx.Err()
+	}
+}
+
+// compute runs the full analysis pipeline for one request and renders
+// both response bodies. It is the only place engines run.
+func (s *Service) compute(p *model.Problem, opts AnalyzeOptions) (*cached, error) {
+	if s.testComputeHook != nil {
+		s.testComputeHook()
+	}
+	tel := s.opts.Telemetry
+	plan, err := core.SynthesizeObs(p, tel)
+	if err != nil {
+		return nil, &StatusError{Code: http.StatusUnprocessableEntity, Msg: err.Error()}
+	}
+
+	trusted := 0
+	for _, pa := range p.Parties {
+		if pa.IsTrusted() {
+			trusted++
+		}
+	}
+	res := &Result{
+		Problem: ProblemInfo{
+			Name:       p.Name,
+			Principals: len(p.Parties) - trusted,
+			Trusted:    trusted,
+			Exchanges:  len(p.Exchanges) / 2,
+		},
+		Feasible: plan.Feasible,
+	}
+	if opts.Trace {
+		res.Reduction = plan.Reduction.String()
+	}
+	if plan.Feasible {
+		res.Sequence = plan.ExecutionSequence()
+		for _, st := range plan.Steps {
+			res.Steps = append(res.Steps, st.String())
+		}
+		if opts.Verify {
+			if err := plan.Verify(); err != nil {
+				return nil, &StatusError{
+					Code: http.StatusInternalServerError,
+					Msg:  fmt.Sprintf("verification FAILED: %v", err),
+				}
+			}
+			ok := true
+			res.Verified = &ok
+		}
+	} else {
+		res.Impasse = plan.Reduction.Impasse()
+		if opts.Indemnify {
+			prop, err := indemnity.Greedy(p)
+			if err != nil {
+				return nil, &StatusError{Code: http.StatusUnprocessableEntity, Msg: err.Error()}
+			}
+			info := &IndemnityInfo{Feasible: prop.Feasible}
+			if prop.Feasible {
+				info.Text = prop.String()
+			}
+			res.Indemnity = info
+		}
+	}
+	if opts.CrossCheck {
+		cc, err := s.crossCheck(p, plan.Feasible, tel)
+		if err != nil {
+			return nil, &StatusError{Code: http.StatusUnprocessableEntity, Msg: err.Error()}
+		}
+		res.CrossCheck = cc
+	}
+	if opts.Simulate && plan.Feasible {
+		out, err := sim.Run(plan, sim.Options{
+			Seed:     opts.SimSeed,
+			Deadline: sim.Time(opts.SimDeadline),
+			Obs:      tel,
+		})
+		if err != nil {
+			return nil, &StatusError{Code: http.StatusInternalServerError, Msg: err.Error()}
+		}
+		res.Simulation = &SimulationInfo{
+			Completed: out.Completed(),
+			Messages:  out.Messages,
+			Duration:  int64(out.Duration),
+			Summary:   out.Summary(),
+		}
+	}
+
+	body, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		return nil, &StatusError{Code: http.StatusInternalServerError, Msg: err.Error()}
+	}
+	body = append(body, '\n')
+	text, err := RenderText(plan, RenderOptions{
+		Trace:     opts.Trace,
+		Indemnify: opts.Indemnify,
+		Verify:    opts.Verify,
+	})
+	if err != nil {
+		return nil, &StatusError{Code: http.StatusInternalServerError, Msg: err.Error()}
+	}
+	return &cached{json: body, text: []byte(text)}, nil
+}
+
+// crossCheck mirrors the sweep's per-problem validation stage: the two
+// exhaustive-search semantics plus the Petri coverability check, under
+// the same size caps.
+func (s *Service) crossCheck(p *model.Problem, graphFeasible bool, tel *obs.Telemetry) (*CrossCheckInfo, error) {
+	cc := &CrossCheckInfo{}
+	if len(p.Exchanges) > s.opts.MaxSearchExchanges {
+		cc.SearchSkipped = true
+		cc.Agreement = true // not evaluated
+		return cc, nil
+	}
+	feasible := func(mode search.Mode) (search.Verdict, error) {
+		if s.opts.SearchWorkers > 1 {
+			return search.FeasibleParallelObs(p, mode, s.opts.SearchWorkers, tel)
+		}
+		return search.FeasibleObs(p, mode, tel)
+	}
+	assets, err := feasible(search.ModeAssets)
+	if err != nil {
+		return nil, fmt.Errorf("assets search: %w", err)
+	}
+	cc.AssetsFeasible = assets.Feasible
+	strong, err := feasible(search.ModeStrong)
+	if err != nil {
+		return nil, fmt.Errorf("strong search: %w", err)
+	}
+	cc.StrongFeasible = strong.Feasible
+	enc, err := petri.FromProblem(p)
+	if err != nil {
+		return nil, fmt.Errorf("petri encoding: %w", err)
+	}
+	cov := enc.CompletableObs(s.opts.PetriBudget, tel)
+	cc.PetriFound = cov.Found
+	cc.PetriCapped = cov.Capped
+	cc.Agreement = !graphFeasible || cc.AssetsFeasible
+	return cc, nil
+}
+
+// CacheLen reports the number of cached results (for tests and the
+// stats endpoint).
+func (s *Service) CacheLen() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.cache.len()
+}
+
+// StatusError is an error with an HTTP status. The handlers map any
+// other error to 500.
+type StatusError struct {
+	Code int
+	Msg  string
+}
+
+// Error implements error.
+func (e *StatusError) Error() string { return e.Msg }

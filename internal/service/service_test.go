@@ -1,0 +1,530 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"trustseq/internal/dsl"
+	"trustseq/internal/model"
+	"trustseq/internal/obs"
+)
+
+func mustLoad(t *testing.T, src string) *model.Problem {
+	t.Helper()
+	p, err := dsl.Load(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// The Example 1 brokered resale: feasible, 10 action steps (E1).
+const feasibleSpec = `problem example1 {
+    consumer c
+    broker   b
+    producer p
+    trusted  t1
+    trusted  t2
+
+    exchange c with b via t1 { c gives $100; b gives doc "d" }
+    exchange b with p via t2 { b gives $80;  p gives doc "d" }
+}
+`
+
+// The same compiled problem as feasibleSpec, formatted differently:
+// content-addressing must put both in one cache slot.
+const feasibleSpecReformatted = `// a comment the compiler never sees
+problem example1 {
+    consumer c
+        broker b
+    producer p
+    trusted t1
+    trusted t2
+    exchange c with b via t1 { c gives $100; b gives doc "d" }
+    exchange b with p via t2 { b gives $80; p gives doc "d" }
+}
+`
+
+// The Section 5 poor broker: infeasible (E4).
+const infeasibleSpec = `problem poorbroker {
+    consumer c
+    broker   b
+    producer p
+    trusted  t1
+    trusted  t2
+
+    exchange c with b via t1 { c gives $100; b gives doc "d" }
+    exchange b with p via t2 { b gives $80;  p gives doc "d" }
+
+    endowment b $0
+}
+`
+
+func newTestService(t *testing.T, opts Options) (*Service, *httptest.Server, *obs.Registry) {
+	t.Helper()
+	reg := obs.NewRegistry()
+	if opts.Telemetry == nil {
+		opts.Telemetry = &obs.Telemetry{Metrics: reg}
+	} else if opts.Telemetry.Metrics != nil {
+		reg = opts.Telemetry.Metrics
+	}
+	svc := New(opts)
+	ts := httptest.NewServer(svc.Handler())
+	t.Cleanup(ts.Close)
+	return svc, ts, reg
+}
+
+func postSpec(t *testing.T, url, spec string) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := http.Post(url, "text/plain", strings.NewReader(spec))
+	if err != nil {
+		t.Fatalf("POST %s: %v", url, err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatalf("reading body: %v", err)
+	}
+	return resp, body
+}
+
+func TestAnalyzeFeasibleSpec(t *testing.T) {
+	_, ts, _ := newTestService(t, Options{})
+	resp, body := postSpec(t, ts.URL+"/v1/analyze?verify=1&crosscheck=1", feasibleSpec)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d, body %s", resp.StatusCode, body)
+	}
+	if got := resp.Header.Get("X-Trustd-Cache"); got != "miss" {
+		t.Errorf("X-Trustd-Cache = %q, want miss", got)
+	}
+	var res Result
+	if err := json.Unmarshal(body, &res); err != nil {
+		t.Fatalf("unmarshal: %v\n%s", err, body)
+	}
+	if !res.Feasible {
+		t.Fatalf("example1 must be feasible: %s", body)
+	}
+	if res.Problem.Principals != 3 || res.Problem.Trusted != 2 || res.Problem.Exchanges != 2 {
+		t.Errorf("problem info = %+v", res.Problem)
+	}
+	if len(res.Steps) == 0 || res.Sequence == "" {
+		t.Errorf("feasible result missing steps/sequence: %s", body)
+	}
+	if res.Verified == nil || !*res.Verified {
+		t.Errorf("verify=1 must report verified=true")
+	}
+	cc := res.CrossCheck
+	if cc == nil || !cc.AssetsFeasible || !cc.StrongFeasible || !cc.PetriFound || !cc.Agreement {
+		t.Errorf("cross-checks disagree with E1: %+v", cc)
+	}
+}
+
+func TestAnalyzeJSONSpecAndSimulation(t *testing.T) {
+	_, ts, _ := newTestService(t, Options{})
+	reqBody, _ := json.Marshal(map[string]interface{}{
+		"source":   feasibleSpec,
+		"simulate": true,
+		"seed":     7,
+	})
+	resp, err := http.Post(ts.URL+"/v1/analyze", "application/json", bytes.NewReader(reqBody))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d, body %s", resp.StatusCode, body)
+	}
+	var res Result
+	if err := json.Unmarshal(body, &res); err != nil {
+		t.Fatal(err)
+	}
+	if res.Simulation == nil || !res.Simulation.Completed || res.Simulation.Messages == 0 {
+		t.Fatalf("simulation section missing or incomplete: %s", body)
+	}
+}
+
+func TestAnalyzeMalformedSpec(t *testing.T) {
+	_, ts, _ := newTestService(t, Options{})
+	for _, bad := range []string{
+		"problem {",
+		"not a spec at all",
+		`problem p { consumer c
+           exchange c with c via t { c gives $1 } }`,
+	} {
+		resp, body := postSpec(t, ts.URL+"/v1/analyze", bad)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("spec %q: status %d (want 400), body %s", bad, resp.StatusCode, body)
+		}
+		var e map[string]string
+		if err := json.Unmarshal(body, &e); err != nil || e["error"] == "" {
+			t.Errorf("spec %q: error body not structured: %s", bad, body)
+		}
+	}
+}
+
+func TestAnalyzeInfeasibleSpec(t *testing.T) {
+	_, ts, _ := newTestService(t, Options{})
+	resp, body := postSpec(t, ts.URL+"/v1/analyze?indemnify=1", infeasibleSpec)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("infeasibility is a verdict, not an error: status %d, body %s", resp.StatusCode, body)
+	}
+	var res Result
+	if err := json.Unmarshal(body, &res); err != nil {
+		t.Fatal(err)
+	}
+	if res.Feasible {
+		t.Fatalf("poorbroker must be infeasible")
+	}
+	if res.Impasse == "" {
+		t.Errorf("infeasible result must carry the impasse diagnosis")
+	}
+	if res.Indemnity == nil {
+		t.Errorf("indemnify=1 must attach the Section 6 proposal")
+	}
+}
+
+func TestCacheHitIsByteIdenticalAndSkipsEngines(t *testing.T) {
+	_, ts, reg := newTestService(t, Options{})
+	url := ts.URL + "/v1/analyze?seq=1&crosscheck=1"
+	resp1, body1 := postSpec(t, url, feasibleSpec)
+	resp2, body2 := postSpec(t, url, feasibleSpec)
+	if resp1.Header.Get("X-Trustd-Cache") != "miss" || resp2.Header.Get("X-Trustd-Cache") != "hit" {
+		t.Fatalf("dispositions = %q, %q; want miss, hit",
+			resp1.Header.Get("X-Trustd-Cache"), resp2.Header.Get("X-Trustd-Cache"))
+	}
+	if !bytes.Equal(body1, body2) {
+		t.Fatalf("cached body differs from the original:\n%s\nvs\n%s", body1, body2)
+	}
+	if n := reg.Counter("core.synthesize.total").Value(); n != 1 {
+		t.Errorf("engines ran %d times for two identical requests, want 1", n)
+	}
+	if h, m := reg.Counter("service.cache.hits").Value(), reg.Counter("service.cache.misses").Value(); h != 1 || m != 1 {
+		t.Errorf("cache counters hits=%d misses=%d, want 1/1", h, m)
+	}
+	// Text and JSON renderings of the same analysis share one engine
+	// run and one cache slot.
+	resp3, _ := postSpec(t, url+"&format=text", feasibleSpec)
+	if resp3.Header.Get("X-Trustd-Cache") != "hit" {
+		t.Errorf("text rendering of a cached analysis should hit, got %q", resp3.Header.Get("X-Trustd-Cache"))
+	}
+}
+
+func TestCacheIsContentAddressed(t *testing.T) {
+	_, ts, reg := newTestService(t, Options{})
+	postSpec(t, ts.URL+"/v1/analyze", feasibleSpec)
+	resp, _ := postSpec(t, ts.URL+"/v1/analyze", feasibleSpecReformatted)
+	if got := resp.Header.Get("X-Trustd-Cache"); got != "hit" {
+		t.Errorf("reformatted source must share the cache slot, got %q", got)
+	}
+	if n := reg.Counter("core.synthesize.total").Value(); n != 1 {
+		t.Errorf("engines ran %d times, want 1", n)
+	}
+}
+
+func TestCacheEviction(t *testing.T) {
+	_, ts, reg := newTestService(t, Options{CacheEntries: 1})
+	postSpec(t, ts.URL+"/v1/analyze", feasibleSpec)   // occupies the only slot
+	postSpec(t, ts.URL+"/v1/analyze", infeasibleSpec) // evicts it
+	resp, _ := postSpec(t, ts.URL+"/v1/analyze", feasibleSpec)
+	if got := resp.Header.Get("X-Trustd-Cache"); got != "miss" {
+		t.Errorf("evicted entry served as %q, want miss", got)
+	}
+	if n := reg.Counter("service.cache.evictions").Value(); n < 2 {
+		t.Errorf("evictions = %d, want ≥ 2", n)
+	}
+}
+
+func TestConcurrentDuplicatesCollapseToOneRun(t *testing.T) {
+	const dups = 8
+	reg := obs.NewRegistry()
+	svc := New(Options{Telemetry: &obs.Telemetry{Metrics: reg}})
+	release := make(chan struct{})
+	started := make(chan struct{}, dups)
+	svc.testComputeHook = func() {
+		started <- struct{}{}
+		<-release
+	}
+	ts := httptest.NewServer(svc.Handler())
+	defer ts.Close()
+
+	var wg sync.WaitGroup
+	bodies := make([][]byte, dups)
+	for i := 0; i < dups; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			resp, err := http.Post(ts.URL+"/v1/analyze", "text/plain", strings.NewReader(feasibleSpec))
+			if err != nil {
+				t.Errorf("request %d: %v", i, err)
+				return
+			}
+			bodies[i], _ = io.ReadAll(resp.Body)
+			resp.Body.Close()
+		}(i)
+	}
+	// One engine run starts; the other 7 requests must park on it, not
+	// start their own. Wait until every duplicate is accounted for.
+	<-started
+	deadline := time.After(5 * time.Second)
+	for reg.Counter("service.flight.collapsed").Value()+reg.Counter("service.cache.hits").Value() < dups-1 {
+		select {
+		case <-deadline:
+			t.Fatalf("collapsed+hits = %d after 5s, want %d",
+				reg.Counter("service.flight.collapsed").Value()+reg.Counter("service.cache.hits").Value(), dups-1)
+		case <-time.After(time.Millisecond):
+		}
+	}
+	close(release)
+	wg.Wait()
+
+	if n := reg.Counter("core.synthesize.total").Value(); n != 1 {
+		t.Fatalf("%d duplicate requests ran the engines %d times, want 1", dups, n)
+	}
+	for i := 1; i < dups; i++ {
+		if !bytes.Equal(bodies[0], bodies[i]) {
+			t.Fatalf("request %d got a different body", i)
+		}
+	}
+	select {
+	case <-started:
+		t.Fatalf("a second engine run started")
+	default:
+	}
+}
+
+func TestTimeoutReturns504AndStillCaches(t *testing.T) {
+	reg := obs.NewRegistry()
+	svc := New(Options{
+		RequestTimeout: 50 * time.Millisecond,
+		Telemetry:      &obs.Telemetry{Metrics: reg},
+	})
+	release := make(chan struct{})
+	var once sync.Once
+	svc.testComputeHook = func() {
+		once.Do(func() { <-release }) // only the first run stalls
+	}
+	ts := httptest.NewServer(svc.Handler())
+	defer ts.Close()
+
+	resp, body := postSpec(t, ts.URL+"/v1/analyze", feasibleSpec)
+	if resp.StatusCode != http.StatusGatewayTimeout {
+		t.Fatalf("status %d (want 504), body %s", resp.StatusCode, body)
+	}
+	if n := reg.Counter("service.timeouts").Value(); n != 1 {
+		t.Errorf("timeout counter = %d, want 1", n)
+	}
+	close(release)
+	// The abandoned run must finish and publish; the retry is a hit.
+	deadline := time.After(5 * time.Second)
+	for svc.CacheLen() == 0 {
+		select {
+		case <-deadline:
+			t.Fatal("abandoned run never populated the cache")
+		case <-time.After(time.Millisecond):
+		}
+	}
+	resp2, _ := postSpec(t, ts.URL+"/v1/analyze", feasibleSpec)
+	if resp2.StatusCode != http.StatusOK || resp2.Header.Get("X-Trustd-Cache") != "hit" {
+		t.Fatalf("retry after timeout: status %d, disposition %q; want 200/hit",
+			resp2.StatusCode, resp2.Header.Get("X-Trustd-Cache"))
+	}
+	if n := reg.Counter("core.synthesize.total").Value(); n != 1 {
+		t.Errorf("engines ran %d times, want 1", n)
+	}
+}
+
+func TestSweepEndpoint(t *testing.T) {
+	_, ts, _ := newTestService(t, Options{})
+	reqBody := `{"n": 8, "seed": 3, "family": "chain"}`
+	resp, err := http.Post(ts.URL+"/v1/sweep", "application/json", strings.NewReader(reqBody))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d, body %s", resp.StatusCode, body)
+	}
+	var sr sweepResponse
+	if err := json.Unmarshal(body, &sr); err != nil {
+		t.Fatal(err)
+	}
+	if sr.Completed != 8 || sr.Canceled || sr.Violations != 0 {
+		t.Fatalf("sweep response %+v", sr)
+	}
+
+	resp, err = http.Post(ts.URL+"/v1/sweep", "application/json",
+		strings.NewReader(fmt.Sprintf(`{"n": %d}`, maxSweepN+1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("over-cap sweep: status %d, want 400", resp.StatusCode)
+	}
+}
+
+func TestOpsEndpoints(t *testing.T) {
+	_, ts, _ := newTestService(t, Options{})
+	postSpec(t, ts.URL+"/v1/analyze", feasibleSpec)
+
+	for _, tc := range []struct {
+		path string
+		want string
+	}{
+		{"/healthz", `"status":"ok"`},
+		{"/v1/stats", `"cache_entries": 1`},
+		{"/metrics", `"service.cache.misses": 1`},
+		{"/metrics", `"http.analyze.requests": 1`},
+	} {
+		resp, err := http.Get(ts.URL + tc.path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Errorf("GET %s: status %d", tc.path, resp.StatusCode)
+		}
+		if !strings.Contains(string(body), tc.want) {
+			t.Errorf("GET %s: body missing %q:\n%s", tc.path, tc.want, body)
+		}
+	}
+
+	resp, err := http.Get(ts.URL + "/v1/analyze")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET /v1/analyze: status %d, want 405", resp.StatusCode)
+	}
+}
+
+func TestServeDrainsInFlightRequests(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	inHandler := make(chan struct{})
+	release := make(chan struct{})
+	h := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		close(inHandler)
+		<-release
+		io.WriteString(w, "drained ok")
+	})
+
+	ctx, cancel := context.WithCancel(context.Background())
+	serveDone := make(chan error, 1)
+	go func() { serveDone <- Serve(ctx, ln, h, 5*time.Second) }()
+
+	type reply struct {
+		body   string
+		status int
+		err    error
+	}
+	got := make(chan reply, 1)
+	go func() {
+		resp, err := http.Get("http://" + ln.Addr().String() + "/")
+		if err != nil {
+			got <- reply{err: err}
+			return
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		got <- reply{body: string(body), status: resp.StatusCode}
+	}()
+
+	<-inHandler
+	cancel() // the SIGTERM path: stop accepting, drain in-flight work
+
+	select {
+	case err := <-serveDone:
+		t.Fatalf("Serve returned (%v) before the in-flight request finished", err)
+	case <-time.After(50 * time.Millisecond):
+	}
+	close(release)
+
+	r := <-got
+	if r.err != nil || r.status != http.StatusOK || r.body != "drained ok" {
+		t.Fatalf("in-flight request during drain: %+v", r)
+	}
+	select {
+	case err := <-serveDone:
+		if err != nil {
+			t.Fatalf("Serve: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Serve did not return after drain")
+	}
+	if _, err := http.Get("http://" + ln.Addr().String() + "/"); err == nil {
+		t.Error("listener still accepting after drain")
+	}
+}
+
+func TestLRUCache(t *testing.T) {
+	c := newLRU(2)
+	k := func(i uint64) [2]uint64 { return [2]uint64{i, i ^ 0xff} }
+	v1, v2, v3 := &cached{}, &cached{}, &cached{}
+	c.put(k(1), v1)
+	c.put(k(2), v2)
+	if got, ok := c.get(k(1)); !ok || got != v1 {
+		t.Fatal("k1 missing")
+	}
+	if ev := c.put(k(3), v3); ev != 1 { // k2 is now the LRU entry
+		t.Fatalf("evictions = %d, want 1", ev)
+	}
+	if _, ok := c.get(k(2)); ok {
+		t.Fatal("k2 should have been evicted")
+	}
+	for _, want := range []uint64{1, 3} {
+		if _, ok := c.get(k(want)); !ok {
+			t.Fatalf("k%d should survive", want)
+		}
+	}
+	if c.len() != 2 {
+		t.Fatalf("len = %d", c.len())
+	}
+}
+
+func TestRequestKeyDiscriminatesOptions(t *testing.T) {
+	p1 := mustLoad(t, feasibleSpec)
+	p2 := mustLoad(t, feasibleSpecReformatted)
+	p3 := mustLoad(t, infeasibleSpec)
+	base := requestKey(p1, AnalyzeOptions{})
+	if got := requestKey(p2, AnalyzeOptions{}); got != base {
+		t.Errorf("reformatted source changed the key")
+	}
+	if got := requestKey(p3, AnalyzeOptions{}); got == base {
+		t.Errorf("different problem, same key")
+	}
+	seen := map[[2]uint64]string{{}: "zero"}
+	seen[base] = "base"
+	for name, opts := range map[string]AnalyzeOptions{
+		"trace":      {Trace: true},
+		"verify":     {Verify: true},
+		"crosscheck": {CrossCheck: true},
+		"simulate":   {Simulate: true},
+		"seed":       {Simulate: true, SimSeed: 1},
+		"deadline":   {Simulate: true, SimDeadline: 99},
+	} {
+		key := requestKey(p1, opts)
+		if prev, dup := seen[key]; dup {
+			t.Errorf("options %s collide with %s", name, prev)
+		}
+		seen[key] = name
+	}
+}

@@ -1,0 +1,39 @@
+// Package sim executes synthesized exchange protocols on a simulated
+// distributed system: every principal and trusted component is a node
+// exchanging messages over a lossless but latency-laden network with a
+// virtual clock, deposits carry deadlines, trusted components enforce
+// their Section 2.5 guarantees (complete when whole, unwind on expiry),
+// and any subset of principals can be replaced by defectors. The
+// simulation validates the paper's protection claim (E11): honest
+// parties never lose assets, whatever the defectors do — except when a
+// defector was *directly trusted* (a persona trustee), which is exactly
+// the risk a direct-trust declaration accepts.
+//
+// # Key types
+//
+//   - Network is the virtual-time message fabric; Config sets latency,
+//     seed and fault injection; Message / MsgKind are the wire
+//     vocabulary; Time is the virtual clock.
+//   - Node is the behaviour interface; TrustedNode and PrincipalNode are
+//     the honest implementations (a PrincipalNode with stopAfter set
+//     models a defector that walks away mid-protocol); Recoverable marks
+//     nodes that survive crash/restart faults.
+//   - FaultPlan / FaultMenu / Partition / CrashEvent describe injected
+//     faults; SampleFaultPlan and ChaosOptions derive deterministic
+//     plans from a seed; FaultStats and ChaosViolations aggregate and
+//     audit outcomes. ReplayBalances recomputes final holdings from the
+//     message trace alone, cross-checking the ledger.
+//   - Run (run.go) is the one-call wrapper the CLI, service and sweep
+//     use: synthesize, wire up nodes, execute, audit.
+//
+// # Concurrency and ownership
+//
+// The simulator is deliberately single-threaded: one goroutine owns the
+// Network and steps virtual time by draining a deterministic priority
+// queue, so a (problem, seed, fault plan) triple always yields an
+// identical trace — there is no real concurrency to race. Nodes are
+// owned by their Network and must not be shared across simulations.
+// Callers get parallelism by running independent simulations on
+// independent Networks (the chaos gate and sweep do this), which is safe
+// because simulations share only immutable inputs.
+package sim

@@ -1,13 +1,3 @@
-// Package sim executes synthesized exchange protocols on a simulated
-// distributed system: every principal and trusted component is a node
-// exchanging messages over a lossless but latency-laden network with a
-// virtual clock, deposits carry deadlines, trusted components enforce
-// their Section 2.5 guarantees (complete when whole, unwind on expiry),
-// and any subset of principals can be replaced by defectors. The
-// simulation validates the paper's protection claim (E11): honest
-// parties never lose assets, whatever the defectors do — except when a
-// defector was *directly trusted* (a persona trustee), which is exactly
-// the risk a direct-trust declaration accepts.
 package sim
 
 import (

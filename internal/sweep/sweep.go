@@ -1,15 +1,3 @@
-// Package sweep is the concurrent cross-validation pipeline (E10 at
-// scale): it drives batches of generated problems — random brokered
-// markets, resale chains, broker stars — through the full stack
-// (sequencing-graph synthesis, exhaustive search under both safety
-// semantics, Petri-net coverability) with a bounded worker pool, and
-// aggregates agreement statistics between the verdicts.
-//
-// Determinism: every problem derives its own seed from Config.Seed and
-// its index, and results land in an index-addressed slice, so a sweep's
-// Results and Stats are identical for any worker count — only the
-// wall-clock changes. That property is what lets the serial-vs-parallel
-// benchmarks assert identical verdicts while measuring speedup.
 package sweep
 
 import (

@@ -1,0 +1,30 @@
+// Package twopc is the two-phase-commit baseline of Section 7.1. In
+// traditional transaction processing all components share the goal of a
+// consistent global state and a single designer controls every program;
+// 2PC then guarantees atomicity. The paper's distributed commerce
+// setting breaks both assumptions: parties have their own acceptable
+// outcomes and nobody controls the others' code. This package implements
+// classic 2PC and an exchange adapter so the divergence is measurable:
+// with honest participants 2PC completes the exchange in fewer messages
+// than the trust protocol; with a participant that votes yes and then
+// fails to transfer, 2PC's "committed" outcome leaves honest parties in
+// unacceptable states — the motivation for making trust explicit.
+//
+// # Key types
+//
+//   - Participant is the voter interface; Vote and Decision are the
+//     prepare/commit vocabulary; Coordinator drives the two phases and
+//     tallies message counts into Stats.
+//   - ExchangeParticipant adapts one side of a commercial exchange to
+//     the Participant interface; RunExchange wires a whole Problem
+//     through 2PC, with an optional defector set, and reports which
+//     parties ended in acceptable states.
+//
+// # Concurrency and ownership
+//
+// The coordinator calls participants sequentially on one goroutine —
+// message counting, not distribution, is the point — so determinism is
+// structural. Participant implementations own their own state;
+// RunExchange builds fresh participants per call, making concurrent runs
+// over different Problems safe.
+package twopc

@@ -1,14 +1,3 @@
-// Package twopc is the two-phase-commit baseline of Section 7.1. In
-// traditional transaction processing all components share the goal of a
-// consistent global state and a single designer controls every program;
-// 2PC then guarantees atomicity. The paper's distributed commerce
-// setting breaks both assumptions: parties have their own acceptable
-// outcomes and nobody controls the others' code. This package implements
-// classic 2PC and an exchange adapter so the divergence is measurable:
-// with honest participants 2PC completes the exchange in fewer messages
-// than the trust protocol; with a participant that votes yes and then
-// fails to transfer, 2PC's "committed" outcome leaves honest parties in
-// unacceptable states — the motivation for making trust explicit.
 package twopc
 
 import (

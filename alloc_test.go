@@ -3,6 +3,7 @@ package trustseq
 import (
 	"testing"
 
+	"trustseq/internal/core"
 	"trustseq/internal/gen"
 	"trustseq/internal/interaction"
 	"trustseq/internal/model"
@@ -67,5 +68,61 @@ func TestPetriCompletableAllocBudget(t *testing.T) {
 	})
 	if got > budget {
 		t.Errorf("Completable allocates %.0f/run, budget %.0f", got, budget)
+	}
+}
+
+// The incremental edit path must allocate O(frontier), not O(problem):
+// the per-run allocation count stays under a small fixed budget and —
+// the sharper property — does not grow with the chain length. (Byte
+// sizes do grow where a copy-on-write slice is cloned; the count gates
+// against reintroducing per-edge or per-node allocations.)
+func TestIncrementalPatchAllocBudget(t *testing.T) {
+	const reuseBudget, rereduceBudget = 20.0, 24.0
+	counts := map[string][]float64{}
+	for _, k := range []int{16, 64} {
+		base := gen.Chain(k, model.Money(k+10))
+		basePlan, err := core.Synthesize(base)
+		if err != nil {
+			t.Fatal(err)
+		}
+		retuned := base.Clone()
+		retuned.Exchanges[0].Gives.Amount++
+		retuned.Exchanges[1].Gets.Amount++
+		redflip := base.Clone()
+		redflip.Exchanges[2].RedOverride = true
+		for _, p := range []*model.Problem{retuned, redflip} {
+			if err := p.Validate(); err != nil {
+				t.Fatal(err)
+			}
+		}
+
+		reuse := testing.AllocsPerRun(100, func() {
+			d := model.Diff(base, retuned)
+			res, ok := sequencing.Patch(basePlan.Sequencing, basePlan.Reduction, retuned, &d)
+			if !ok || res.Outcome != sequencing.PatchReused {
+				t.Fatal("patch did not reuse")
+			}
+		})
+		if reuse > reuseBudget {
+			t.Errorf("chain-%d: reuse path allocates %.0f/run, budget %.0f", k, reuse, reuseBudget)
+		}
+		rereduce := testing.AllocsPerRun(100, func() {
+			d := model.Diff(base, redflip)
+			res, ok := sequencing.Patch(basePlan.Sequencing, basePlan.Reduction, redflip, &d)
+			if !ok || res.Outcome != sequencing.PatchRereduced {
+				t.Fatal("patch did not rereduce")
+			}
+		})
+		if rereduce > rereduceBudget {
+			t.Errorf("chain-%d: rereduce path allocates %.0f/run, budget %.0f", k, rereduce, rereduceBudget)
+		}
+		counts["reuse"] = append(counts["reuse"], reuse)
+		counts["rereduce"] = append(counts["rereduce"], rereduce)
+	}
+	for mode, got := range counts {
+		if got[0] != got[1] {
+			t.Errorf("%s path allocation count scales with problem size: chain-16 %.0f, chain-64 %.0f",
+				mode, got[0], got[1])
+		}
 	}
 }

@@ -461,3 +461,73 @@ func BenchmarkHierarchyEnableAndSynthesize(b *testing.B) {
 		}
 	}
 }
+
+// --- E-incremental: edit-workload reanalysis -----------------------------
+
+// BenchmarkEditReanalysis measures the analysis stage of a one-line edit
+// of the 256-broker chain: a from-scratch graph build + reduction versus
+// diff-and-patch against the resident base plan. Both modes start from a
+// validated, compiled problem — exactly what the service holds after
+// parsing a request — so the ratio isolates the incremental machinery.
+// Scheduling is identical on both paths (it replays the same removal
+// trace) and is excluded.
+func BenchmarkEditReanalysis(b *testing.B) {
+	const k = 256
+	base := gen.Chain(k, model.Money(k+10))
+	basePlan, err := core.Synthesize(base)
+	if err != nil {
+		b.Fatal(err)
+	}
+
+	// A conservation-preserving price retune: graph bits unchanged.
+	retuned := base.Clone()
+	retuned.Exchanges[0].Gives.Amount++
+	retuned.Exchanges[1].Gets.Amount++
+	// A red override on the first broker's purchase: one edge flips.
+	redflip := base.Clone()
+	redflip.Exchanges[2].RedOverride = true
+	for _, p := range []*model.Problem{retuned, redflip} {
+		if err := p.Validate(); err != nil {
+			b.Fatal(err)
+		}
+	}
+
+	b.Run("mode=full", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			sg, err := sequencing.NewSplit(interaction.FromCompiled(retuned))
+			if err != nil {
+				b.Fatal(err)
+			}
+			if !sequencing.Reduce(sg).Feasible() {
+				b.Fatal("infeasible")
+			}
+		}
+	})
+	b.Run("mode=patched-reuse", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			d := model.Diff(base, retuned)
+			res, ok := sequencing.Patch(basePlan.Sequencing, basePlan.Reduction, retuned, &d)
+			if !ok || res.Outcome != sequencing.PatchReused {
+				b.Fatal("patch did not reuse")
+			}
+			if !res.Reduction.Feasible() {
+				b.Fatal("infeasible")
+			}
+		}
+	})
+	b.Run("mode=patched-rereduce", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			d := model.Diff(base, redflip)
+			res, ok := sequencing.Patch(basePlan.Sequencing, basePlan.Reduction, redflip, &d)
+			if !ok || res.Outcome != sequencing.PatchRereduced {
+				b.Fatal("patch did not rereduce")
+			}
+			if res.Reduction.Feasible() {
+				b.Fatal("red-flipped chain should be infeasible")
+			}
+		}
+	})
+}

@@ -11,6 +11,8 @@
 //	benchtrend -benchtime 1s        # time-based sampling instead of the fixed-iteration default
 //	benchtrend -bench 'Sweep'       # restrict the benchmark regexp
 //	benchtrend -out trend.json      # alternate output path
+//	benchtrend -compare old.json new.json   # diff two trend files, non-zero exit on regression
+//	benchtrend -compare -threshold 10 a b   # tighten the regression threshold to 10%
 //
 // BENCH_latest.json is the rolling, gitignored output; the committed
 // BENCH_pr3.json is the frozen baseline snapshot it is compared against.
@@ -23,6 +25,7 @@ import (
 	"fmt"
 	"os"
 	"os/exec"
+	"sort"
 	"strconv"
 	"strings"
 
@@ -66,9 +69,22 @@ func main() {
 	// file, while committed historical snapshots (e.g. BENCH_pr3.json)
 	// stay frozen.
 	out := flag.String("out", "BENCH_latest.json", "output JSON path")
-	bench := flag.String("bench", "BenchmarkReduceChain|BenchmarkPetriCompletableFigure7|BenchmarkSweepSerial", "benchmark regexp passed to go test")
+	bench := flag.String("bench", "BenchmarkReduceChain|BenchmarkPetriCompletableFigure7|BenchmarkSweepSerial|BenchmarkEditReanalysis", "benchmark regexp passed to go test")
 	benchtime := flag.String("benchtime", "100x", "go test -benchtime value")
+	compare := flag.Bool("compare", false, "diff two trend files (old.json new.json) instead of running benchmarks")
+	threshold := flag.Float64("threshold", 20, "regression threshold in percent for -compare")
 	flag.Parse()
+
+	if *compare {
+		if flag.NArg() != 2 {
+			fmt.Fprintln(os.Stderr, "benchtrend: -compare needs exactly two trend files: old.json new.json")
+			os.Exit(2)
+		}
+		if !runCompare(flag.Arg(0), flag.Arg(1), *threshold) {
+			os.Exit(1)
+		}
+		return
+	}
 
 	current, err := runBenchmarks(*bench, *benchtime)
 	if err != nil {
@@ -101,6 +117,25 @@ func main() {
 	}
 	fmt.Printf("benchtrend: wrote %s (%d benchmarks)\n", *out, len(current))
 
+	// The incremental-analysis speedup gate: a one-line edit of the
+	// 256-broker chain must analyse at least 10x faster by patching than
+	// from scratch, whenever this run measured both modes.
+	full, okFull := current["BenchmarkEditReanalysis/mode=full"]
+	patched, okPatched := current["BenchmarkEditReanalysis/mode=patched-reuse"]
+	if okFull && okPatched {
+		if patched.NsPerOp <= 0 {
+			fmt.Fprintln(os.Stderr, "benchtrend: patched-reuse measured at 0 ns/op; sample too small")
+			os.Exit(1)
+		}
+		speedup := full.NsPerOp / patched.NsPerOp
+		fmt.Printf("benchtrend: incremental edit speedup %.1fx (full %.0f ns/op, patched %.0f ns/op)\n",
+			speedup, full.NsPerOp, patched.NsPerOp)
+		if speedup < 10 {
+			fmt.Fprintf(os.Stderr, "benchtrend: incremental speedup %.1fx is below the 10x floor\n", speedup)
+			os.Exit(1)
+		}
+	}
+
 	// Soundness re-check: the numbers above are meaningless if the
 	// engines disagree, so run a small sweep and fail on any violation.
 	rep := sweep.Run(sweep.Config{N: 16, Seed: 17})
@@ -109,6 +144,73 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Println("benchtrend: sweep soundness check passed (0 violations)")
+}
+
+// runCompare diffs the Current sections of two trend files, printing a
+// per-benchmark ns/op and allocs/op delta. It returns false when any
+// benchmark present in both files regressed its ns/op by more than
+// threshold percent — allocation growth is reported but advisory, since
+// alloc counts are gated exactly by the alloc_test budgets.
+func runCompare(oldPath, newPath string, threshold float64) bool {
+	load := func(path string) (map[string]Metrics, bool) {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchtrend: %v\n", err)
+			return nil, false
+		}
+		var t Trend
+		if err := json.Unmarshal(data, &t); err != nil {
+			fmt.Fprintf(os.Stderr, "benchtrend: %s: %v\n", path, err)
+			return nil, false
+		}
+		if len(t.Current) == 0 {
+			fmt.Fprintf(os.Stderr, "benchtrend: %s has no current measurements\n", path)
+			return nil, false
+		}
+		return t.Current, true
+	}
+	oldM, ok := load(oldPath)
+	if !ok {
+		return false
+	}
+	newM, ok := load(newPath)
+	if !ok {
+		return false
+	}
+
+	names := make([]string, 0, len(oldM))
+	for name := range oldM {
+		if _, ok := newM[name]; ok {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		fmt.Fprintln(os.Stderr, "benchtrend: the two files share no benchmarks")
+		return false
+	}
+	regressed := 0
+	for _, name := range names {
+		o, n := oldM[name], newM[name]
+		dNs, dAllocs := pct(n.NsPerOp, o.NsPerOp), pct(n.AllocsPerOp, o.AllocsPerOp)
+		verdict := "ok"
+		if dNs > threshold {
+			verdict = "REGRESSION"
+			regressed++
+		}
+		fmt.Printf("%-50s ns %+7.1f%%  allocs %+7.1f%%  %s\n", name, dNs, dAllocs, verdict)
+	}
+	for name := range newM {
+		if _, ok := oldM[name]; !ok {
+			fmt.Printf("%-50s (new benchmark, no old measurement)\n", name)
+		}
+	}
+	if regressed > 0 {
+		fmt.Fprintf(os.Stderr, "benchtrend: %d benchmark(s) regressed past %.0f%% ns/op\n", regressed, threshold)
+		return false
+	}
+	fmt.Printf("benchtrend: %d shared benchmarks within the %.0f%% threshold\n", len(names), threshold)
+	return true
 }
 
 func pct(cur, base float64) float64 {

@@ -13,6 +13,7 @@
 //
 //	-addr ADDR          listen address (default :8086)
 //	-cache N            result-cache capacity in entries (default 512)
+//	-bases N            base-plan cache capacity for incremental edits (default 64)
 //	-concurrency N      max concurrent engine runs (default GOMAXPROCS)
 //	-timeout D          per-request analysis timeout (default 30s)
 //	-sweep-timeout D    per-request sweep timeout (default 2m)
@@ -57,6 +58,7 @@ func run(ctx context.Context, args []string, errw io.Writer) error {
 	fs := flag.NewFlagSet("trustd", flag.ContinueOnError)
 	addr := fs.String("addr", ":8086", "listen address")
 	cacheEntries := fs.Int("cache", 512, "result-cache capacity in entries")
+	baseEntries := fs.Int("bases", 64, "base-plan cache capacity for incremental edits")
 	concurrency := fs.Int("concurrency", 0, "max concurrent engine runs (0 = GOMAXPROCS)")
 	timeout := fs.Duration("timeout", 30*time.Second, "per-request analysis timeout")
 	sweepTimeout := fs.Duration("sweep-timeout", 2*time.Minute, "per-request sweep timeout")
@@ -75,6 +77,7 @@ func run(ctx context.Context, args []string, errw io.Writer) error {
 	tel := &obs.Telemetry{Metrics: obs.NewRegistry()}
 	svc := service.New(service.Options{
 		CacheEntries:       *cacheEntries,
+		BaseEntries:        *baseEntries,
 		MaxConcurrent:      *concurrency,
 		RequestTimeout:     *timeout,
 		SweepTimeout:       *sweepTimeout,

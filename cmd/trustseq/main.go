@@ -12,6 +12,7 @@
 //	-dot DIR    write interaction/sequencing DOT files into DIR
 //	-indemnify  propose a minimal indemnification when infeasible
 //	-verify     re-verify the synthesized plan step by step
+//	-base FILE  analyse incrementally against this base spec (edit workloads)
 package main
 
 import (
@@ -39,6 +40,7 @@ func run(args []string, out io.Writer) error {
 	dotDir := fs.String("dot", "", "write DOT renderings into this directory")
 	proposeIndemnity := fs.Bool("indemnify", false, "propose a minimal indemnification when infeasible")
 	verify := fs.Bool("verify", false, "verify the synthesized plan step by step")
+	baseFile := fs.String("base", "", "analyse incrementally against this base .exch spec")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -53,9 +55,36 @@ func run(args []string, out io.Writer) error {
 	if err != nil {
 		return err
 	}
-	plan, err := core.Synthesize(problem)
-	if err != nil {
-		return err
+	var plan *core.Plan
+	if *baseFile != "" {
+		// Edit workloads: synthesize the base spec, then serve the main
+		// spec by diff-and-patch. The report bytes are identical to a
+		// from-scratch run either way; the outcome note goes to stderr so
+		// stdout parity is preserved.
+		baseSrc, err := os.ReadFile(*baseFile)
+		if err != nil {
+			return err
+		}
+		baseProblem, err := dsl.Load(string(baseSrc))
+		if err != nil {
+			return fmt.Errorf("base spec %s: %w", *baseFile, err)
+		}
+		basePlan, err := core.Synthesize(baseProblem)
+		if err != nil {
+			return fmt.Errorf("base spec %s: %w", *baseFile, err)
+		}
+		var info core.IncrementalInfo
+		plan, info, err = core.SynthesizeIncremental(basePlan, problem)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "trustseq: incremental analysis %s (edit %s, frontier %d)\n",
+			info.Outcome, info.Kind, info.Frontier)
+	} else {
+		plan, err = core.Synthesize(problem)
+		if err != nil {
+			return err
+		}
 	}
 
 	// The report body is shared with the trustd service so the CLI and

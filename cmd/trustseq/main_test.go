@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"os"
 	"path/filepath"
 	"strings"
 	"testing"
@@ -68,5 +69,36 @@ func TestBadUsage(t *testing.T) {
 	}
 	if err := run([]string{"/nonexistent.exch"}, &out); err == nil {
 		t.Fatalf("missing file accepted")
+	}
+}
+
+// -base must not change a single stdout byte: the incremental path's
+// whole contract is that edits are faster, never different.
+func TestBaseFlagOutputParity(t *testing.T) {
+	edited := filepath.Join(t.TempDir(), "edited.exch")
+	src, err := os.ReadFile(specs(t, "example1.exch"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(edited, bytes.Replace(src, []byte("$100"), []byte("$101"), 1), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	var full, incremental bytes.Buffer
+	if err := run([]string{"-seq", "-verify", edited}, &full); err != nil {
+		t.Fatalf("full run = %v", err)
+	}
+	if err := run([]string{"-seq", "-verify", "-base", specs(t, "example1.exch"), edited}, &incremental); err != nil {
+		t.Fatalf("incremental run = %v", err)
+	}
+	if full.String() != incremental.String() {
+		t.Errorf("-base changed the report:\nfull:\n%s\nincremental:\n%s", full.String(), incremental.String())
+	}
+	if !strings.Contains(incremental.String(), "$101") {
+		t.Errorf("edited amount missing from report:\n%s", incremental.String())
+	}
+
+	if err := run([]string{"-base", "/nonexistent.exch", edited}, &incremental); err == nil {
+		t.Errorf("missing base spec accepted")
 	}
 }

@@ -29,11 +29,23 @@ type Edge struct {
 	Trusted   model.PartyID
 }
 
-// New derives the interaction graph from a validated problem.
+// New derives the interaction graph from a problem, validating it
+// first. It is Validate followed by FromCompiled.
 func New(p *model.Problem) (*Graph, error) {
 	if err := p.Validate(); err != nil {
 		return nil, fmt.Errorf("interaction: %w", err)
 	}
+	return FromCompiled(p), nil
+}
+
+// FromCompiled derives the interaction graph from a problem that has
+// already passed Validate, skipping re-validation. The incremental path
+// (core.SynthesizeIncremental) uses it: the edited problem arrives
+// validated from the DSL loader, and re-validating would cost more than
+// the whole graph patch. Persona lookups come from the compiled tables
+// when present.
+func FromCompiled(p *model.Problem) *Graph {
+	p.Compile()
 	g := &Graph{Problem: p, Personas: make(map[model.PartyID]model.PartyID)}
 	for _, pa := range p.Parties {
 		if pa.IsTrusted() {
@@ -50,7 +62,7 @@ func New(p *model.Problem) (*Graph, error) {
 			g.Personas[t] = q
 		}
 	}
-	return g, nil
+	return g
 }
 
 // Degree returns the number of interaction edges incident to the party.

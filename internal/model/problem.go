@@ -198,55 +198,84 @@ func (p *Problem) PersonaOf(t PartyID) (persona PartyID, ok bool) {
 // no conjunction node to attach the edge to).
 func (p *Problem) RedExchanges() map[PartyID]map[int]bool {
 	out := make(map[PartyID]map[int]bool)
-	mark := func(principal PartyID, idx int) {
-		if len(p.ExchangesOf(principal)) < 2 {
-			return
-		}
-		if out[principal] == nil {
-			out[principal] = make(map[int]bool)
-		}
-		out[principal][idx] = true
-	}
-
 	byPrincipal := make(map[PartyID][]int)
 	for i, e := range p.Exchanges {
 		byPrincipal[e.Principal] = append(byPrincipal[e.Principal], i)
-		if e.RedOverride {
-			mark(e.Principal, i)
+	}
+	for principal, idxs := range byPrincipal {
+		if set := p.redOf(principal, idxs); set != nil {
+			out[principal] = set
+		}
+	}
+	return out
+}
+
+// RedExchangesOf returns one principal's red exchange set — the
+// per-principal slice of RedExchanges, recomputed in isolation. The
+// rules only read the principal's own exchanges and party record, which
+// is what makes the incremental patcher's frontier local: an edit dirties
+// exactly the touched principals' sets.
+func (p *Problem) RedExchangesOf(principal PartyID) map[int]bool {
+	var idxs []int
+	for i, e := range p.Exchanges {
+		if e.Principal == principal {
+			idxs = append(idxs, i)
+		}
+	}
+	return p.redOf(principal, idxs)
+}
+
+// redOf applies the three red rules to one principal's exchange indices.
+// It returns nil when nothing is red (including the single-exchange
+// guard: with one exchange there is no conjunction to attach red to).
+func (p *Problem) redOf(principal PartyID, idxs []int) map[int]bool {
+	if len(p.ExchangesOf(principal)) < 2 {
+		return nil
+	}
+	var out map[int]bool
+	mark := func(idx int) {
+		if out == nil {
+			out = make(map[int]bool)
+		}
+		out[idx] = true
+	}
+
+	// Rule 3: explicit override.
+	for _, i := range idxs {
+		if p.Exchanges[i].RedOverride {
+			mark(i)
 		}
 	}
 
-	for principal, idxs := range byPrincipal {
-		// Rule 1: resale — items given on one exchange but acquired on
-		// another.
-		acquired := make(map[ItemID]bool)
-		for _, i := range idxs {
-			for _, it := range p.Exchanges[i].Gets.Items {
-				acquired[it] = true
+	// Rule 1: resale — items given on one exchange but acquired on
+	// another.
+	acquired := make(map[ItemID]bool)
+	for _, i := range idxs {
+		for _, it := range p.Exchanges[i].Gets.Items {
+			acquired[it] = true
+		}
+	}
+	for _, i := range idxs {
+		for _, it := range p.Exchanges[i].Gives.Items {
+			if acquired[it] {
+				mark(i)
 			}
 		}
-		for _, i := range idxs {
-			for _, it := range p.Exchanges[i].Gives.Items {
-				if acquired[it] {
-					mark(principal, i)
-				}
-			}
-		}
+	}
 
-		// Rule 2: poor principal.
-		pa, ok := p.Party(principal)
-		if !ok || !pa.LimitedFunds {
-			continue
-		}
-		var outgoing Money
+	// Rule 2: poor principal.
+	pa, ok := p.Party(principal)
+	if !ok || !pa.LimitedFunds {
+		return out
+	}
+	var outgoing Money
+	for _, i := range idxs {
+		outgoing += p.Exchanges[i].Gives.Amount
+	}
+	if pa.Endowment < outgoing {
 		for _, i := range idxs {
-			outgoing += p.Exchanges[i].Gives.Amount
-		}
-		if pa.Endowment < outgoing {
-			for _, i := range idxs {
-				if p.Exchanges[i].Gives.Amount > 0 {
-					mark(principal, i)
-				}
+			if p.Exchanges[i].Gives.Amount > 0 {
+				mark(i)
 			}
 		}
 	}

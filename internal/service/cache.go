@@ -11,59 +11,62 @@ type cached struct {
 	text []byte // the trustseq-identical text body
 }
 
-// lruCache is a bounded LRU keyed by the [2]uint64 request fingerprint.
+// lru is a bounded LRU keyed by a [2]uint64 digest. The Service keeps
+// two: the result cache (request key → rendered bodies) and the base
+// cache (problem digest → plan, the incremental path's diff targets).
 // It is not safe for concurrent use on its own; the Service serializes
 // access under its own mutex (every operation is O(1) map+list work, so
 // a single lock is never the bottleneck next to an engine run).
-type lruCache struct {
+type lru[V any] struct {
 	max     int
-	order   *list.List // front = most recently used; values are *lruEntry
+	order   *list.List // front = most recently used; values are *lruEntry[V]
 	entries map[[2]uint64]*list.Element
 }
 
-type lruEntry struct {
+type lruEntry[V any] struct {
 	key [2]uint64
-	val *cached
+	val V
 }
 
-func newLRU(max int) *lruCache {
+func newLRU[V any](max int) *lru[V] {
 	if max < 1 {
 		max = 1
 	}
-	return &lruCache{
+	return &lru[V]{
 		max:     max,
 		order:   list.New(),
 		entries: make(map[[2]uint64]*list.Element, max),
 	}
 }
 
-// get returns the cached result and bumps its recency.
-func (c *lruCache) get(key [2]uint64) (*cached, bool) {
+// get returns the cached value and bumps its recency.
+func (c *lru[V]) get(key [2]uint64) (V, bool) {
 	el, ok := c.entries[key]
 	if !ok {
-		return nil, false
+		var zero V
+		return zero, false
 	}
 	c.order.MoveToFront(el)
-	return el.Value.(*lruEntry).val, true
+	return el.Value.(*lruEntry[V]).val, true
 }
 
-// put inserts or refreshes a result, evicting the least recently used
+// put inserts or refreshes a value, evicting the least recently used
 // entry when full. It returns the number of evictions (0 or 1).
-func (c *lruCache) put(key [2]uint64, val *cached) int {
+func (c *lru[V]) put(key [2]uint64, val V) int {
 	if el, ok := c.entries[key]; ok {
-		el.Value.(*lruEntry).val = val
+		el.Value.(*lruEntry[V]).val = val
 		c.order.MoveToFront(el)
 		return 0
 	}
-	c.entries[key] = c.order.PushFront(&lruEntry{key: key, val: val})
+	c.entries[key] = c.order.PushFront(&lruEntry[V]{key: key, val: val})
 	if c.order.Len() <= c.max {
 		return 0
 	}
 	oldest := c.order.Back()
 	c.order.Remove(oldest)
-	delete(c.entries, oldest.Value.(*lruEntry).key)
+	delete(c.entries, oldest.Value.(*lruEntry[V]).key)
 	return 1
 }
 
-// len reports the number of cached results.
-func (c *lruCache) len() int { return c.order.Len() }
+// len reports the number of cached values.
+func (c *lru[V]) len() int { return c.order.Len() }

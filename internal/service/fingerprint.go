@@ -2,6 +2,8 @@ package service
 
 import (
 	"encoding/binary"
+	"fmt"
+	"strconv"
 
 	"trustseq/internal/model"
 )
@@ -140,6 +142,13 @@ func problemFingerprint(h *fp128, p *model.Problem) {
 func requestKey(p *model.Problem, opts AnalyzeOptions) [2]uint64 {
 	h := newFP()
 	problemFingerprint(&h, p)
+	return optionsKey(h, opts)
+}
+
+// optionsKey folds the analysis options into a problem-prefixed hash
+// state. Taking the state by value lets the analyze path derive the
+// problem digest and the request key from one streaming pass.
+func optionsKey(h fp128, opts AnalyzeOptions) [2]uint64 {
 	h.bool(opts.Trace)
 	h.bool(opts.Indemnify)
 	h.bool(opts.Verify)
@@ -148,4 +157,38 @@ func requestKey(p *model.Problem, opts AnalyzeOptions) [2]uint64 {
 	h.i64(opts.SimSeed)
 	h.i64(int64(opts.SimDeadline))
 	return h.sum()
+}
+
+// ProblemDigest returns the 128-bit content digest of the problem alone
+// — the base handle of the incremental path. The service returns it as
+// X-Trustd-Digest, accepts it back in X-Trustd-Base, and keys the
+// base-plan cache with it. The digest only selects a cached base
+// candidate; model.Diff then compares the real structures, so even a
+// colliding digest cannot corrupt a result — it can only waste a diff.
+func ProblemDigest(p *model.Problem) [2]uint64 {
+	h := newFP()
+	problemFingerprint(&h, p)
+	return h.sum()
+}
+
+// FormatDigest renders a digest as the fixed-width 32-hex-character
+// form the headers use.
+func FormatDigest(d [2]uint64) string {
+	return fmt.Sprintf("%016x%016x", d[0], d[1])
+}
+
+// ParseDigest parses FormatDigest's output.
+func ParseDigest(s string) ([2]uint64, error) {
+	if len(s) != 32 {
+		return [2]uint64{}, fmt.Errorf("digest must be 32 hex characters, got %d", len(s))
+	}
+	a, err := strconv.ParseUint(s[:16], 16, 64)
+	if err != nil {
+		return [2]uint64{}, fmt.Errorf("malformed digest: %v", err)
+	}
+	b, err := strconv.ParseUint(s[16:], 16, 64)
+	if err != nil {
+		return [2]uint64{}, fmt.Errorf("malformed digest: %v", err)
+	}
+	return [2]uint64{a, b}, nil
 }

@@ -66,9 +66,21 @@ func (s *Service) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, err.Error())
 		return
 	}
+	// An If-Match-style base digest turns the request into an edit of a
+	// previously analyzed problem: when that base's plan is still
+	// resident, the analysis is served by diff-and-patch.
+	var base *[2]uint64
+	if v := r.Header.Get("X-Trustd-Base"); v != "" {
+		d, err := ParseDigest(v)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, fmt.Sprintf("X-Trustd-Base: %v", err))
+			return
+		}
+		base = &d
+	}
 	ctx, cancel := context.WithTimeout(r.Context(), s.opts.RequestTimeout)
 	defer cancel()
-	res, disposition, err := s.Analyze(ctx, p, opts)
+	res, disposition, incremental, err := s.AnalyzeIncremental(ctx, p, opts, base)
 	if err != nil {
 		switch {
 		case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
@@ -79,6 +91,12 @@ func (s *Service) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	w.Header().Set("X-Trustd-Cache", string(disposition))
+	// The problem digest is this response's base handle: replay it in
+	// X-Trustd-Base after an edit to request the incremental path.
+	w.Header().Set("X-Trustd-Digest", FormatDigest(ProblemDigest(p)))
+	if incremental != "" {
+		w.Header().Set("X-Trustd-Incremental", string(incremental))
+	}
 	if wantText {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		w.Write(res.text)
@@ -225,6 +243,8 @@ func (s *Service) handleSweep(w http.ResponseWriter, r *http.Request) {
 type statsResponse struct {
 	CacheEntries  int `json:"cache_entries"`
 	CacheCapacity int `json:"cache_capacity"`
+	BaseEntries   int `json:"base_entries"`
+	BaseCapacity  int `json:"base_capacity"`
 	MaxConcurrent int `json:"max_concurrent"`
 }
 
@@ -236,6 +256,8 @@ func (s *Service) handleStats(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, statsResponse{
 		CacheEntries:  s.CacheLen(),
 		CacheCapacity: s.opts.CacheEntries,
+		BaseEntries:   s.BaseLen(),
+		BaseCapacity:  s.opts.BaseEntries,
 		MaxConcurrent: s.opts.MaxConcurrent,
 	})
 }

@@ -25,6 +25,13 @@ type Options struct {
 	// 512 entries; the minimum is 1 (a cache is load-bearing for the
 	// duplicate-collapse contract, so it cannot be disabled).
 	CacheEntries int
+	// BaseEntries bounds the base-plan cache serving incremental
+	// analysis (X-Trustd-Base): every successful run deposits its plan
+	// here under the problem digest, and an edit naming a resident
+	// digest is served by diff-and-patch instead of a full pipeline run.
+	// Default 64 entries; minimum 1. Plans are heavier than rendered
+	// bodies, hence the smaller default.
+	BaseEntries int
 	// MaxConcurrent bounds how many engine runs execute at once; excess
 	// requests queue until a slot frees or their timeout fires. Default
 	// GOMAXPROCS.
@@ -53,6 +60,9 @@ type Options struct {
 func (o Options) withDefaults() Options {
 	if o.CacheEntries < 1 {
 		o.CacheEntries = 512
+	}
+	if o.BaseEntries < 1 {
+		o.BaseEntries = 64
 	}
 	if o.MaxConcurrent < 1 {
 		o.MaxConcurrent = runtime.GOMAXPROCS(0)
@@ -147,14 +157,16 @@ type Service struct {
 	opts Options
 	sem  chan struct{}
 
-	mu     sync.Mutex // guards cache and flight — never held across an engine run
-	cache  *lruCache
+	mu     sync.Mutex // guards cache, bases and flight — never held across an engine run
+	cache  *lru[*cached]
+	bases  *lru[*core.Plan]
 	flight map[[2]uint64]*call
 
 	// Pre-interned counters: the analyze path must not take the
 	// registry lock per request.
 	cacheHits, cacheMisses, cacheEvictions *obs.Counter
 	collapsed, timeouts                    *obs.Counter
+	incPatched, incFull, incBaseMiss       *obs.Counter
 
 	// testComputeHook, when set, runs at the top of every engine run.
 	// Tests use it to hold runs open and provoke collapses/timeouts.
@@ -167,6 +179,10 @@ type call struct {
 	done chan struct{}
 	val  *cached
 	err  error
+	// inc is the incremental disposition of the run, written (by the
+	// leader, before done closes) only for requests that named a base
+	// digest; coalesced followers replay the leader's disposition.
+	inc IncrementalDisposition
 }
 
 // New constructs a Service.
@@ -176,13 +192,17 @@ func New(opts Options) *Service {
 	return &Service{
 		opts:           opts,
 		sem:            make(chan struct{}, opts.MaxConcurrent),
-		cache:          newLRU(opts.CacheEntries),
+		cache:          newLRU[*cached](opts.CacheEntries),
+		bases:          newLRU[*core.Plan](opts.BaseEntries),
 		flight:         make(map[[2]uint64]*call),
 		cacheHits:      reg.Counter("service.cache.hits"),
 		cacheMisses:    reg.Counter("service.cache.misses"),
 		cacheEvictions: reg.Counter("service.cache.evictions"),
 		collapsed:      reg.Counter("service.flight.collapsed"),
 		timeouts:       reg.Counter("service.timeouts"),
+		incPatched:     reg.Counter("service.incremental.patched"),
+		incFull:        reg.Counter("service.incremental.full"),
+		incBaseMiss:    reg.Counter("service.incremental.base_miss"),
 	}
 }
 
@@ -196,40 +216,94 @@ const (
 	dispositionCoalesced cacheDisposition = "coalesced"
 )
 
+// IncrementalDisposition labels how the incremental machinery handled
+// a request that named a base digest, for the X-Trustd-Incremental
+// response header and the counters. Empty means no base digest was
+// supplied (or the answer replayed from the result cache, where no
+// engine — incremental or otherwise — ran at all).
+type IncrementalDisposition string
+
+// The incremental dispositions.
+const (
+	IncrementalPatched  IncrementalDisposition = "patched"
+	IncrementalFullRun  IncrementalDisposition = "full"
+	IncrementalBaseMiss IncrementalDisposition = "base-miss"
+)
+
 // Analyze serves one compiled problem: from the cache when possible,
 // by joining an identical in-flight run when one exists, and by a
 // fresh engine run otherwise. The returned body is immutable shared
 // state — callers must not modify it.
 func (s *Service) Analyze(ctx context.Context, p *model.Problem, opts AnalyzeOptions) (*cached, cacheDisposition, error) {
+	res, d, _, err := s.AnalyzeIncremental(ctx, p, opts, nil)
+	return res, d, err
+}
+
+// AnalyzeIncremental is Analyze with an optional base digest: when the
+// digest names a plan still resident in the base cache, the request is
+// served by the incremental path — model.Diff against the base,
+// sequencing.Patch on the dirtied frontier — at near-cache speed, with
+// the body byte-identical to a full run. A digest with no resident plan
+// reports base-miss and runs the full pipeline; so does a structural
+// edit (disposition full). Every successful run, incremental or not,
+// deposits its plan in the base cache for the next edit.
+func (s *Service) AnalyzeIncremental(ctx context.Context, p *model.Problem, opts AnalyzeOptions, base *[2]uint64) (*cached, cacheDisposition, IncrementalDisposition, error) {
 	p.Compile() // compile once; every engine below reuses the dense tables
-	key := requestKey(p, opts)
+	h := newFP()
+	problemFingerprint(&h, p)
+	digest := h.sum()
+	key := optionsKey(h, opts)
 
 	s.mu.Lock()
 	if c, ok := s.cache.get(key); ok {
 		s.mu.Unlock()
 		s.cacheHits.Inc()
-		return c, dispositionHit, nil
+		return c, dispositionHit, "", nil
 	}
 	if fl, ok := s.flight[key]; ok {
 		s.mu.Unlock()
 		s.collapsed.Inc()
 		return s.await(ctx, fl, dispositionCoalesced)
 	}
-	fl := &call{done: make(chan struct{})}
+	var basePlan *core.Plan
+	var inc IncrementalDisposition
+	if base != nil {
+		if pl, ok := s.bases.get(*base); ok {
+			basePlan = pl
+		} else {
+			inc = IncrementalBaseMiss
+		}
+	}
+	fl := &call{done: make(chan struct{}), inc: inc}
 	s.flight[key] = fl
 	s.mu.Unlock()
 	s.cacheMisses.Inc()
+	if inc == IncrementalBaseMiss {
+		s.incBaseMiss.Inc()
+	}
 
 	// The leader's run is decoupled from the leader's context: once
 	// started it always finishes and publishes — a request that gives
 	// up waiting must not waste the work for the next identical one.
 	go func() {
 		s.sem <- struct{}{}
-		val, err := s.compute(p, opts)
+		val, plan, patched, err := s.compute(p, opts, basePlan)
 		<-s.sem
+		if basePlan != nil {
+			if patched {
+				fl.inc = IncrementalPatched
+				s.incPatched.Inc()
+			} else {
+				fl.inc = IncrementalFullRun
+				s.incFull.Inc()
+			}
+		}
 		s.mu.Lock()
 		if err == nil {
 			s.cacheEvictions.Add(int64(s.cache.put(key, val)))
+			if plan != nil {
+				s.bases.put(digest, plan)
+			}
 		}
 		delete(s.flight, key)
 		s.mu.Unlock()
@@ -240,27 +314,41 @@ func (s *Service) Analyze(ctx context.Context, p *model.Problem, opts AnalyzeOpt
 }
 
 // await parks on an in-flight run until it publishes or the request's
-// own deadline fires.
-func (s *Service) await(ctx context.Context, fl *call, d cacheDisposition) (*cached, cacheDisposition, error) {
+// own deadline fires. The disposition is only read on the publish path
+// (close(done) is the happens-before edge); a timed-out request reports
+// none.
+func (s *Service) await(ctx context.Context, fl *call, d cacheDisposition) (*cached, cacheDisposition, IncrementalDisposition, error) {
 	select {
 	case <-fl.done:
-		return fl.val, d, fl.err
+		return fl.val, d, fl.inc, fl.err
 	case <-ctx.Done():
 		s.timeouts.Inc()
-		return nil, d, ctx.Err()
+		return nil, d, "", ctx.Err()
 	}
 }
 
-// compute runs the full analysis pipeline for one request and renders
-// both response bodies. It is the only place engines run.
-func (s *Service) compute(p *model.Problem, opts AnalyzeOptions) (*cached, error) {
+// compute runs the analysis pipeline for one request — incrementally
+// against basePlan when one is resident — and renders both response
+// bodies. It is the only place engines run. The returned plan is the
+// request's deposit into the base cache; patched reports whether the
+// incremental path actually exploited the base.
+func (s *Service) compute(p *model.Problem, opts AnalyzeOptions, basePlan *core.Plan) (*cached, *core.Plan, bool, error) {
 	if s.testComputeHook != nil {
 		s.testComputeHook()
 	}
 	tel := s.opts.Telemetry
-	plan, err := core.SynthesizeObs(p, tel)
+	var plan *core.Plan
+	var err error
+	patched := false
+	if basePlan != nil {
+		var info core.IncrementalInfo
+		plan, info, err = core.SynthesizeIncrementalObs(basePlan, p, tel)
+		patched = err == nil && info.Patched()
+	} else {
+		plan, err = core.SynthesizeObs(p, tel)
+	}
 	if err != nil {
-		return nil, &StatusError{Code: http.StatusUnprocessableEntity, Msg: err.Error()}
+		return nil, nil, patched, &StatusError{Code: http.StatusUnprocessableEntity, Msg: err.Error()}
 	}
 
 	trusted := 0
@@ -288,7 +376,7 @@ func (s *Service) compute(p *model.Problem, opts AnalyzeOptions) (*cached, error
 		}
 		if opts.Verify {
 			if err := plan.Verify(); err != nil {
-				return nil, &StatusError{
+				return nil, nil, patched, &StatusError{
 					Code: http.StatusInternalServerError,
 					Msg:  fmt.Sprintf("verification FAILED: %v", err),
 				}
@@ -301,7 +389,7 @@ func (s *Service) compute(p *model.Problem, opts AnalyzeOptions) (*cached, error
 		if opts.Indemnify {
 			prop, err := indemnity.Greedy(p)
 			if err != nil {
-				return nil, &StatusError{Code: http.StatusUnprocessableEntity, Msg: err.Error()}
+				return nil, nil, patched, &StatusError{Code: http.StatusUnprocessableEntity, Msg: err.Error()}
 			}
 			info := &IndemnityInfo{Feasible: prop.Feasible}
 			if prop.Feasible {
@@ -313,7 +401,7 @@ func (s *Service) compute(p *model.Problem, opts AnalyzeOptions) (*cached, error
 	if opts.CrossCheck {
 		cc, err := s.crossCheck(p, plan.Feasible, tel)
 		if err != nil {
-			return nil, &StatusError{Code: http.StatusUnprocessableEntity, Msg: err.Error()}
+			return nil, nil, patched, &StatusError{Code: http.StatusUnprocessableEntity, Msg: err.Error()}
 		}
 		res.CrossCheck = cc
 	}
@@ -324,7 +412,7 @@ func (s *Service) compute(p *model.Problem, opts AnalyzeOptions) (*cached, error
 			Obs:      tel,
 		})
 		if err != nil {
-			return nil, &StatusError{Code: http.StatusInternalServerError, Msg: err.Error()}
+			return nil, nil, patched, &StatusError{Code: http.StatusInternalServerError, Msg: err.Error()}
 		}
 		res.Simulation = &SimulationInfo{
 			Completed: out.Completed(),
@@ -336,7 +424,7 @@ func (s *Service) compute(p *model.Problem, opts AnalyzeOptions) (*cached, error
 
 	body, err := json.MarshalIndent(res, "", "  ")
 	if err != nil {
-		return nil, &StatusError{Code: http.StatusInternalServerError, Msg: err.Error()}
+		return nil, nil, patched, &StatusError{Code: http.StatusInternalServerError, Msg: err.Error()}
 	}
 	body = append(body, '\n')
 	text, err := RenderText(plan, RenderOptions{
@@ -345,9 +433,9 @@ func (s *Service) compute(p *model.Problem, opts AnalyzeOptions) (*cached, error
 		Verify:    opts.Verify,
 	})
 	if err != nil {
-		return nil, &StatusError{Code: http.StatusInternalServerError, Msg: err.Error()}
+		return nil, nil, patched, &StatusError{Code: http.StatusInternalServerError, Msg: err.Error()}
 	}
-	return &cached{json: body, text: []byte(text)}, nil
+	return &cached{json: body, text: []byte(text)}, plan, patched, nil
 }
 
 // crossCheck mirrors the sweep's per-problem validation stage: the two
@@ -393,6 +481,14 @@ func (s *Service) CacheLen() int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.cache.len()
+}
+
+// BaseLen reports the number of resident base plans (for tests and the
+// stats endpoint).
+func (s *Service) BaseLen() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.bases.len()
 }
 
 // StatusError is an error with an HTTP status. The handlers map any

@@ -476,7 +476,7 @@ func TestServeDrainsInFlightRequests(t *testing.T) {
 }
 
 func TestLRUCache(t *testing.T) {
-	c := newLRU(2)
+	c := newLRU[*cached](2)
 	k := func(i uint64) [2]uint64 { return [2]uint64{i, i ^ 0xff} }
 	v1, v2, v3 := &cached{}, &cached{}, &cached{}
 	c.put(k(1), v1)
@@ -526,5 +526,170 @@ func TestRequestKeyDiscriminatesOptions(t *testing.T) {
 			t.Errorf("options %s collide with %s", name, prev)
 		}
 		seen[key] = name
+	}
+}
+
+// --- Incremental analysis over HTTP (the If-Match-style base digest) ----
+
+// feasibleSpecRetuned is feasibleSpec with the retail price retuned: the
+// sequencing graph is bit-identical, so analysis against the base digest
+// is served by diff-and-patch.
+const feasibleSpecRetuned = `problem example1 {
+    consumer c
+    broker   b
+    producer p
+    trusted  t1
+    trusted  t2
+
+    exchange c with b via t1 { c gives $101; b gives doc "d" }
+    exchange b with p via t2 { b gives $80;  p gives doc "d" }
+}
+`
+
+// feasibleSpecGrown adds a second resale chain: a structural edit the
+// incremental path must refuse, falling back to the full pipeline.
+const feasibleSpecGrown = `problem example1 {
+    consumer c
+    broker   b
+    producer p
+    producer p2
+    trusted  t1
+    trusted  t2
+    trusted  t3
+
+    exchange c with b via t1 { c gives $100; b gives doc "d" }
+    exchange b with p via t2 { b gives $80;  p gives doc "d" }
+    exchange b with p2 via t3 { b gives $10; p2 gives doc "e" }
+}
+`
+
+func postSpecWithBase(t *testing.T, url, spec, base string) (*http.Response, []byte) {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodPost, url, strings.NewReader(spec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "text/plain")
+	req.Header.Set("X-Trustd-Base", base)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatalf("POST %s: %v", url, err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatalf("reading body: %v", err)
+	}
+	return resp, body
+}
+
+func TestAnalyzeIncrementalHTTP(t *testing.T) {
+	_, ts, reg := newTestService(t, Options{})
+	const q = "/v1/analyze?seq=1&verify=1&format=text"
+
+	resp, _ := postSpec(t, ts.URL+q, feasibleSpec)
+	digest := resp.Header.Get("X-Trustd-Digest")
+	if len(digest) != 32 {
+		t.Fatalf("X-Trustd-Digest = %q, want 32 hex chars", digest)
+	}
+	if got := resp.Header.Get("X-Trustd-Incremental"); got != "" {
+		t.Fatalf("first analysis has no base but X-Trustd-Incremental = %q", got)
+	}
+
+	// The edited spec against the resident base: served by patch, and the
+	// body must be byte-identical to a cold service's full analysis.
+	resp, body := postSpecWithBase(t, ts.URL+q, feasibleSpecRetuned, digest)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d, body %s", resp.StatusCode, body)
+	}
+	if got := resp.Header.Get("X-Trustd-Incremental"); got != string(IncrementalPatched) {
+		t.Fatalf("X-Trustd-Incremental = %q, want patched", got)
+	}
+	_, ts2, _ := newTestService(t, Options{})
+	_, wantBody := postSpec(t, ts2.URL+q, feasibleSpecRetuned)
+	if !bytes.Equal(body, wantBody) {
+		t.Fatalf("patched body differs from cold full analysis:\npatched:\n%s\nfull:\n%s", body, wantBody)
+	}
+	if n := reg.Counter("service.incremental.patched").Value(); n != 1 {
+		t.Errorf("service.incremental.patched = %d, want 1", n)
+	}
+
+	// A structural edit against the same base runs the full pipeline.
+	resp, body = postSpecWithBase(t, ts.URL+q, feasibleSpecGrown, digest)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d, body %s", resp.StatusCode, body)
+	}
+	if got := resp.Header.Get("X-Trustd-Incremental"); got != string(IncrementalFullRun) {
+		t.Fatalf("structural edit: X-Trustd-Incremental = %q, want full", got)
+	}
+	if n := reg.Counter("service.incremental.full").Value(); n != 1 {
+		t.Errorf("service.incremental.full = %d, want 1", n)
+	}
+
+	// A digest that is not resident degrades to a normal full analysis.
+	resp, body = postSpecWithBase(t, ts.URL+q, infeasibleSpec, strings.Repeat("0", 32))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d, body %s", resp.StatusCode, body)
+	}
+	if got := resp.Header.Get("X-Trustd-Incremental"); got != string(IncrementalBaseMiss) {
+		t.Fatalf("unknown base: X-Trustd-Incremental = %q, want base-miss", got)
+	}
+	if n := reg.Counter("service.incremental.base_miss").Value(); n != 1 {
+		t.Errorf("service.incremental.base_miss = %d, want 1", n)
+	}
+
+	// Replaying a request that is already cached answers from the cache;
+	// the incremental header does not apply.
+	resp, _ = postSpecWithBase(t, ts.URL+q, feasibleSpecRetuned, digest)
+	if got := resp.Header.Get("X-Trustd-Cache"); got != "hit" {
+		t.Errorf("X-Trustd-Cache = %q, want hit", got)
+	}
+	if got := resp.Header.Get("X-Trustd-Incremental"); got != "" {
+		t.Errorf("cache hit reported X-Trustd-Incremental = %q", got)
+	}
+
+	// Malformed digests are a client error.
+	resp, _ = postSpecWithBase(t, ts.URL+q, feasibleSpec, "not-a-digest")
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("malformed digest: status %d, want 400", resp.StatusCode)
+	}
+
+	// The base cache is populated and reported by /v1/stats.
+	sresp, err := http.Get(ts.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sbody, _ := io.ReadAll(sresp.Body)
+	sresp.Body.Close()
+	var stats statsResponse
+	if err := json.Unmarshal(sbody, &stats); err != nil {
+		t.Fatalf("stats: %v\n%s", err, sbody)
+	}
+	if stats.BaseEntries < 2 || stats.BaseCapacity != (Options{}).withDefaults().BaseEntries {
+		t.Errorf("stats base fields = %+v", stats)
+	}
+}
+
+func TestDigestRoundTrip(t *testing.T) {
+	p := mustLoad(t, feasibleSpec)
+	d := ProblemDigest(p)
+	s := FormatDigest(d)
+	got, err := ParseDigest(s)
+	if err != nil {
+		t.Fatalf("ParseDigest(%q) = %v", s, err)
+	}
+	if got != d {
+		t.Fatalf("round trip: %v != %v", got, d)
+	}
+	if d2 := ProblemDigest(mustLoad(t, feasibleSpecReformatted)); d2 != d {
+		t.Errorf("reformatted source changed the problem digest")
+	}
+	if d3 := ProblemDigest(mustLoad(t, infeasibleSpec)); d3 == d {
+		t.Errorf("different problem, same digest")
+	}
+	for _, bad := range []string{"", "zz", strings.Repeat("g", 32), strings.Repeat("0", 31)} {
+		if _, err := ParseDigest(bad); err == nil {
+			t.Errorf("ParseDigest(%q) accepted a malformed digest", bad)
+		}
 	}
 }

@@ -21,11 +21,18 @@
 //	-search-workers N   workers per exhaustive cross-check search (default 1)
 //	-petri-budget N     coverability state budget (default 131072)
 //	-max-search N       skip exhaustive cross-checks above N exchanges (default 10)
+//	-slowlog-ms N       slow-request threshold in ms; negative retains every
+//	                    request's span tree (default 250)
+//	-slowlog-entries N  recent-request table and slow-trace ring capacity (default 128)
+//	-pprof ADDR         serve net/http/pprof on a second, loopback-only listener
+//	                    (e.g. 127.0.0.1:6060; empty = off)
 //	-quiet              suppress the startup line
 //
 // SIGINT/SIGTERM starts a graceful drain: the listener stops accepting,
 // in-flight requests get up to -drain to finish, then the process
-// exits.
+// exits. The pprof listener (when enabled) is independent of the main
+// one and refuses non-loopback bind addresses — profiles expose source
+// paths and heap contents, so they never ride the service port.
 package main
 
 import (
@@ -34,6 +41,8 @@ import (
 	"fmt"
 	"io"
 	"net"
+	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"runtime"
@@ -66,6 +75,9 @@ func run(ctx context.Context, args []string, errw io.Writer) error {
 	searchWorkers := fs.Int("search-workers", 1, "workers per exhaustive cross-check search")
 	petriBudget := fs.Int("petri-budget", 1<<17, "coverability state budget")
 	maxSearch := fs.Int("max-search", 10, "skip exhaustive cross-checks above this many exchanges")
+	slowlogMS := fs.Int("slowlog-ms", 250, "slow-request threshold in milliseconds (negative retains every request)")
+	slowlogEntries := fs.Int("slowlog-entries", 128, "recent-request table and slow-trace ring capacity")
+	pprofAddr := fs.String("pprof", "", "serve net/http/pprof on this loopback address (e.g. 127.0.0.1:6060; empty = off)")
 	quiet := fs.Bool("quiet", false, "suppress the startup line")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -85,7 +97,22 @@ func run(ctx context.Context, args []string, errw io.Writer) error {
 		PetriBudget:        *petriBudget,
 		SearchWorkers:      *searchWorkers,
 		Telemetry:          tel,
+		SlowLogMillis:      *slowlogMS,
+		SlowLogEntries:     *slowlogEntries,
 	})
+
+	if *pprofAddr != "" {
+		pln, err := listenLoopback(*pprofAddr)
+		if err != nil {
+			return err
+		}
+		psrv := &http.Server{Handler: pprofMux(), ReadHeaderTimeout: 10 * time.Second}
+		go psrv.Serve(pln)
+		defer psrv.Close()
+		if !*quiet {
+			fmt.Fprintf(errw, "trustd: pprof on http://%s/debug/pprof/\n", pln.Addr())
+		}
+	}
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
@@ -103,4 +130,34 @@ func run(ctx context.Context, args []string, errw io.Writer) error {
 	ctx, stop := signal.NotifyContext(ctx, os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	return service.Serve(ctx, ln, svc.Handler(), *drain)
+}
+
+// listenLoopback binds addr after verifying the host is loopback: the
+// profiling endpoints expose binary internals and must never be
+// reachable off-box.
+func listenLoopback(addr string) (net.Listener, error) {
+	host, _, err := net.SplitHostPort(addr)
+	if err != nil {
+		return nil, fmt.Errorf("-pprof %q: %w", addr, err)
+	}
+	if host != "localhost" {
+		ip := net.ParseIP(host)
+		if ip == nil || !ip.IsLoopback() {
+			return nil, fmt.Errorf("-pprof %q: profiling is loopback-only; bind 127.0.0.1, ::1 or localhost", addr)
+		}
+	}
+	return net.Listen("tcp", addr)
+}
+
+// pprofMux mounts the net/http/pprof handlers on a private mux, so the
+// profiler never rides the package-global DefaultServeMux (and the
+// service mux never grows debug routes by side effect).
+func pprofMux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
 }

@@ -68,6 +68,61 @@ func TestRunServesAndDrains(t *testing.T) {
 	}
 }
 
+// TestRunWithPprofListener boots with -pprof on a second loopback port
+// and fetches the profile index from it.
+func TestRunWithPprofListener(t *testing.T) {
+	var errw lockedBuffer
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	done := make(chan error, 1)
+	go func() {
+		done <- run(ctx, []string{"-addr", "127.0.0.1:0", "-pprof", "127.0.0.1:0", "-slowlog-ms", "-1"}, &errw)
+	}()
+
+	pprofRe := regexp.MustCompile(`pprof on http://([0-9.]+:[0-9]+)`)
+	var addr string
+	deadline := time.After(10 * time.Second)
+	for addr == "" {
+		select {
+		case err := <-done:
+			t.Fatalf("run exited early: %v\n%s", err, errw.String())
+		case <-deadline:
+			t.Fatalf("no pprof startup line after 10s: %q", errw.String())
+		case <-time.After(5 * time.Millisecond):
+			if m := pprofRe.FindStringSubmatch(errw.String()); m != nil {
+				addr = m[1]
+			}
+		}
+	}
+
+	resp, err := http.Get("http://" + addr + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || !strings.Contains(string(body), "goroutine") {
+		t.Fatalf("pprof index: status %d, body %.200s", resp.StatusCode, body)
+	}
+
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("run: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("daemon did not exit after context cancel")
+	}
+}
+
+func TestPprofRefusesNonLoopback(t *testing.T) {
+	err := run(context.Background(), []string{"-addr", "127.0.0.1:0", "-pprof", "0.0.0.0:6060"}, io.Discard)
+	if err == nil || !strings.Contains(err.Error(), "loopback-only") {
+		t.Fatalf("want loopback-only error, got %v", err)
+	}
+}
+
 func TestRunRejectsPositionalArgs(t *testing.T) {
 	err := run(context.Background(), []string{"stray.exch"}, io.Discard)
 	if err == nil || !strings.Contains(err.Error(), "usage") {

@@ -26,19 +26,30 @@ func (w *statusWriter) Write(b []byte) (int, error) {
 	return w.ResponseWriter.Write(b)
 }
 
+// Flush forwards http.Flusher so wrapping a streaming handler does not
+// silently disable its flushes (a no-op when the underlying writer
+// cannot flush, matching http.ResponseController semantics).
+func (w *statusWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
 // HTTPMetrics wraps h with per-endpoint request accounting: a
 // `http.<name>.requests` counter, a `http.<name>.seconds` latency
-// histogram (DurationBuckets layout), per-status-class counters
-// (`http.<name>.status.2xx` …) and an `http.inflight` gauge shared by
-// every wrapped endpoint. A nil registry returns h unchanged, so the
-// disabled path costs nothing — the same additivity contract as the
-// rest of the telemetry layer.
+// histogram (DurationBuckets layout), a `http.<name>.rolling_seconds`
+// sliding-window histogram feeding the p50/p99 figures in /v1/stats,
+// per-status-class counters (`http.<name>.status.2xx` …) and an
+// `http.inflight` gauge shared by every wrapped endpoint. A nil
+// registry returns h unchanged, so the disabled path costs nothing —
+// the same additivity contract as the rest of the telemetry layer.
 func HTTPMetrics(reg *Registry, name string, h http.Handler) http.Handler {
 	if reg == nil {
 		return h
 	}
 	requests := reg.Counter("http." + name + ".requests")
 	seconds := reg.Histogram("http."+name+".seconds", DurationBuckets())
+	rolling := reg.Rolling("http."+name+".rolling_seconds", DurationBuckets())
 	inflight := reg.Gauge("http.inflight")
 	classes := [5]*Counter{
 		reg.Counter("http." + name + ".status.1xx"),
@@ -53,7 +64,9 @@ func HTTPMetrics(reg *Registry, name string, h http.Handler) http.Handler {
 		start := time.Now()
 		sw := &statusWriter{ResponseWriter: w}
 		h.ServeHTTP(sw, req)
-		seconds.Observe(time.Since(start).Seconds())
+		elapsed := time.Since(start).Seconds()
+		seconds.Observe(elapsed)
+		rolling.Observe(elapsed)
 		inflight.Add(-1)
 		status := sw.status
 		if status == 0 {

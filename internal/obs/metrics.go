@@ -136,6 +136,7 @@ type Registry struct {
 	counters map[string]*Counter
 	gauges   map[string]*Gauge
 	hists    map[string]*Histogram
+	rollings map[string]*RollingHistogram
 }
 
 // NewRegistry returns an empty registry.
@@ -144,6 +145,7 @@ func NewRegistry() *Registry {
 		counters: make(map[string]*Counter),
 		gauges:   make(map[string]*Gauge),
 		hists:    make(map[string]*Histogram),
+		rollings: make(map[string]*RollingHistogram),
 	}
 }
 
@@ -196,6 +198,23 @@ func (r *Registry) Histogram(name string, bounds []float64) *Histogram {
 	return h
 }
 
+// Rolling interns a sliding-window histogram by name, with the same
+// layout-fixed-at-first-intern contract as Histogram. Nil on a nil
+// registry.
+func (r *Registry) Rolling(name string, bounds []float64) *RollingHistogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.rollings[name]
+	if !ok {
+		h = NewRollingHistogram(bounds)
+		r.rollings[name] = h
+	}
+	return h
+}
+
 // HistogramSnapshot is the frozen state of one histogram.
 type HistogramSnapshot struct {
 	Bounds []float64 `json:"bounds"`
@@ -210,6 +229,10 @@ type Snapshot struct {
 	Counters   map[string]int64             `json:"counters"`
 	Gauges     map[string]int64             `json:"gauges"`
 	Histograms map[string]HistogramSnapshot `json:"histograms"`
+	Rollings   map[string]RollingSnapshot   `json:"rollings,omitempty"`
+	// Runtime is attached by MetricsHandler when a Runtime collector is
+	// configured — sampled at scrape time, absent in offline snapshots.
+	Runtime *RuntimeStats `json:"runtime,omitempty"`
 }
 
 // Snapshot freezes the registry. Safe on nil (empty snapshot).
@@ -241,6 +264,12 @@ func (r *Registry) Snapshot() Snapshot {
 			hs.Counts[i] = h.counts[i].Load()
 		}
 		s.Histograms[name] = hs
+	}
+	if len(r.rollings) > 0 {
+		s.Rollings = make(map[string]RollingSnapshot, len(r.rollings))
+		for name, h := range r.rollings {
+			s.Rollings[name] = h.snapshot()
+		}
 	}
 	return s
 }
@@ -282,6 +311,16 @@ func (s Snapshot) Text() string {
 		}
 		b.WriteByte('\n')
 	}
+	rnames := make([]string, 0, len(s.Rollings))
+	for name := range s.Rollings {
+		rnames = append(rnames, name)
+	}
+	sort.Strings(rnames)
+	for _, name := range rnames {
+		r := s.Rollings[name]
+		fmt.Fprintf(&b, "rolling   %-40s window=%gs count=%d p50=%g p90=%g p99=%g\n",
+			name, r.WindowSeconds, r.Count, r.P50, r.P90, r.P99)
+	}
 	return b.String()
 }
 
@@ -294,17 +333,9 @@ func sortedKeys(m map[string]int64) []string {
 	return out
 }
 
-// Handler serves the registry snapshot: JSON at any path, plain text
-// when the request asks for ?format=text. Safe on a nil registry.
+// Handler serves the registry snapshot: JSON by default, Prometheus
+// exposition under content negotiation, legacy text at ?format=text —
+// MetricsHandler without a runtime collector. Safe on a nil registry.
 func (r *Registry) Handler() http.Handler {
-	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
-		s := r.Snapshot()
-		if req.URL.Query().Get("format") == "text" {
-			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-			io.WriteString(w, s.Text())
-			return
-		}
-		w.Header().Set("Content-Type", "application/json")
-		s.WriteJSON(w)
-	})
+	return MetricsHandler(r, nil)
 }

@@ -1,0 +1,234 @@
+package obs
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// RollingHistogram layers a sliding time window over the fixed-bucket
+// Histogram layout: observations land in the slot covering the current
+// instant, and reads merge only the slots still inside the window, so
+// quantile estimates describe the last ~minute of traffic instead of
+// the whole process lifetime. The default window is 60s split into 12
+// five-second slots; a slot is recycled in place the first time an
+// observation lands in its new epoch, so steady-state operation never
+// allocates. All methods are nil-safe no-ops, matching Counter/Gauge/
+// Histogram, and a single mutex guards the slots — rolling histograms
+// sit on request paths (milliseconds), not engine inner loops.
+type RollingHistogram struct {
+	mu      sync.Mutex
+	bounds  []float64 // sorted inclusive upper bounds, as in Histogram
+	slotDur time.Duration
+	slots   []rollingSlot
+	now     func() time.Time // test seam; nil means time.Now
+}
+
+// rollingSlot is one time-slice of bucket counts. epoch is the absolute
+// slot index (now / slotDur); a slot is live when its epoch is within
+// len(slots) of the current one.
+type rollingSlot struct {
+	epoch  int64
+	counts []int64 // len(bounds)+1; last is overflow (+Inf)
+	count  int64
+	sum    float64
+}
+
+// rollingSlots is the default window resolution: 60s / 12 slots = 5s
+// granularity, enough that an expiring slot moves a quantile estimate
+// by at most ~8% of the window's observations.
+const rollingSlots = 12
+
+// DefaultRollingWindow is the window NewRollingHistogram uses.
+const DefaultRollingWindow = 60 * time.Second
+
+// NewRollingHistogram builds a rolling histogram over the bound layout
+// with the default 60-second window.
+func NewRollingHistogram(bounds []float64) *RollingHistogram {
+	return NewRollingHistogramWindow(bounds, DefaultRollingWindow, rollingSlots)
+}
+
+// NewRollingHistogramWindow builds a rolling histogram with an explicit
+// window split into nslots slots (minimums: 1s window, 1 slot).
+func NewRollingHistogramWindow(bounds []float64, window time.Duration, nslots int) *RollingHistogram {
+	if window < time.Second {
+		window = time.Second
+	}
+	if nslots < 1 {
+		nslots = 1
+	}
+	b := append([]float64(nil), bounds...)
+	sort.Float64s(b)
+	h := &RollingHistogram{
+		bounds:  b,
+		slotDur: window / time.Duration(nslots),
+		slots:   make([]rollingSlot, nslots),
+	}
+	for i := range h.slots {
+		h.slots[i].epoch = -1
+		h.slots[i].counts = make([]int64, len(b)+1)
+	}
+	return h
+}
+
+func (h *RollingHistogram) epochAt(t time.Time) int64 {
+	return t.UnixNano() / int64(h.slotDur)
+}
+
+func (h *RollingHistogram) timestamp() time.Time {
+	if h.now != nil {
+		return h.now()
+	}
+	return time.Now()
+}
+
+// Observe records one value into the current slot.
+func (h *RollingHistogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	h.mu.Lock()
+	e := h.epochAt(h.timestamp())
+	s := &h.slots[int(e%int64(len(h.slots)))]
+	if s.epoch != e {
+		s.epoch = e
+		for i := range s.counts {
+			s.counts[i] = 0
+		}
+		s.count, s.sum = 0, 0
+	}
+	s.counts[sort.SearchFloat64s(h.bounds, v)]++
+	s.count++
+	s.sum += v
+	h.mu.Unlock()
+}
+
+// mergeLocked folds the live slots into merged (scratch owned by the
+// caller) and returns the total count and sum. h.mu must be held.
+func (h *RollingHistogram) mergeLocked(merged []int64) (int64, float64) {
+	cur := h.epochAt(h.timestamp())
+	oldest := cur - int64(len(h.slots)) + 1
+	var count int64
+	var sum float64
+	for i := range h.slots {
+		s := &h.slots[i]
+		if s.epoch < oldest {
+			continue
+		}
+		for j, n := range s.counts {
+			merged[j] += n
+		}
+		count += s.count
+		sum += s.sum
+	}
+	return count, sum
+}
+
+// Count returns the number of observations inside the window.
+func (h *RollingHistogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	count, _ := h.mergeLocked(make([]int64, len(h.bounds)+1))
+	return count
+}
+
+// Sum returns the sum of observations inside the window.
+func (h *RollingHistogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	_, sum := h.mergeLocked(make([]int64, len(h.bounds)+1))
+	return sum
+}
+
+// Quantile estimates the q-quantile (0 < q < 1) of the windowed
+// observations by linear interpolation inside the bucket holding the
+// target rank — the same estimator Prometheus's histogram_quantile
+// applies server-side. The overflow bucket clamps to the largest bound
+// (an estimator cannot see past its layout). Returns 0 when the window
+// is empty or the receiver is nil.
+func (h *RollingHistogram) Quantile(q float64) float64 {
+	if h == nil {
+		return 0
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	merged := make([]int64, len(h.bounds)+1)
+	total, _ := h.mergeLocked(merged)
+	return quantileFromBuckets(h.bounds, merged, total, q)
+}
+
+// quantileFromBuckets is the shared bucket-interpolation estimator.
+func quantileFromBuckets(bounds []float64, counts []int64, total int64, q float64) float64 {
+	if total == 0 || len(bounds) == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(total)
+	var cum int64
+	for i, n := range counts {
+		if n == 0 {
+			continue
+		}
+		prev := cum
+		cum += n
+		if float64(cum) < rank {
+			continue
+		}
+		if i >= len(bounds) { // overflow bucket: clamp to the last bound
+			return bounds[len(bounds)-1]
+		}
+		lo := 0.0
+		if i > 0 {
+			lo = bounds[i-1]
+		}
+		hi := bounds[i]
+		frac := (rank - float64(prev)) / float64(n)
+		return lo + (hi-lo)*frac
+	}
+	return bounds[len(bounds)-1]
+}
+
+// RollingSnapshot is the frozen window summary of one rolling
+// histogram, as exported in Snapshot and /v1/stats.
+type RollingSnapshot struct {
+	WindowSeconds float64 `json:"window_seconds"`
+	Count         int64   `json:"count"`
+	Sum           float64 `json:"sum"`
+	P50           float64 `json:"p50"`
+	P90           float64 `json:"p90"`
+	P99           float64 `json:"p99"`
+}
+
+// snapshot freezes the window under one lock acquisition.
+func (h *RollingHistogram) snapshot() RollingSnapshot {
+	if h == nil {
+		return RollingSnapshot{}
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	merged := make([]int64, len(h.bounds)+1)
+	total, sum := h.mergeLocked(merged)
+	return RollingSnapshot{
+		WindowSeconds: (time.Duration(len(h.slots)) * h.slotDur).Seconds(),
+		Count:         total,
+		Sum:           sum,
+		P50:           quantileFromBuckets(h.bounds, merged, total, 0.50),
+		P90:           quantileFromBuckets(h.bounds, merged, total, 0.90),
+		P99:           quantileFromBuckets(h.bounds, merged, total, 0.99),
+	}
+}
+
+// Snapshot freezes the window (exported for the stats endpoint and
+// tests; nil-safe).
+func (h *RollingHistogram) Snapshot() RollingSnapshot { return h.snapshot() }

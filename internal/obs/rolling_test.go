@@ -1,0 +1,158 @@
+package obs
+
+import (
+	"math"
+	"sync"
+	"testing"
+	"time"
+)
+
+// fakeClock drives a RollingHistogram deterministically.
+type fakeClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func (c *fakeClock) now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *fakeClock) advance(d time.Duration) {
+	c.mu.Lock()
+	c.t = c.t.Add(d)
+	c.mu.Unlock()
+}
+
+func newTestRolling(bounds []float64) (*RollingHistogram, *fakeClock) {
+	clk := &fakeClock{t: time.Unix(1_000_000, 0)}
+	h := NewRollingHistogramWindow(bounds, time.Minute, 12)
+	h.now = clk.now
+	return h, clk
+}
+
+func TestRollingQuantileInterpolates(t *testing.T) {
+	// Uniform bounds 10,20,…,100: observations spread evenly, so the
+	// interpolated quantiles should sit near the theoretical ones.
+	bounds := make([]float64, 10)
+	for i := range bounds {
+		bounds[i] = float64((i + 1) * 10)
+	}
+	h, _ := newTestRolling(bounds)
+	for v := 1.0; v <= 100; v++ {
+		h.Observe(v)
+	}
+	if n := h.Count(); n != 100 {
+		t.Fatalf("Count = %d, want 100", n)
+	}
+	for _, tc := range []struct{ q, want, tol float64 }{
+		{0.50, 50, 1.5},
+		{0.90, 90, 1.5},
+		{0.99, 99, 1.5},
+	} {
+		if got := h.Quantile(tc.q); math.Abs(got-tc.want) > tc.tol {
+			t.Errorf("Quantile(%g) = %g, want %g ± %g", tc.q, got, tc.want, tc.tol)
+		}
+	}
+}
+
+func TestRollingWindowExpires(t *testing.T) {
+	h, clk := newTestRolling([]float64{1, 10, 100})
+	h.Observe(5)
+	h.Observe(50)
+	if n := h.Count(); n != 2 {
+		t.Fatalf("Count = %d, want 2", n)
+	}
+	// Half a window later the observations are still live…
+	clk.advance(30 * time.Second)
+	h.Observe(5)
+	if n := h.Count(); n != 3 {
+		t.Fatalf("Count after 30s = %d, want 3", n)
+	}
+	// …a full window after the first pair, only the later one remains…
+	clk.advance(31 * time.Second)
+	if n := h.Count(); n != 1 {
+		t.Fatalf("Count after 61s = %d, want 1", n)
+	}
+	// …and past the last observation the window is empty.
+	clk.advance(time.Minute)
+	if n := h.Count(); n != 0 {
+		t.Fatalf("Count after expiry = %d, want 0", n)
+	}
+	if q := h.Quantile(0.5); q != 0 {
+		t.Fatalf("Quantile over empty window = %g, want 0", q)
+	}
+}
+
+func TestRollingSlotRecycling(t *testing.T) {
+	// Writing every 5s for three windows must keep the count bounded by
+	// one window's worth — slots recycle instead of accumulating.
+	h, clk := newTestRolling([]float64{1})
+	for i := 0; i < 36; i++ {
+		if i > 0 {
+			clk.advance(5 * time.Second)
+		}
+		h.Observe(0.5)
+	}
+	if n := h.Count(); n != 12 {
+		t.Fatalf("steady-state Count = %d, want 12 (one per live slot)", n)
+	}
+	s := h.Snapshot()
+	if s.WindowSeconds != 60 || s.Count != 12 || s.Sum != 6 {
+		t.Fatalf("snapshot = %+v", s)
+	}
+}
+
+func TestRollingOverflowClampsToLastBound(t *testing.T) {
+	h, _ := newTestRolling([]float64{1, 2, 4})
+	for i := 0; i < 10; i++ {
+		h.Observe(1000) // all overflow
+	}
+	if q := h.Quantile(0.99); q != 4 {
+		t.Fatalf("overflow quantile = %g, want clamp to 4", q)
+	}
+}
+
+func TestRollingNilSafe(t *testing.T) {
+	var h *RollingHistogram
+	h.Observe(1)
+	if h.Count() != 0 || h.Sum() != 0 || h.Quantile(0.5) != 0 {
+		t.Fatal("nil rolling histogram must read as zero")
+	}
+	if s := h.Snapshot(); s != (RollingSnapshot{}) {
+		t.Fatalf("nil snapshot = %+v", s)
+	}
+	var reg *Registry
+	if reg.Rolling("x", nil) != nil {
+		t.Fatal("nil registry must hand out a nil rolling histogram")
+	}
+}
+
+func TestRollingNilObserveAllocates(t *testing.T) {
+	var h *RollingHistogram
+	if n := testing.AllocsPerRun(100, func() {
+		h.Observe(1)
+		_ = h.Quantile(0.5)
+	}); n != 0 {
+		t.Fatalf("nil rolling path allocated %.1f/op, want 0", n)
+	}
+}
+
+func TestRollingConcurrentObserve(t *testing.T) {
+	h := NewRollingHistogram(DurationBuckets())
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				h.Observe(0.001)
+			}
+		}()
+	}
+	wg.Wait()
+	if n := h.Count(); n != 8000 {
+		t.Fatalf("Count = %d, want 8000", n)
+	}
+}

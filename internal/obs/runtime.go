@@ -1,0 +1,53 @@
+package obs
+
+import (
+	"runtime"
+	"time"
+)
+
+// Runtime samples process-level health — goroutines, heap, GC pauses,
+// uptime — on demand rather than continuously: the metrics handler
+// calls Sample once per scrape, so an idle daemon pays nothing. A nil
+// *Runtime samples to the zero RuntimeStats, keeping the additivity
+// contract of the rest of the package.
+type Runtime struct {
+	start time.Time
+}
+
+// NewRuntime starts the uptime clock.
+func NewRuntime() *Runtime { return &Runtime{start: time.Now()} }
+
+// RuntimeStats is one point-in-time sample of the Go runtime.
+type RuntimeStats struct {
+	Goroutines          int     `json:"goroutines"`
+	HeapAllocBytes      uint64  `json:"heap_alloc_bytes"`
+	HeapSysBytes        uint64  `json:"heap_sys_bytes"`
+	HeapObjects         uint64  `json:"heap_objects"`
+	GCCycles            uint32  `json:"gc_cycles"`
+	GCPauseTotalSeconds float64 `json:"gc_pause_total_seconds"`
+	GCLastPauseSeconds  float64 `json:"gc_last_pause_seconds"`
+	UptimeSeconds       float64 `json:"uptime_seconds"`
+}
+
+// Sample reads the runtime. ReadMemStats briefly stops the world, which
+// is fine at scrape cadence (seconds) and would not be in a hot loop.
+func (r *Runtime) Sample() RuntimeStats {
+	if r == nil {
+		return RuntimeStats{}
+	}
+	var m runtime.MemStats
+	runtime.ReadMemStats(&m)
+	s := RuntimeStats{
+		Goroutines:          runtime.NumGoroutine(),
+		HeapAllocBytes:      m.HeapAlloc,
+		HeapSysBytes:        m.HeapSys,
+		HeapObjects:         m.HeapObjects,
+		GCCycles:            m.NumGC,
+		GCPauseTotalSeconds: float64(m.PauseTotalNs) / 1e9,
+		UptimeSeconds:       time.Since(r.start).Seconds(),
+	}
+	if m.NumGC > 0 {
+		s.GCLastPauseSeconds = float64(m.PauseNs[(m.NumGC+255)%256]) / 1e9
+	}
+	return s
+}

@@ -148,6 +148,30 @@ func (t *Tracer) timestamp() time.Time {
 	return time.Now()
 }
 
+// Fanout returns a tracer that emits every record to the receiver's
+// sink and to extra — the request-tracing hook: a per-request ring can
+// observe engine spans without detaching any process-wide sink. A nil
+// extra returns the receiver unchanged; a disabled receiver returns a
+// tracer over extra alone.
+func (t *Tracer) Fanout(extra Sink) *Tracer {
+	if extra == nil {
+		return t
+	}
+	if !t.Enabled() {
+		return NewTracer(extra)
+	}
+	return NewTracer(teeSink{t.sink, extra})
+}
+
+// teeSink duplicates records to two sinks.
+type teeSink struct{ a, b Sink }
+
+// Emit implements Sink.
+func (s teeSink) Emit(e Event) {
+	s.a.Emit(e)
+	s.b.Emit(e)
+}
+
 // Event emits an instantaneous record with no span.
 func (t *Tracer) Event(name string, attrs ...Attr) {
 	if !t.Enabled() {

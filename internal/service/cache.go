@@ -1,14 +1,18 @@
 package service
 
-import "container/list"
+import (
+	"container/list"
+	"time"
+)
 
 // cached is one immutable analysis result as stored in the cache: the
 // rendered bodies, ready to replay byte-for-byte. Entries are never
 // mutated after insertion, so concurrent readers share them without
 // copying.
 type cached struct {
-	json []byte // the JSON body
-	text []byte // the trustseq-identical text body
+	json []byte    // the JSON body
+	text []byte    // the trustseq-identical text body
+	at   time.Time // render time, feeding the cache-age stats
 }
 
 // lru is a bounded LRU keyed by a [2]uint64 digest. The Service keeps
@@ -70,3 +74,10 @@ func (c *lru[V]) put(key [2]uint64, val V) int {
 
 // len reports the number of cached values.
 func (c *lru[V]) len() int { return c.order.Len() }
+
+// each visits every cached value in recency order (most recent first).
+func (c *lru[V]) each(f func(V)) {
+	for el := c.order.Front(); el != nil; el = el.Next() {
+		f(el.Value.(*lruEntry[V]).val)
+	}
+}

@@ -51,4 +51,22 @@
 // service.flight.collapsed, service.timeouts) and per-endpoint HTTP
 // histograms are additive and nil-disabled, and response bodies are
 // identical with telemetry on or off.
+//
+// # Request-scoped observability
+//
+// Every request carries an identity: X-Trustd-Request-Id is accepted
+// from the client when well-formed, generated otherwise, and always
+// echoed back. The handler pipeline records its stages (parse, compile,
+// cache, engine/patch, crosscheck, simulate, render) against the
+// request, surfaces them in a Server-Timing response header, and hands
+// the engine run a tracer fanning out into a bounded request-local ring
+// — so core/sequencing/search/petri spans land in the same record with
+// no process-wide sink. The slow-request log (slowlog.go) keeps a
+// bounded recent-request table for every request and the full span tree
+// for any request crossing the SlowLogMillis threshold; GET /v1/requests
+// serves the table, GET /v1/trace/{id} the retained tree, and GET
+// /v1/stats folds in rolling-window latency percentiles per endpoint,
+// cache age/traffic detail, and the log's occupancy. All of it obeys
+// the additivity contract above: a nil reqTrace (the plain Analyze API,
+// benchmarks) costs a handful of nil checks and allocates nothing.
 package service

@@ -25,26 +25,60 @@ const maxSweepN = 5000
 
 // Handler returns the service mux:
 //
-//	POST /v1/analyze   analyse one problem (.exch body, or JSON spec)
-//	POST /v1/sweep     run a bounded generated-corpus sweep
-//	GET  /v1/stats     cache occupancy and limits
-//	GET  /metrics      the obs registry snapshot (JSON, ?format=text)
-//	GET  /healthz      liveness
+//	POST /v1/analyze     analyse one problem (.exch body, or JSON spec)
+//	POST /v1/sweep       run a bounded generated-corpus sweep
+//	GET  /v1/stats       cache occupancy, rolling latency, slowlog state
+//	GET  /v1/requests    the recent-request table with stage breakdown
+//	GET  /v1/trace/{id}  the retained span tree of one slow request
+//	GET  /metrics        registry snapshot (JSON; Prometheus exposition
+//	                     under content negotiation; ?format=text)
+//	GET  /healthz        liveness
 //
-// Every endpoint is wrapped in the obs HTTP middleware, so latency
-// histograms and status counters appear per endpoint in /metrics.
+// Every endpoint is wrapped in the obs HTTP middleware (latency
+// histograms, status counters) and the request-identity middleware
+// (X-Trustd-Request-Id assignment and echo); the /v1 endpoints are
+// additionally recorded in the request log behind /v1/requests.
 func (s *Service) Handler() http.Handler {
 	reg := s.opts.Telemetry.Reg()
 	mux := http.NewServeMux()
-	mux.Handle("/v1/analyze", obs.HTTPMetrics(reg, "analyze", http.HandlerFunc(s.handleAnalyze)))
-	mux.Handle("/v1/sweep", obs.HTTPMetrics(reg, "sweep", http.HandlerFunc(s.handleSweep)))
-	mux.Handle("/v1/stats", obs.HTTPMetrics(reg, "stats", http.HandlerFunc(s.handleStats)))
-	mux.Handle("/metrics", obs.HTTPMetrics(reg, "metrics", reg.Handler()))
-	mux.Handle("/healthz", obs.HTTPMetrics(reg, "healthz", http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+	handle := func(pattern, name string, h http.Handler, logged bool) {
+		mux.Handle(pattern, obs.HTTPMetrics(reg, name, s.traced(name, h, logged)))
+	}
+	handle("/v1/analyze", "analyze", http.HandlerFunc(s.handleAnalyze), true)
+	handle("/v1/sweep", "sweep", http.HandlerFunc(s.handleSweep), true)
+	handle("/v1/stats", "stats", http.HandlerFunc(s.handleStats), true)
+	handle("/v1/requests", "requests", http.HandlerFunc(s.handleRequests), true)
+	handle("/v1/trace/", "trace", http.HandlerFunc(s.handleTrace), true)
+	// Scrapes and probes get identity but stay out of the request log,
+	// so a 15s Prometheus interval cannot wash real traffic out of the
+	// recent-request table.
+	handle("/metrics", "metrics", obs.MetricsHandler(reg, s.runtime), false)
+	handle("/healthz", "healthz", http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
 		io.WriteString(w, "{\"status\":\"ok\"}\n")
-	})))
+	}), false)
 	return mux
+}
+
+// traced is the request-identity middleware: it accepts or assigns the
+// request ID, echoes it, installs a reqTrace in the context for the
+// handler's stage recording, and — when logged — files the finished
+// record with the slow-request log.
+func (s *Service) traced(endpoint string, h http.Handler, logged bool) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		rt := newReqTrace(clientRequestID(r), endpoint, r.Method, s.opts.TraceEvents)
+		w.Header().Set(requestIDHeader, rt.id)
+		tw := &traceWriter{ResponseWriter: w}
+		h.ServeHTTP(tw, r.WithContext(context.WithValue(r.Context(), reqTraceKey{}, rt)))
+		status := tw.status
+		if status == 0 {
+			status = http.StatusOK
+		}
+		rt.finish(status)
+		if logged && s.reqlog.record(rt) {
+			s.slowRequests.Inc()
+		}
+	})
 }
 
 // analyzeRequest is the JSON request schema of POST /v1/analyze. The
@@ -61,7 +95,10 @@ func (s *Service) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusMethodNotAllowed, "POST only")
 		return
 	}
+	rt := traceFrom(r.Context())
+	parse := rt.beginStage("parse")
 	p, opts, wantText, err := parseAnalyzeRequest(r)
+	rt.endStage(parse)
 	if err != nil {
 		httpError(w, http.StatusBadRequest, err.Error())
 		return
@@ -80,7 +117,7 @@ func (s *Service) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 	}
 	ctx, cancel := context.WithTimeout(r.Context(), s.opts.RequestTimeout)
 	defer cancel()
-	res, disposition, incremental, err := s.AnalyzeIncremental(ctx, p, opts, base)
+	res, disposition, incremental, err := s.analyzeTraced(ctx, p, opts, base, rt)
 	if err != nil {
 		switch {
 		case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
@@ -89,6 +126,10 @@ func (s *Service) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 			writeStatusError(w, err)
 		}
 		return
+	}
+	rt.setDisposition(string(disposition), string(incremental))
+	if st := rt.serverTiming(); st != "" {
+		w.Header().Set("Server-Timing", st)
 	}
 	w.Header().Set("X-Trustd-Cache", string(disposition))
 	// The problem digest is this response's base handle: replay it in
@@ -239,13 +280,46 @@ func (s *Service) handleSweep(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
-// statsResponse is the GET /v1/stats schema.
+// statsResponse is the GET /v1/stats schema. The flat cache fields
+// predate the structured Cache block and stay for compatibility.
 type statsResponse struct {
 	CacheEntries  int `json:"cache_entries"`
 	CacheCapacity int `json:"cache_capacity"`
 	BaseEntries   int `json:"base_entries"`
 	BaseCapacity  int `json:"base_capacity"`
 	MaxConcurrent int `json:"max_concurrent"`
+
+	Cache     cacheStats               `json:"cache"`
+	Endpoints map[string]endpointStats `json:"endpoints,omitempty"`
+	SlowLog   slowlogStats             `json:"slowlog"`
+}
+
+// cacheStats details the result cache: lifetime traffic counters plus
+// the age extremes of what is resident right now.
+type cacheStats struct {
+	Hits             int64   `json:"hits"`
+	Misses           int64   `json:"misses"`
+	Evictions        int64   `json:"evictions"`
+	OldestAgeSeconds float64 `json:"oldest_age_seconds"`
+	NewestAgeSeconds float64 `json:"newest_age_seconds"`
+}
+
+// endpointStats is the rolling-window latency of one endpoint.
+type endpointStats struct {
+	WindowSeconds float64 `json:"window_seconds"`
+	Count         int64   `json:"count"`
+	P50MS         float64 `json:"p50_ms"`
+	P90MS         float64 `json:"p90_ms"`
+	P99MS         float64 `json:"p99_ms"`
+}
+
+// slowlogStats reports the request log's configuration and traffic.
+type slowlogStats struct {
+	ThresholdMS int64 `json:"threshold_ms"`
+	RetainAll   bool  `json:"retain_all"`
+	Capacity    int   `json:"capacity"`
+	Requests    int64 `json:"requests"`
+	Slow        int64 `json:"slow"`
 }
 
 func (s *Service) handleStats(w http.ResponseWriter, r *http.Request) {
@@ -253,13 +327,119 @@ func (s *Service) handleStats(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusMethodNotAllowed, "GET only")
 		return
 	}
-	writeJSON(w, http.StatusOK, statsResponse{
+	resp := statsResponse{
 		CacheEntries:  s.CacheLen(),
 		CacheCapacity: s.opts.CacheEntries,
 		BaseEntries:   s.BaseLen(),
 		BaseCapacity:  s.opts.BaseEntries,
 		MaxConcurrent: s.opts.MaxConcurrent,
+		Cache: cacheStats{
+			Hits:      s.cacheHits.Value(),
+			Misses:    s.cacheMisses.Value(),
+			Evictions: s.cacheEvictions.Value(),
+		},
+	}
+	now := time.Now()
+	s.mu.Lock()
+	s.cache.each(func(c *cached) {
+		age := now.Sub(c.at).Seconds()
+		if age > resp.Cache.OldestAgeSeconds {
+			resp.Cache.OldestAgeSeconds = age
+		}
+		if resp.Cache.NewestAgeSeconds == 0 || age < resp.Cache.NewestAgeSeconds {
+			resp.Cache.NewestAgeSeconds = age
+		}
 	})
+	s.mu.Unlock()
+	// Per-endpoint rolling percentiles, read from the same interned
+	// histograms the HTTP middleware feeds; endpoints quiet for a full
+	// window are omitted.
+	if reg := s.opts.Telemetry.Reg(); reg != nil {
+		for _, name := range []string{"analyze", "sweep", "stats", "requests", "trace", "metrics", "healthz"} {
+			snap := reg.Rolling("http."+name+".rolling_seconds", obs.DurationBuckets()).Snapshot()
+			if snap.Count == 0 {
+				continue
+			}
+			if resp.Endpoints == nil {
+				resp.Endpoints = make(map[string]endpointStats)
+			}
+			resp.Endpoints[name] = endpointStats{
+				WindowSeconds: snap.WindowSeconds,
+				Count:         snap.Count,
+				P50MS:         snap.P50 * 1000,
+				P90MS:         snap.P90 * 1000,
+				P99MS:         snap.P99 * 1000,
+			}
+		}
+	}
+	resp.SlowLog.ThresholdMS, resp.SlowLog.RetainAll, resp.SlowLog.Capacity,
+		resp.SlowLog.Requests, resp.SlowLog.Slow = s.reqlog.stats()
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// requestsResponse is the GET /v1/requests schema: the recent-request
+// table, newest first, stage breakdowns included, span trees omitted
+// (fetch /v1/trace/{id} for those).
+type requestsResponse struct {
+	ThresholdMS int64           `json:"threshold_ms"`
+	RetainAll   bool            `json:"retain_all"`
+	Capacity    int             `json:"capacity"`
+	Total       int64           `json:"total"`
+	SlowTotal   int64           `json:"slow_total"`
+	Requests    []*RequestTrace `json:"requests"`
+}
+
+func (s *Service) handleRequests(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		httpError(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	resp := requestsResponse{Requests: s.reqlog.recentList()}
+	resp.ThresholdMS, resp.RetainAll, resp.Capacity, resp.Total, resp.SlowTotal = s.reqlog.stats()
+	if resp.Requests == nil {
+		resp.Requests = []*RequestTrace{}
+	}
+	if r.URL.Query().Get("format") == "text" {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintf(w, "%-20s %-9s %6s %8s %-9s %5s  %s\n",
+			"ID", "ENDPOINT", "STATUS", "DUR(ms)", "CACHE", "SLOW", "STAGES")
+		for _, t := range resp.Requests {
+			var stages strings.Builder
+			for i, st := range t.Stages {
+				if i > 0 {
+					stages.WriteString(" ")
+				}
+				fmt.Fprintf(&stages, "%s=%.2fms", st.Name, float64(st.DurUS)/1000)
+			}
+			slow := ""
+			if t.Slow {
+				slow = "slow"
+			}
+			fmt.Fprintf(w, "%-20s %-9s %6d %8.2f %-9s %5s  %s\n",
+				t.ID, t.Endpoint, t.Status, t.DurMS, t.Cache, slow, stages.String())
+		}
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Service) handleTrace(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		httpError(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	id := strings.TrimPrefix(r.URL.Path, "/v1/trace/")
+	if id == "" || strings.Contains(id, "/") {
+		httpError(w, http.StatusBadRequest, "usage: GET /v1/trace/{request-id}")
+		return
+	}
+	t, ok := s.reqlog.get(id)
+	if !ok {
+		httpError(w, http.StatusNotFound,
+			fmt.Sprintf("no retained trace for request %q — only requests crossing the slowlog threshold keep their span tree; see /v1/requests for the recent table", id))
+		return
+	}
+	writeJSON(w, http.StatusOK, t)
 }
 
 func writeJSON(w http.ResponseWriter, code int, v interface{}) {

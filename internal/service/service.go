@@ -55,6 +55,21 @@ type Options struct {
 	// evictions, collapsed duplicates, timeouts), the per-endpoint HTTP
 	// histograms, and is threaded into every engine run. Nil disables.
 	Telemetry *obs.Telemetry
+	// SlowLogMillis is the slow-request threshold: any request whose
+	// total duration reaches it has its full span tree retained for
+	// /v1/trace/{id}. Positive is a threshold in milliseconds, 0 means
+	// the default 250, and a negative value retains every request (the
+	// CI smoke job runs that way). Request IDs, Server-Timing and the
+	// recent-request table are always on — they are per-request state
+	// with no cross-request cost.
+	SlowLogMillis int
+	// SlowLogEntries bounds both the recent-request table and the
+	// slow-trace ring (each holds this many records). Default 128.
+	SlowLogEntries int
+	// TraceEvents bounds the per-request span ring: engine records past
+	// the bound evict the oldest and the trace reports how many were
+	// dropped. Default 256.
+	TraceEvents int
 }
 
 func (o Options) withDefaults() Options {
@@ -81,6 +96,15 @@ func (o Options) withDefaults() Options {
 	}
 	if o.SearchWorkers < 1 {
 		o.SearchWorkers = 1
+	}
+	if o.SlowLogMillis == 0 {
+		o.SlowLogMillis = 250
+	}
+	if o.SlowLogEntries < 1 {
+		o.SlowLogEntries = 128
+	}
+	if o.TraceEvents < 1 {
+		o.TraceEvents = 256
 	}
 	return o
 }
@@ -162,11 +186,17 @@ type Service struct {
 	bases  *lru[*core.Plan]
 	flight map[[2]uint64]*call
 
+	// reqlog is the request flight recorder (slowlog.go); runtime feeds
+	// the /metrics scrape with process health.
+	reqlog  *requestLog
+	runtime *obs.Runtime
+
 	// Pre-interned counters: the analyze path must not take the
 	// registry lock per request.
 	cacheHits, cacheMisses, cacheEvictions *obs.Counter
 	collapsed, timeouts                    *obs.Counter
 	incPatched, incFull, incBaseMiss       *obs.Counter
+	slowRequests                           *obs.Counter
 
 	// testComputeHook, when set, runs at the top of every engine run.
 	// Tests use it to hold runs open and provoke collapses/timeouts.
@@ -195,6 +225,8 @@ func New(opts Options) *Service {
 		cache:          newLRU[*cached](opts.CacheEntries),
 		bases:          newLRU[*core.Plan](opts.BaseEntries),
 		flight:         make(map[[2]uint64]*call),
+		reqlog:         newRequestLog(opts.SlowLogMillis, opts.SlowLogEntries),
+		runtime:        obs.NewRuntime(),
 		cacheHits:      reg.Counter("service.cache.hits"),
 		cacheMisses:    reg.Counter("service.cache.misses"),
 		cacheEvictions: reg.Counter("service.cache.evictions"),
@@ -203,6 +235,7 @@ func New(opts Options) *Service {
 		incPatched:     reg.Counter("service.incremental.patched"),
 		incFull:        reg.Counter("service.incremental.full"),
 		incBaseMiss:    reg.Counter("service.incremental.base_miss"),
+		slowRequests:   reg.Counter("service.requests.slow"),
 	}
 }
 
@@ -248,20 +281,34 @@ func (s *Service) Analyze(ctx context.Context, p *model.Problem, opts AnalyzeOpt
 // edit (disposition full). Every successful run, incremental or not,
 // deposits its plan in the base cache for the next edit.
 func (s *Service) AnalyzeIncremental(ctx context.Context, p *model.Problem, opts AnalyzeOptions, base *[2]uint64) (*cached, cacheDisposition, IncrementalDisposition, error) {
+	return s.analyzeTraced(ctx, p, opts, base, nil)
+}
+
+// analyzeTraced is the traced spine of Analyze/AnalyzeIncremental: when
+// rt is non-nil it records the compile and cache stages against the
+// request and (for the miss leader) threads a fan-out tracer through
+// the engine run. A nil rt costs a handful of nil checks — the plain
+// API paths and the disabled-telemetry benchmarks stay byte-for-byte.
+func (s *Service) analyzeTraced(ctx context.Context, p *model.Problem, opts AnalyzeOptions, base *[2]uint64, rt *reqTrace) (*cached, cacheDisposition, IncrementalDisposition, error) {
+	cs := rt.beginStage("compile")
 	p.Compile() // compile once; every engine below reuses the dense tables
 	h := newFP()
 	problemFingerprint(&h, p)
 	digest := h.sum()
 	key := optionsKey(h, opts)
+	rt.endStage(cs)
 
+	ls := rt.beginStage("cache")
 	s.mu.Lock()
 	if c, ok := s.cache.get(key); ok {
 		s.mu.Unlock()
+		rt.endStage(ls)
 		s.cacheHits.Inc()
 		return c, dispositionHit, "", nil
 	}
 	if fl, ok := s.flight[key]; ok {
 		s.mu.Unlock()
+		rt.endStage(ls)
 		s.collapsed.Inc()
 		return s.await(ctx, fl, dispositionCoalesced)
 	}
@@ -277,6 +324,7 @@ func (s *Service) AnalyzeIncremental(ctx context.Context, p *model.Problem, opts
 	fl := &call{done: make(chan struct{}), inc: inc}
 	s.flight[key] = fl
 	s.mu.Unlock()
+	rt.endStage(ls)
 	s.cacheMisses.Inc()
 	if inc == IncrementalBaseMiss {
 		s.incBaseMiss.Inc()
@@ -285,9 +333,12 @@ func (s *Service) AnalyzeIncremental(ctx context.Context, p *model.Problem, opts
 	// The leader's run is decoupled from the leader's context: once
 	// started it always finishes and publishes — a request that gives
 	// up waiting must not waste the work for the next identical one.
+	// The leader's request trace rides along: its engine and render
+	// stages are recorded even if the leader stops waiting, so the
+	// slow-request log still explains where the time went.
 	go func() {
 		s.sem <- struct{}{}
-		val, plan, patched, err := s.compute(p, opts, basePlan)
+		val, plan, patched, err := s.compute(p, opts, basePlan, rt)
 		<-s.sem
 		if basePlan != nil {
 			if patched {
@@ -331,12 +382,20 @@ func (s *Service) await(ctx context.Context, fl *call, d cacheDisposition) (*cac
 // against basePlan when one is resident — and renders both response
 // bodies. It is the only place engines run. The returned plan is the
 // request's deposit into the base cache; patched reports whether the
-// incremental path actually exploited the base.
-func (s *Service) compute(p *model.Problem, opts AnalyzeOptions, basePlan *core.Plan) (*cached, *core.Plan, bool, error) {
+// incremental path actually exploited the base. A non-nil rt (the miss
+// leader's request trace) receives the engine and render stages plus a
+// fan-out tracer, so core/sequencing/search/petri spans land in the
+// request's ring.
+func (s *Service) compute(p *model.Problem, opts AnalyzeOptions, basePlan *core.Plan, rt *reqTrace) (*cached, *core.Plan, bool, error) {
 	if s.testComputeHook != nil {
 		s.testComputeHook()
 	}
-	tel := s.opts.Telemetry
+	tel := rt.engineTelemetry(s.opts.Telemetry)
+	engineStage := "engine"
+	if basePlan != nil {
+		engineStage = "patch"
+	}
+	es := rt.beginStage(engineStage)
 	var plan *core.Plan
 	var err error
 	patched := false
@@ -347,6 +406,7 @@ func (s *Service) compute(p *model.Problem, opts AnalyzeOptions, basePlan *core.
 	} else {
 		plan, err = core.SynthesizeObs(p, tel)
 	}
+	rt.endStage(es)
 	if err != nil {
 		return nil, nil, patched, &StatusError{Code: http.StatusUnprocessableEntity, Msg: err.Error()}
 	}
@@ -399,18 +459,22 @@ func (s *Service) compute(p *model.Problem, opts AnalyzeOptions, basePlan *core.
 		}
 	}
 	if opts.CrossCheck {
+		xs := rt.beginStage("crosscheck")
 		cc, err := s.crossCheck(p, plan.Feasible, tel)
+		rt.endStage(xs)
 		if err != nil {
 			return nil, nil, patched, &StatusError{Code: http.StatusUnprocessableEntity, Msg: err.Error()}
 		}
 		res.CrossCheck = cc
 	}
 	if opts.Simulate && plan.Feasible {
+		ss := rt.beginStage("simulate")
 		out, err := sim.Run(plan, sim.Options{
 			Seed:     opts.SimSeed,
 			Deadline: sim.Time(opts.SimDeadline),
 			Obs:      tel,
 		})
+		rt.endStage(ss)
 		if err != nil {
 			return nil, nil, patched, &StatusError{Code: http.StatusInternalServerError, Msg: err.Error()}
 		}
@@ -422,8 +486,10 @@ func (s *Service) compute(p *model.Problem, opts AnalyzeOptions, basePlan *core.
 		}
 	}
 
+	rs := rt.beginStage("render")
 	body, err := json.MarshalIndent(res, "", "  ")
 	if err != nil {
+		rt.endStage(rs)
 		return nil, nil, patched, &StatusError{Code: http.StatusInternalServerError, Msg: err.Error()}
 	}
 	body = append(body, '\n')
@@ -432,10 +498,11 @@ func (s *Service) compute(p *model.Problem, opts AnalyzeOptions, basePlan *core.
 		Indemnify: opts.Indemnify,
 		Verify:    opts.Verify,
 	})
+	rt.endStage(rs)
 	if err != nil {
 		return nil, nil, patched, &StatusError{Code: http.StatusInternalServerError, Msg: err.Error()}
 	}
-	return &cached{json: body, text: []byte(text)}, plan, patched, nil
+	return &cached{json: body, text: []byte(text), at: time.Now()}, plan, patched, nil
 }
 
 // crossCheck mirrors the sweep's per-problem validation stage: the two

@@ -1,0 +1,136 @@
+package service
+
+import (
+	"sync"
+	"time"
+)
+
+// The slow-request log is the service's flight recorder: every request
+// leaves a metadata row in a bounded recent-request ring, and any
+// request whose total duration crosses the slowlog threshold
+// additionally has its full span tree retained in a second ring of the
+// same capacity, indexed by request ID for /v1/trace/{id}. Two rings —
+// not one — so a flood of fast requests can never evict the slow
+// outliers the log exists to explain.
+
+// traceRing is a fixed-capacity FIFO of retained records.
+type traceRing struct {
+	buf  []*RequestTrace
+	next int
+	full bool
+}
+
+func newTraceRing(capacity int) *traceRing {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &traceRing{buf: make([]*RequestTrace, capacity)}
+}
+
+// push retains t, returning the record it evicted (nil while filling).
+func (r *traceRing) push(t *RequestTrace) *RequestTrace {
+	old := r.buf[r.next]
+	r.buf[r.next] = t
+	r.next++
+	if r.next == len(r.buf) {
+		r.next, r.full = 0, true
+	}
+	return old
+}
+
+// list returns the retained records, newest first.
+func (r *traceRing) list() []*RequestTrace {
+	n := r.next
+	if r.full {
+		n = len(r.buf)
+	}
+	out := make([]*RequestTrace, 0, n)
+	for i := r.next - 1; i >= 0; i-- {
+		out = append(out, r.buf[i])
+	}
+	if r.full {
+		for i := len(r.buf) - 1; i >= r.next; i-- {
+			out = append(out, r.buf[i])
+		}
+	}
+	return out
+}
+
+// requestLog owns both rings and the slow-trace index.
+type requestLog struct {
+	mu        sync.Mutex
+	threshold time.Duration // slow when dur >= threshold
+	retainAll bool          // SlowLogMillis < 0: every request is "slow"
+	recent    *traceRing    // every request, metadata + stages
+	slow      *traceRing    // threshold crossers, full span tree
+	byID      map[string]*RequestTrace
+	total     int64
+	slowTotal int64
+}
+
+func newRequestLog(thresholdMillis, entries int) *requestLog {
+	return &requestLog{
+		threshold: time.Duration(thresholdMillis) * time.Millisecond,
+		retainAll: thresholdMillis < 0,
+		recent:    newTraceRing(entries),
+		slow:      newTraceRing(entries),
+		byID:      make(map[string]*RequestTrace, entries),
+	}
+}
+
+// record files a finished request. Slow requests snapshot twice: the
+// table row shares nothing with the indexed full-trace record, so a
+// row evicted from one ring never truncates the other.
+func (l *requestLog) record(rt *reqTrace) (slow bool) {
+	if l == nil || rt == nil {
+		return false
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	rt.mu.Lock()
+	dur := rt.dur
+	rt.mu.Unlock()
+	slow = l.retainAll || dur >= l.threshold
+	l.total++
+	l.recent.push(rt.snapshot(slow, false))
+	if slow {
+		l.slowTotal++
+		full := rt.snapshot(true, true)
+		if old := l.slow.push(full); old != nil && l.byID[old.ID] == old {
+			delete(l.byID, old.ID)
+		}
+		l.byID[full.ID] = full
+	}
+	return slow
+}
+
+// get returns the retained full trace for a request ID.
+func (l *requestLog) get(id string) (*RequestTrace, bool) {
+	if l == nil {
+		return nil, false
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	t, ok := l.byID[id]
+	return t, ok
+}
+
+// recentList returns the recent-request table, newest first.
+func (l *requestLog) recentList() []*RequestTrace {
+	if l == nil {
+		return nil
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.recent.list()
+}
+
+// stats reports the log's configuration and occupancy.
+func (l *requestLog) stats() (thresholdMS int64, retainAll bool, capacity int, total, slowTotal int64) {
+	if l == nil {
+		return 0, false, 0, 0, 0
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.threshold.Milliseconds(), l.retainAll, len(l.recent.buf), l.total, l.slowTotal
+}

@@ -19,6 +19,17 @@ import (
 // pass these paths allocated per-edge and per-marking, so a regression
 // back to map-driven working state trips these immediately.
 
+// skipIfRace bails out of exact allocation-count gates when the race
+// detector is on: its instrumentation perturbs sync.Pool retention, so
+// counts wobble by ±1 run to run. The coverage CI step runs without
+// -race and still enforces every budget.
+func skipIfRace(t *testing.T) {
+	t.Helper()
+	if raceEnabled {
+		t.Skip("allocation counts are unstable under the race detector")
+	}
+}
+
 func allocGraph(t *testing.T, p *model.Problem) *sequencing.Graph {
 	t.Helper()
 	ig, err := interaction.New(p)
@@ -33,6 +44,7 @@ func allocGraph(t *testing.T, p *model.Problem) *sequencing.Graph {
 }
 
 func TestReduceAllocBudget(t *testing.T) {
+	skipIfRace(t)
 	cases := []struct {
 		name string
 		p    *model.Problem
@@ -56,6 +68,7 @@ func TestReduceAllocBudget(t *testing.T) {
 }
 
 func TestPetriCompletableAllocBudget(t *testing.T) {
+	skipIfRace(t)
 	enc, err := petri.FromProblem(paperex.Example1())
 	if err != nil {
 		t.Fatal(err)
@@ -77,6 +90,7 @@ func TestPetriCompletableAllocBudget(t *testing.T) {
 // sizes do grow where a copy-on-write slice is cloned; the count gates
 // against reintroducing per-edge or per-node allocations.)
 func TestIncrementalPatchAllocBudget(t *testing.T) {
+	skipIfRace(t)
 	const reuseBudget, rereduceBudget = 20.0, 24.0
 	counts := map[string][]float64{}
 	for _, k := range []int{16, 64} {

@@ -1,21 +1,28 @@
 // Command benchtrend runs the tier-1 benchmark set and writes a JSON
-// trend file (name → ns/op, allocs/op, B/op) comparing the current tree
-// against the recorded pre-compile-pass baselines, then re-checks the
-// sweep soundness contract in-process: any nonzero disagreement counter
-// is a hard failure, so CI cannot publish numbers from a tree whose
-// engines disagree.
+// trend file (name → ns/op, allocs/op, B/op, plus any custom units the
+// benchmark reports, e.g. principals/s) comparing the current tree
+// against the recorded pre-compile-pass baselines, then enforces the
+// cross-benchmark gates in-process: the 10x incremental-edit speedup
+// floor, the 5x wheel-over-heap scheduling floor at 10^5 pending
+// timers, the 1.5x bytes-per-principal flatness ceiling from 10^3 to
+// 10^5 principals, and the sweep soundness contract (any nonzero
+// engine-disagreement counter is a hard failure), so CI cannot publish
+// numbers from a tree whose engines disagree or whose scaling story
+// has regressed.
 //
 // Usage:
 //
 //	benchtrend                      # gate benchmarks at the default -benchtime 100x, write BENCH_latest.json
 //	benchtrend -benchtime 1s        # time-based sampling instead of the fixed-iteration default
 //	benchtrend -bench 'Sweep'       # restrict the benchmark regexp
+//	benchtrend -scale=false         # skip the population/scheduler scale benchmarks
 //	benchtrend -out trend.json      # alternate output path
 //	benchtrend -compare old.json new.json   # diff two trend files, non-zero exit on regression
 //	benchtrend -compare -threshold 10 a b   # tighten the regression threshold to 10%
 //
 // BENCH_latest.json is the rolling, gitignored output; the committed
-// BENCH_pr3.json is the frozen baseline snapshot it is compared against.
+// snapshots (BENCH_pr3.json, BENCH_pr6.json, BENCH_pr8.json) are the
+// frozen baselines it is compared against.
 package main
 
 import (
@@ -32,11 +39,14 @@ import (
 	"trustseq/internal/sweep"
 )
 
-// Metrics is one benchmark's measurement triple.
+// Metrics is one benchmark's measurement set: the standard triple plus
+// any custom units the benchmark reported via b.ReportMetric (the
+// population benchmarks emit "principals/s" and "B/principal").
 type Metrics struct {
-	NsPerOp     float64 `json:"ns_per_op"`
-	BytesPerOp  float64 `json:"bytes_per_op"`
-	AllocsPerOp float64 `json:"allocs_per_op"`
+	NsPerOp     float64            `json:"ns_per_op"`
+	BytesPerOp  float64            `json:"bytes_per_op"`
+	AllocsPerOp float64            `json:"allocs_per_op"`
+	Extra       map[string]float64 `json:"extra,omitempty"`
 }
 
 // Delta is the relative change of a benchmark against its baseline,
@@ -73,6 +83,7 @@ func main() {
 	benchtime := flag.String("benchtime", "100x", "go test -benchtime value")
 	compare := flag.Bool("compare", false, "diff two trend files (old.json new.json) instead of running benchmarks")
 	threshold := flag.Float64("threshold", 20, "regression threshold in percent for -compare")
+	scale := flag.Bool("scale", true, "also run the population and scheduler scale benchmarks and their gates")
 	flag.Parse()
 
 	if *compare {
@@ -86,10 +97,33 @@ func main() {
 		return
 	}
 
-	current, err := runBenchmarks(*bench, *benchtime)
+	current, err := runBenchmarks(*bench, *benchtime, ".")
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "benchtrend: %v\n", err)
 		os.Exit(1)
+	}
+	if *scale {
+		// The scale benchmarks get their own sampling plans: the
+		// scheduler microbenchmark needs a fixed large iteration count
+		// to reach queue steady state, while one iteration of the
+		// population benchmark already simulates 10^3–10^5 principals
+		// end to end.
+		sched, err := runBenchmarks("BenchmarkSchedulerTimers", "300000x", "./internal/sim")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchtrend: scheduler benchmarks: %v\n", err)
+			os.Exit(1)
+		}
+		pop, err := runBenchmarks("BenchmarkPopulationSim", "1x", ".")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchtrend: population benchmarks: %v\n", err)
+			os.Exit(1)
+		}
+		for name, m := range sched {
+			current[name] = m
+		}
+		for name, m := range pop {
+			current[name] = m
+		}
 	}
 	trend := Trend{Baseline: baseline, Current: current, Delta: map[string]Delta{}}
 	for name, base := range baseline {
@@ -132,6 +166,45 @@ func main() {
 			speedup, full.NsPerOp, patched.NsPerOp)
 		if speedup < 10 {
 			fmt.Fprintf(os.Stderr, "benchtrend: incremental speedup %.1fx is below the 10x floor\n", speedup)
+			os.Exit(1)
+		}
+	}
+
+	// The timing-wheel gate: with 10^5 pending deadline timers, the
+	// wheel must schedule+fire at least 5x faster than the heap
+	// baseline, whenever this run measured both queues.
+	wheel, okWheel := current["BenchmarkSchedulerTimers/queue=wheel/pending=100000"]
+	heap, okHeap := current["BenchmarkSchedulerTimers/queue=heap/pending=100000"]
+	if okWheel && okHeap {
+		if wheel.NsPerOp <= 0 {
+			fmt.Fprintln(os.Stderr, "benchtrend: wheel measured at 0 ns/op; sample too small")
+			os.Exit(1)
+		}
+		speedup := heap.NsPerOp / wheel.NsPerOp
+		fmt.Printf("benchtrend: wheel-over-heap speedup %.1fx at 10^5 pending timers (heap %.0f ns/op, wheel %.0f ns/op)\n",
+			speedup, heap.NsPerOp, wheel.NsPerOp)
+		if speedup < 5 {
+			fmt.Fprintf(os.Stderr, "benchtrend: wheel speedup %.1fx is below the 5x floor\n", speedup)
+			os.Exit(1)
+		}
+	}
+
+	// The flat-memory gate: allocation per principal must not grow by
+	// more than 1.5x from 10^3 to 10^5 principals — per-principal state
+	// is flat, so any superlinear growth is a scaling bug.
+	small, okSmall := current["BenchmarkPopulationSim/principals=1000"]
+	large, okLarge := current["BenchmarkPopulationSim/principals=100000"]
+	if okSmall && okLarge {
+		bSmall, bLarge := small.Extra["B/principal"], large.Extra["B/principal"]
+		if bSmall <= 0 || bLarge <= 0 {
+			fmt.Fprintln(os.Stderr, "benchtrend: population benchmarks reported no B/principal metric")
+			os.Exit(1)
+		}
+		ratio := bLarge / bSmall
+		fmt.Printf("benchtrend: bytes-per-principal 10^3→10^5 ratio %.2fx (%.0f → %.0f B/principal)\n",
+			ratio, bSmall, bLarge)
+		if ratio > 1.5 {
+			fmt.Fprintf(os.Stderr, "benchtrend: bytes-per-principal grew %.2fx from 10^3 to 10^5, above the 1.5x ceiling\n", ratio)
 			os.Exit(1)
 		}
 	}
@@ -222,9 +295,9 @@ func pct(cur, base float64) float64 {
 
 // runBenchmarks shells out to go test and parses the standard benchmark
 // output lines.
-func runBenchmarks(bench, benchtime string) (map[string]Metrics, error) {
+func runBenchmarks(bench, benchtime, pkg string) (map[string]Metrics, error) {
 	cmd := exec.Command("go", "test", "-run", "^$", "-bench", bench,
-		"-benchmem", "-benchtime", benchtime, ".")
+		"-benchmem", "-benchtime", benchtime, pkg)
 	cmd.Stderr = os.Stderr
 	pipe, err := cmd.StdoutPipe()
 	if err != nil {
@@ -281,6 +354,14 @@ func parseBenchLine(line string) (string, Metrics, bool) {
 			m.BytesPerOp = v
 		case "allocs/op":
 			m.AllocsPerOp = v
+		default:
+			// Custom units from b.ReportMetric, e.g. principals/s.
+			if strings.Contains(fields[i+1], "/") {
+				if m.Extra == nil {
+					m.Extra = map[string]float64{}
+				}
+				m.Extra[fields[i+1]] = v
+			}
 		}
 	}
 	return name, m, seen

@@ -6,6 +6,7 @@
 // Usage:
 //
 //	trustsim [flags] problem.exch
+//	trustsim -principals N [-producers P]
 //	trustsim -n N [-workers W] [-family random|chain|star]
 //
 //	-seed N        network randomness seed (default 1)
@@ -14,6 +15,20 @@
 //	               "party:K" (defects after K of its own steps)
 //	-deadline N    escrow deadline in ticks (default 1000)
 //	-timeline      print the delivered-message timeline
+//
+// Population scale (see gen.Population):
+//
+//	-principals N  simulate a generated N-consumer retail market instead
+//	               of a spec file; timing (principals/sec) goes to
+//	               stderr, the deterministic outcome to stdout
+//	-producers P   size of the shared producer tier (default n/256)
+//
+// Checkpoint / restore (see the sim package's checkpoint format):
+//
+//	-checkpoint F  snapshot the run to F at the first event at or after
+//	               -checkpoint-at (default 0), then continue
+//	-restore F     resume a previous snapshot instead of starting fresh;
+//	               plan and options must match the checkpointed run
 //
 // Fault injection (see the README's fault-injection section):
 //
@@ -57,9 +72,11 @@ import (
 	"os/signal"
 	"strconv"
 	"strings"
+	"time"
 
 	"trustseq/internal/core"
 	"trustseq/internal/dsl"
+	"trustseq/internal/gen"
 	"trustseq/internal/model"
 	"trustseq/internal/obs"
 	"trustseq/internal/sim"
@@ -92,6 +109,11 @@ func run(ctx context.Context, args []string, out, errw io.Writer) (err error) {
 	metricsFile := fs.String("metrics", "", "write a JSON metrics snapshot to FILE")
 	metricsAddr := fs.String("metrics-addr", "", "serve live metrics over HTTP on ADDR (e.g. :8090)")
 	progress := fs.Bool("progress", false, "report sweep progress on stderr")
+	principals := fs.Int("principals", 0, "simulate a generated N-consumer population instead of a spec file")
+	producers := fs.Int("producers", 0, "population producer-tier size (0 = n/256)")
+	ckptPath := fs.String("checkpoint", "", "snapshot the run to FILE at -checkpoint-at, then continue")
+	ckptAt := fs.Int64("checkpoint-at", 0, "virtual tick at or after which -checkpoint snapshots")
+	restorePath := fs.String("restore", "", "resume the run from a checkpoint FILE")
 	sweepN := fs.Int("n", 0, "run a cross-validation sweep over N generated problems (0 = simulate a spec file)")
 	workers := fs.Int("workers", 0, "sweep worker pool size (0 = GOMAXPROCS)")
 	family := fs.String("family", "random", "sweep problem family: random, chain or star")
@@ -121,6 +143,9 @@ func run(ctx context.Context, args []string, out, errw io.Writer) (err error) {
 		}
 		if *crashSpec != "" || *partSpec != "" {
 			return fmt.Errorf("-crash and -partition name specific parties; use -faults to sample plans in sweep mode")
+		}
+		if *principals > 0 || *ckptPath != "" || *restorePath != "" {
+			return fmt.Errorf("-principals, -checkpoint and -restore apply to single simulations, not sweeps")
 		}
 		fam, err := sweep.ParseFamily(*family)
 		if err != nil {
@@ -162,21 +187,34 @@ func run(ctx context.Context, args []string, out, errw io.Writer) (err error) {
 		}
 		return nil
 	}
-	if fs.NArg() != 1 {
-		return fmt.Errorf("usage: trustsim [flags] problem.exch")
+	if *ckptPath != "" && *restorePath != "" {
+		return fmt.Errorf("-checkpoint and -restore are mutually exclusive")
 	}
-	src, err := os.ReadFile(fs.Arg(0))
-	if err != nil {
-		return err
+	var problem *model.Problem
+	switch {
+	case *principals > 0:
+		if fs.NArg() != 0 {
+			return fmt.Errorf("-principals generates its own problem; drop the spec file")
+		}
+		problem = gen.Population(*principals, *producers, 10)
+	case fs.NArg() == 1:
+		src, rerr := os.ReadFile(fs.Arg(0))
+		if rerr != nil {
+			return rerr
+		}
+		problem, err = dsl.Load(string(src))
+		if err != nil {
+			return err
+		}
+	default:
+		return fmt.Errorf("usage: trustsim [flags] problem.exch (or -principals N)")
 	}
-	problem, err := dsl.Load(string(src))
-	if err != nil {
-		return err
-	}
+	synthStart := time.Now()
 	plan, err := core.SynthesizeObs(problem, tel)
 	if err != nil {
 		return err
 	}
+	synthDur := time.Since(synthStart)
 	if !plan.Feasible {
 		return fmt.Errorf("problem %s is infeasible; nothing to simulate\n%s",
 			problem.Name, plan.Reduction.Impasse())
@@ -190,7 +228,7 @@ func run(ctx context.Context, args []string, out, errw io.Writer) (err error) {
 	if err != nil {
 		return err
 	}
-	res, err := sim.Run(plan, sim.Options{
+	opts := sim.Options{
 		Seed:           *seed,
 		Jitter:         sim.Time(*jitter),
 		Deadline:       sim.Time(*deadline),
@@ -199,9 +237,27 @@ func run(ctx context.Context, args []string, out, errw io.Writer) (err error) {
 		Faults:         fp,
 		NotifyRetries:  *retries,
 		Obs:            tel,
-	})
+	}
+	if *ckptPath != "" {
+		opts.Checkpoint = &sim.CheckpointSpec{Path: *ckptPath, At: sim.Time(*ckptAt)}
+	}
+	simStart := time.Now()
+	var res *sim.Result
+	if *restorePath != "" {
+		res, err = sim.RestoreRun(plan, opts, *restorePath)
+	} else {
+		res, err = sim.Run(plan, opts)
+	}
 	if err != nil {
 		return err
+	}
+	if *principals > 0 {
+		// Timing goes to stderr so stdout stays a deterministic record
+		// that checkpoint-restore diffs can compare byte-for-byte.
+		simDur := time.Since(simStart)
+		fmt.Fprintf(errw, "trustsim: %d parties: synthesis %.2fs, simulation %.2fs (%.0f principals/sec)\n",
+			len(problem.Parties), synthDur.Seconds(), simDur.Seconds(),
+			float64(len(problem.Parties))/simDur.Seconds())
 	}
 	if *timeline {
 		fmt.Fprintln(out, "\ndelivered messages:")
@@ -215,6 +271,21 @@ func run(ctx context.Context, args []string, out, errw io.Writer) (err error) {
 		fmt.Fprintf(out, "faults: dup=%d reorder=%d spike=%d partition-drop=%d crash-drop=%d deferred=%d retries=%d crashes=%d restarts=%d\n",
 			st.DupNotifies, st.Reorders, st.Spikes, st.PartitionDrops, st.CrashDrops,
 			st.Deferred, st.RetriesSent, st.Crashes, st.Restarts)
+	}
+	if *principals > 0 {
+		// Per-party acceptability is quadratic in the population; report
+		// the aggregate trusted-neutrality audit instead.
+		neutral, trusted := 0, 0
+		for _, pa := range problem.Parties {
+			if pa.IsTrusted() {
+				trusted++
+				if res.TrustedNeutral(pa.ID) {
+					neutral++
+				}
+			}
+		}
+		fmt.Fprintf(out, "trusted neutral: %d/%d\n", neutral, trusted)
+		return nil
 	}
 	for _, pa := range problem.Parties {
 		if pa.IsTrusted() {

@@ -3,6 +3,7 @@ package core
 import (
 	"errors"
 	"fmt"
+	"slices"
 	"strings"
 	"time"
 
@@ -181,6 +182,14 @@ func (p *Plan) schedule() error {
 	exec := safety.NewExec(p.Problem)
 	var steps []Step
 	posted := make([]bool, len(p.Problem.Indemnities))
+	// postedVias accumulates the Via components of collateral posted
+	// since the last drain; a post action can coincide with a deposit
+	// action at the Via, so those components may have become ready.
+	var postedVias []model.PartyID
+	rosterAt := make(map[model.PartyID]int, len(p.Problem.Parties))
+	for i, pa := range p.Problem.Parties {
+		rosterAt[pa.ID] = i
+	}
 
 	remaining := make(map[int]int, len(p.Sequencing.Commitments))
 	redAt := make(map[int]bool)
@@ -269,6 +278,7 @@ func (p *Plan) schedule() error {
 				return fmt.Errorf("posting indemnity %d: %w", oi, err)
 			}
 			posted[oi] = true
+			postedVias = append(postedVias, off.Via)
 			steps = append(steps, Step{
 				Kind: StepIndemnityPost, Offer: oi,
 				From: off.By, To: off.Via,
@@ -296,39 +306,67 @@ func (p *Plan) schedule() error {
 		})
 		return nil
 	}
-	drain := func() error {
-		for {
-			progress := false
-			for _, pa := range p.Problem.Parties {
-				if !pa.IsTrusted() || !exec.TrustedReady(pa.ID) {
+	// drain delivers every undelivered exchange at each listed trusted
+	// component that holds all its deposits, visiting components in
+	// roster order. Deliveries only ever apply receipt actions, never
+	// deposits, so delivering at one component cannot make another
+	// ready: a single pass over the candidates reaches the fixpoint.
+	// Only the component that just received a deposit — or the Via of a
+	// collateral post, whose post action can double as a deposit — can
+	// have become ready, so the hot callers pass exactly those instead
+	// of sweeping the whole roster on every deposit.
+	drain := func(cands ...model.PartyID) error {
+		slices.SortFunc(cands, func(a, b model.PartyID) int {
+			return rosterAt[a] - rosterAt[b]
+		})
+		var prev model.PartyID
+		for _, t := range cands {
+			if t == prev {
+				continue
+			}
+			prev = t
+			if !exec.TrustedReady(t) {
+				continue
+			}
+			for _, ei := range p.Problem.ExchangesOf(t) {
+				e := p.Problem.Exchanges[ei]
+				if e.Trusted != t || exec.Delivered(ei) {
 					continue
 				}
-				for _, ei := range p.Problem.ExchangesOf(pa.ID) {
-					e := p.Problem.Exchanges[ei]
-					if e.Trusted != pa.ID || exec.Delivered(ei) {
-						continue
-					}
-					acts := model.ReceiptActions(e)
-					if len(acts) == 0 {
-						continue
-					}
-					for _, a := range acts {
-						if err := exec.Apply(a); err != nil {
-							return fmt.Errorf("delivery for exchange %d: %w", ei, err)
-						}
-					}
-					steps = append(steps, Step{
-						Kind: StepDeliver, Exchange: ei,
-						From: pa.ID, To: e.Principal,
-						Actions: acts,
-					})
+				acts := model.ReceiptActions(e)
+				if len(acts) == 0 {
+					continue
 				}
-				progress = true
-			}
-			if !progress {
-				return nil
+				for _, a := range acts {
+					if err := exec.Apply(a); err != nil {
+						return fmt.Errorf("delivery for exchange %d: %w", ei, err)
+					}
+				}
+				steps = append(steps, Step{
+					Kind: StepDeliver, Exchange: ei,
+					From: t, To: e.Principal,
+					Actions: acts,
+				})
 			}
 		}
+		return nil
+	}
+	drainAll := func() error {
+		cands := make([]model.PartyID, 0, len(p.Problem.Parties))
+		for _, pa := range p.Problem.Parties {
+			if pa.IsTrusted() {
+				cands = append(cands, pa.ID)
+			}
+		}
+		return drain(cands...)
+	}
+	// drainAfterDeposit drains at the components the deposit for ci (and
+	// any collateral posted with it) could have readied.
+	drainAfterDeposit := func(ci int) error {
+		hints := postedVias
+		postedVias = nil
+		hints = append(hints, p.Problem.Exchanges[ci].Trusted)
+		return drain(hints...)
 	}
 
 	// Persona commitments (the principal plays the trusted role, Section
@@ -397,7 +435,7 @@ func (p *Plan) schedule() error {
 		if err := deposit(ci); err != nil {
 			return err
 		}
-		return drain()
+		return drainAfterDeposit(ci)
 	}
 	retryBlocked := func() error {
 		for {
@@ -499,7 +537,7 @@ func (p *Plan) schedule() error {
 			if err := deposit(ci); err != nil {
 				return err
 			}
-			if err := drain(); err != nil {
+			if err := drainAfterDeposit(ci); err != nil {
 				return err
 			}
 			if err := flushNotifies(); err != nil {
@@ -514,7 +552,7 @@ func (p *Plan) schedule() error {
 				deferred, blocked)
 		}
 	}
-	if err := drain(); err != nil {
+	if err := drainAll(); err != nil {
 		return err
 	}
 

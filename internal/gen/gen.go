@@ -198,6 +198,72 @@ func Random(rng *rand.Rand, opts Options) *model.Problem {
 	return p
 }
 
+// Population builds a population-scale retail market: n consumers, each
+// buying its own document through its own reselling broker, with the
+// documents originating at a shared producer tier. Producer i mod
+// producers wholesales document d_i at 80% of the retail price; every
+// purchase runs through its own retail and wholesale trusted
+// intermediary (4 exchanges per document, the feasible Chain(1)
+// ladder), so trusted-node degree stays constant while each producer
+// fans out over n/producers documents. producers defaults to
+// max(1, n/256), bounding the fan-out near 256 however large n grows —
+// work and memory per principal stay flat, which is exactly what the
+// scale benchmarks measure.
+//
+// Brokers are deliberately not shared. A broker reselling two or more
+// documents is an all-or-nothing conjunction over resale pairs, and the
+// Section 6 split machinery cannot save it: an indemnity splits the
+// covered exchange into a singleton group, but a singleton retail sell
+// can never be scheduled — the broker does not hold the document until
+// its wholesale side completes. The producer tier carries the fan-out
+// instead; a producer's conjunction of independent sells sequences
+// fine.
+func Population(n, producers int, price model.Money) *model.Problem {
+	if n < 1 {
+		n = 1
+	}
+	if producers < 1 {
+		producers = n / 256
+		if producers < 1 {
+			producers = 1
+		}
+	}
+	if price < 2 {
+		price = 10
+	}
+	wholesale := price * 4 / 5
+	if wholesale < 1 {
+		wholesale = 1
+	}
+	p := &model.Problem{Name: fmt.Sprintf("population-%d", n)}
+	p.Parties = make([]model.Party, 0, 4*n+producers)
+	p.Exchanges = make([]model.Exchange, 0, 4*n)
+	for i := 0; i < producers; i++ {
+		p.Parties = append(p.Parties, model.Party{ID: model.PartyID(fmt.Sprintf("s%d", i+1)), Role: model.RoleProducer})
+	}
+	for i := 0; i < n; i++ {
+		consumer := model.PartyID(fmt.Sprintf("c%d", i+1))
+		broker := model.PartyID(fmt.Sprintf("b%d", i+1))
+		source := model.PartyID(fmt.Sprintf("s%d", i%producers+1))
+		tr := model.PartyID(fmt.Sprintf("tr%d", i+1))
+		tw := model.PartyID(fmt.Sprintf("tw%d", i+1))
+		doc := model.ItemID(fmt.Sprintf("d%d", i+1))
+		p.Parties = append(p.Parties,
+			model.Party{ID: consumer, Role: model.RoleConsumer},
+			model.Party{ID: broker, Role: model.RoleBroker},
+			model.Party{ID: tr, Role: model.RoleTrusted},
+			model.Party{ID: tw, Role: model.RoleTrusted},
+		)
+		p.Exchanges = append(p.Exchanges,
+			model.Exchange{Principal: consumer, Trusted: tr, Gives: model.Cash(price), Gets: model.Goods(doc)},
+			model.Exchange{Principal: broker, Trusted: tr, Gives: model.Goods(doc), Gets: model.Cash(price)},
+			model.Exchange{Principal: broker, Trusted: tw, Gives: model.Cash(wholesale), Gets: model.Goods(doc)},
+			model.Exchange{Principal: source, Trusted: tw, Gives: model.Goods(doc), Gets: model.Cash(wholesale)},
+		)
+	}
+	return p
+}
+
 // Parallel builds k independent consumer–producer pair exchanges in one
 // problem (distinct parties, documents and intermediaries). The
 // sequencing graph grows linearly in k while the exhaustive search's

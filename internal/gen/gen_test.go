@@ -132,3 +132,54 @@ func TestParallelShape(t *testing.T) {
 		}
 	}
 }
+
+func TestPopulationFeasible(t *testing.T) {
+	t.Parallel()
+	for _, n := range []int{1, 3, 8, 40} {
+		p := Population(n, 0, 10)
+		if err := p.Validate(); err != nil {
+			t.Fatalf("Population(%d).Validate = %v", n, err)
+		}
+		plan, err := core.Synthesize(p)
+		if err != nil {
+			t.Fatalf("Population(%d): %v", n, err)
+		}
+		if !plan.Feasible {
+			t.Fatalf("Population(%d) infeasible", n)
+		}
+		if err := plan.Verify(); err != nil {
+			t.Fatalf("Population(%d).Verify = %v", n, err)
+		}
+		if len(p.Exchanges) != 4*n {
+			t.Fatalf("Population(%d): %d exchanges, want %d", n, len(p.Exchanges), 4*n)
+		}
+	}
+}
+
+func TestPopulationTierSizing(t *testing.T) {
+	t.Parallel()
+	p := Population(1024, 0, 10)
+	brokers, producers := 0, 0
+	for _, pa := range p.Parties {
+		switch pa.Role {
+		case model.RoleBroker:
+			brokers++
+		case model.RoleProducer:
+			producers++
+		}
+	}
+	if brokers != 1024 || producers != 4 {
+		t.Fatalf("tiers = %d brokers, %d producers; want 1024, 4", brokers, producers)
+	}
+	// An explicit producer-tier size is honored.
+	p = Population(10, 2, 10)
+	producers = 0
+	for _, pa := range p.Parties {
+		if pa.Role == model.RoleProducer {
+			producers++
+		}
+	}
+	if producers != 2 {
+		t.Fatalf("explicit producers = %d, want 2", producers)
+	}
+}

@@ -20,6 +20,11 @@ type Graph struct {
 	// Personas maps trusted components played by a principal (direct
 	// trust, Section 4.2.3) to that principal.
 	Personas map[model.PartyID]model.PartyID
+
+	// edgesBy caches each party's incident edge indices. FromCompiled
+	// fills it; Degree and EdgesOf fall back to a linear scan on
+	// hand-assembled graphs that lack it.
+	edgesBy map[model.PartyID][]int
 }
 
 // Edge is one element of E: principal p uses trusted intermediary t.
@@ -54,8 +59,13 @@ func FromCompiled(p *model.Problem) *Graph {
 			g.Principals = append(g.Principals, pa.ID)
 		}
 	}
+	g.edgesBy = make(map[model.PartyID][]int, len(p.Parties))
 	for i, e := range p.Exchanges {
 		g.Edges = append(g.Edges, Edge{Exchange: i, Principal: e.Principal, Trusted: e.Trusted})
+		g.edgesBy[e.Principal] = append(g.edgesBy[e.Principal], i)
+		if e.Trusted != e.Principal {
+			g.edgesBy[e.Trusted] = append(g.edgesBy[e.Trusted], i)
+		}
 	}
 	for _, t := range g.Trusted {
 		if q, ok := p.PersonaOf(t); ok {
@@ -67,6 +77,9 @@ func FromCompiled(p *model.Problem) *Graph {
 
 // Degree returns the number of interaction edges incident to the party.
 func (g *Graph) Degree(id model.PartyID) int {
+	if g.edgesBy != nil {
+		return len(g.edgesBy[id])
+	}
 	n := 0
 	for _, e := range g.Edges {
 		if e.Principal == id || e.Trusted == id {
@@ -82,7 +95,11 @@ func (g *Graph) Degree(id model.PartyID) int {
 func (g *Graph) Internal(id model.PartyID) bool { return g.Degree(id) > 1 }
 
 // EdgesOf returns the indices (into g.Edges) of the edges at a party.
+// Read-only when served from the FromCompiled cache.
 func (g *Graph) EdgesOf(id model.PartyID) []int {
+	if g.edgesBy != nil {
+		return g.edgesBy[id]
+	}
 	var out []int
 	for i, e := range g.Edges {
 		if e.Principal == id || e.Trusted == id {

@@ -49,28 +49,48 @@ func (p *Problem) Compile() {
 		c.deposits[i] = DepositActions(e)
 		c.receipts[i] = ReceiptActions(e)
 	}
-	ids := make(map[PartyID]bool, len(p.Parties))
-	for _, pa := range p.Parties {
-		ids[pa.ID] = true
-	}
+	// One pass over the exchanges builds every adjacency table; the
+	// per-party accessors would cost O(exchanges) each and make
+	// compilation quadratic in the population size.
 	trusteds := make(map[PartyID]bool)
+	atSeen := make(map[PartyID]map[PartyID]bool)
 	for i, e := range p.Exchanges {
-		ids[e.Principal] = true
-		ids[e.Trusted] = true
 		trusteds[e.Trusted] = true
 		c.ownExchanges[e.Principal] = append(c.ownExchanges[e.Principal], i)
-	}
-	for id := range ids {
-		c.exchangesOf[id] = p.ExchangesOf(id)
+		c.exchangesOf[e.Principal] = append(c.exchangesOf[e.Principal], i)
+		if e.Trusted != e.Principal {
+			c.exchangesOf[e.Trusted] = append(c.exchangesOf[e.Trusted], i)
+		}
+		seen := atSeen[e.Trusted]
+		if seen == nil {
+			seen = make(map[PartyID]bool, 2)
+			atSeen[e.Trusted] = seen
+		}
+		if !seen[e.Principal] {
+			seen[e.Principal] = true
+			c.principalsAt[e.Trusted] = append(c.principalsAt[e.Trusted], e.Principal)
+		}
 	}
 	for t := range trusteds {
-		c.principalsAt[t] = p.PrincipalsAt(t)
-		if q, ok := p.PersonaOf(t); ok {
+		if q, ok := personaFrom(p, c.principalsAt[t]); ok {
 			c.persona[t] = q
 		}
 	}
+	// Conjunction groups, likewise in one pass: the split set per
+	// principal from the indemnities, then the group partition from the
+	// already-built ownExchanges.
+	splitOf := make(map[PartyID]map[int]bool)
+	for _, off := range p.Indemnities {
+		if off.Covers >= 0 && off.Covers < len(p.Exchanges) {
+			pr := p.Exchanges[off.Covers].Principal
+			if splitOf[pr] == nil {
+				splitOf[pr] = make(map[int]bool, 1)
+			}
+			splitOf[pr][off.Covers] = true
+		}
+	}
 	for id, own := range c.ownExchanges {
-		c.conjGroups[id] = p.ConjunctionGroups(id)
+		c.conjGroups[id] = groupsFrom(own, splitOf[id])
 		singles := make([][]int, len(own))
 		for i, ei := range own {
 			singles[i] = []int{ei}

@@ -161,7 +161,13 @@ func (p *Problem) PersonaOf(t PartyID) (persona PartyID, ok bool) {
 		persona, ok = c.persona[t]
 		return persona, ok
 	}
-	principals := p.PrincipalsAt(t)
+	return personaFrom(p, p.PrincipalsAt(t))
+}
+
+// personaFrom applies the persona rule to a trusted component's adjacent
+// principals: the principal every other adjacent principal directly
+// trusts plays the component itself (Section 4.2.3).
+func personaFrom(p *Problem, principals []PartyID) (PartyID, bool) {
 	for _, q := range principals {
 		all := true
 		for _, other := range principals {
@@ -305,6 +311,13 @@ func (p *Problem) ConjunctionGroups(principal PartyID) [][]int {
 			split[off.Covers] = true
 		}
 	}
+	return groupsFrom(mine, split)
+}
+
+// groupsFrom partitions a principal's ascending exchange indices into
+// conjunction groups: each index in split detaches into a singleton, the
+// rest stay one all-or-nothing group, ordered by first member.
+func groupsFrom(mine []int, split map[int]bool) [][]int {
 	var rest []int
 	var groups [][]int
 	for _, i := range mine {
@@ -418,19 +431,28 @@ func (p *Problem) Validate() error {
 }
 
 func (p *Problem) validateConservation() error {
+	// Accumulate per-trusted flows in one pass over the exchanges; a
+	// per-party rescan would be quadratic in the population size.
+	type flow struct{ in, out *Holding }
+	flows := make(map[PartyID]flow)
+	for _, e := range p.Exchanges {
+		f, ok := flows[e.Trusted]
+		if !ok {
+			f = flow{in: NewHolding(), out: NewHolding()}
+			flows[e.Trusted] = f
+		}
+		f.in.Add(e.Gives)
+		f.out.Add(e.Gets)
+	}
 	for _, pa := range p.Parties {
 		if !pa.IsTrusted() {
 			continue
 		}
-		in := NewHolding()
-		out := NewHolding()
-		for _, e := range p.Exchanges {
-			if e.Trusted != pa.ID {
-				continue
-			}
-			in.Add(e.Gives)
-			out.Add(e.Gets)
+		f, ok := flows[pa.ID]
+		if !ok {
+			continue
 		}
+		in, out := f.in, f.out
 		if in.Cash != out.Cash {
 			return fmt.Errorf("model: trusted %s receives %v but must deliver %v", pa.ID, in.Cash, out.Cash)
 		}

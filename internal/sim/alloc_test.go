@@ -1,0 +1,63 @@
+package sim
+
+import (
+	"testing"
+
+	"trustseq/internal/model"
+)
+
+// tickDelays cycles timers across wheel levels 0–2 so the steady-state
+// allocation check exercises slot placement and cascading, not just the
+// bottom level.
+var tickDelays = []Time{1, 2, 9, 65, 513}
+
+// tickNode re-arms a timer on every delivery, keeping exactly one event
+// pending forever. Timers skip the trace, the ledger hooks, and
+// telemetry, so each step is a pure schedule+deliver cycle.
+type tickNode struct {
+	id    model.PartyID
+	count int
+}
+
+func (tn *tickNode) ID() model.PartyID { return tn.id }
+func (tn *tickNode) Init(ctx *Context) { ctx.SetTimer(1, "tick") }
+func (tn *tickNode) OnMessage(ctx *Context, m Message) {
+	tn.count++
+	ctx.SetTimer(tickDelays[tn.count%len(tickDelays)], "tick")
+}
+
+// Scheduling and delivering a message must not allocate at steady
+// state, under both queue implementations: the wheel recycles bucket
+// arrays through its freelist and the heap retains its backing array,
+// while delivery reuses the network's scratch Context.
+func TestScheduleDeliverZeroAlloc(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		kind SchedulerKind
+	}{
+		{"wheel", SchedulerWheel},
+		{"heap", SchedulerHeap},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			net := NewNetwork(Config{Seed: 1, MaxMessages: 1 << 30, Scheduler: tc.kind})
+			node := &tickNode{id: "p"}
+			net.AddNode(node)
+			net.ctx.self = node.id
+			node.Init(&net.ctx)
+			// Warm the freelists and slice capacities.
+			for i := 0; i < 4096; i++ {
+				if more, err := net.step(); err != nil || !more {
+					t.Fatalf("warmup step %d: more=%v err=%v", i, more, err)
+				}
+			}
+			avg := testing.AllocsPerRun(10_000, func() {
+				if more, err := net.step(); err != nil || !more {
+					t.Fatalf("step: more=%v err=%v", more, err)
+				}
+			})
+			if avg != 0 {
+				t.Fatalf("schedule+deliver allocates %v allocs/op at steady state, want 0", avg)
+			}
+		})
+	}
+}

@@ -1,14 +1,14 @@
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"math/rand"
-	"sort"
+	"slices"
 	"strings"
 
 	"trustseq/internal/model"
 	"trustseq/internal/obs"
+	"trustseq/internal/slab"
 )
 
 // Time is virtual time in ticks.
@@ -102,26 +102,6 @@ type FaultStats struct {
 	Restarts int
 }
 
-type queue []*Message
-
-func (q queue) Len() int { return len(q) }
-func (q queue) Less(i, j int) bool {
-	if q[i].At != q[j].At {
-		return q[i].At < q[j].At
-	}
-	return q[i].seq < q[j].seq
-}
-func (q queue) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
-func (q *queue) Push(x interface{}) { *q = append(*q, x.(*Message)) }
-func (q *queue) Pop() interface{} {
-	old := *q
-	n := len(old)
-	item := old[n-1]
-	old[n-1] = nil
-	*q = old[:n-1]
-	return item
-}
-
 // Node is a simulated participant.
 type Node interface {
 	ID() model.PartyID
@@ -143,28 +123,44 @@ type Recoverable interface {
 }
 
 // Network is the deterministic discrete-event simulator core.
+//
+// Node state is sharded by principal: party IDs are interned into dense
+// slots, and the node table, down flags, and crash bookkeeping are flat
+// slabs indexed by slot — no per-principal map entries, so memory per
+// principal stays flat into the 10^6 range. The event queue is the
+// hierarchical timing wheel (see wheel.go); delivery reuses one scratch
+// Context, so scheduling plus delivering a message allocates nothing at
+// steady state.
 type Network struct {
-	nodes    map[model.PartyID]Node
-	q        queue
-	now      Time
-	seq      int
-	rng      *rand.Rand
-	baseLat  Time
-	jitter   Time
-	trace    []Message
-	maxMsgs  int
-	dropRate float64
-	dropped  int
+	parties   *slab.Index[model.PartyID]
+	nodes     []Node // by party slot
+	q         eventQueue
+	now       Time
+	seq       int
+	processed int
+	rng       *rand.Rand
+	rsrc      *countingSource
+	baseLat   Time
+	jitter    Time
+	trace     []Message
+	maxMsgs   int
+	dropRate  float64
+	dropped   int
 
-	// Fault-injection state: the plan, the per-node down flags with the
+	// Fault-injection state: the plan, the per-slot down flags with the
 	// pending restart ticks, and the realized-fault counters.
 	faults    *FaultPlan
 	retries   int
 	retryBase Time
-	down      map[model.PartyID]bool
-	restartAt map[model.PartyID]Time
-	crashEnds map[model.PartyID][]Time
+	down      []bool   // by party slot
+	restartAt []Time   // by party slot
+	crashEnds [][]Time // by party slot, ascending
 	fstats    FaultStats
+
+	// ctx is the scratch delivery context, reused across callbacks.
+	// It is valid only for the duration of one callback; no node
+	// retains it.
+	ctx Context
 
 	// sendHook runs when a transfer is sent (debit the sender);
 	// deliverHook runs when it is delivered (credit the receiver). The
@@ -172,13 +168,17 @@ type Network struct {
 	sendHook    func(Message) error
 	deliverHook func(Message) error
 
+	// onEvent, when set, observes every popped event after virtual time
+	// advances and before dispatch. The checkpoint writer hangs off it.
+	onEvent func(Message) error
+
 	// tel receives one trace event per delivered message (the
 	// replayable audit log) plus drop events; nil disables.
 	tel *obs.Telemetry
 }
 
-// SetHooks installs the asset-movement callbacks.
-func (n *Network) SetHooks(onSend, onDeliver func(Message) error) {
+// setHooks installs the asset-movement callbacks.
+func (n *Network) setHooks(onSend, onDeliver func(Message) error) {
 	n.sendHook = onSend
 	n.deliverHook = onDeliver
 }
@@ -189,6 +189,12 @@ type Config struct {
 	BaseLatency Time // per-message latency floor (default 1)
 	Jitter      Time // uniform extra latency in [0, Jitter] (default 3)
 	MaxMessages int  // runaway guard (default 100_000)
+	// Scheduler selects the event queue. The zero value is the timing
+	// wheel; SchedulerHeap selects the binary-heap oracle. The two are
+	// observationally identical — the equivalence property test holds
+	// traces byte-identical — so this is a benchmarking and testing
+	// knob, never a semantics knob.
+	Scheduler SchedulerKind
 	// NotifyDropRate is the probability in [0,1) that a notification
 	// (control-plane message) is lost. Transfers are never dropped: the
 	// value-transfer layer is assumed reliable, exactly as the paper
@@ -213,6 +219,29 @@ type Config struct {
 	Obs *obs.Telemetry
 }
 
+// countingSource wraps a rand.Source and counts Int63 draws so a
+// checkpoint can record the RNG position and a restore can fast-forward
+// to it. It deliberately does NOT implement rand.Source64: math/rand's
+// Uint64 fallback makes two Int63 calls per Uint64, so hiding the
+// Source64 fast path keeps the count exact — and every generator method
+// the network uses (Int63n, Float64) is defined purely in terms of
+// Int63, so the emitted stream is bit-identical to the unwrapped
+// source's.
+type countingSource struct {
+	src rand.Source
+	n   uint64
+}
+
+func (s *countingSource) Int63() int64 {
+	s.n++
+	return s.src.Int63()
+}
+
+func (s *countingSource) Seed(seed int64) {
+	s.n = 0
+	s.src.Seed(seed)
+}
+
 // NewNetwork builds an empty network.
 func NewNetwork(cfg Config) *Network {
 	if cfg.BaseLatency <= 0 {
@@ -233,9 +262,12 @@ func NewNetwork(cfg Config) *Network {
 	if cfg.RetryBase <= 0 {
 		cfg.RetryBase = 8
 	}
-	return &Network{
-		nodes:     make(map[model.PartyID]Node),
-		rng:       rand.New(rand.NewSource(cfg.Seed)),
+	src := &countingSource{src: rand.NewSource(cfg.Seed)}
+	n := &Network{
+		parties:   slab.NewIndex[model.PartyID](16),
+		q:         newQueue(cfg.Scheduler),
+		rng:       rand.New(src),
+		rsrc:      src,
 		baseLat:   cfg.BaseLatency,
 		jitter:    cfg.Jitter,
 		maxMsgs:   cfg.MaxMessages,
@@ -243,35 +275,37 @@ func NewNetwork(cfg Config) *Network {
 		faults:    cfg.Faults,
 		retries:   cfg.NotifyRetries,
 		retryBase: cfg.RetryBase,
-		down:      make(map[model.PartyID]bool),
-		restartAt: make(map[model.PartyID]Time),
-		crashEnds: make(map[model.PartyID][]Time),
 		tel:       cfg.Obs,
 	}
+	n.ctx = Context{net: n}
+	return n
+}
+
+// slot interns a party ID, growing the per-slot slabs in lockstep.
+func (n *Network) slot(id model.PartyID) int32 {
+	p := n.parties.Intern(id)
+	for int(p) >= len(n.nodes) {
+		n.nodes = append(n.nodes, nil)
+		n.down = append(n.down, false)
+		n.restartAt = append(n.restartAt, 0)
+		n.crashEnds = append(n.crashEnds, nil)
+	}
+	return p
 }
 
 // AddNode registers a node.
 func (n *Network) AddNode(node Node) {
-	n.nodes[node.ID()] = node
+	n.nodes[n.slot(node.ID())] = node
 }
 
 // Now returns the current virtual time.
 func (n *Network) Now() Time { return n.now }
 
-// Trace returns every delivered message, in delivery order.
-func (n *Network) Trace() []Message { return append([]Message(nil), n.trace...) }
-
-func (n *Network) schedule(m *Message) {
+func (n *Network) schedule(m Message) {
 	m.seq = n.seq
 	n.seq++
-	heap.Push(&n.q, m)
+	n.q.push(m)
 }
-
-// Dropped reports the number of notifications lost in transit.
-func (n *Network) Dropped() int { return n.dropped }
-
-// FaultStats reports the realized fault-injection counters.
-func (n *Network) FaultStats() FaultStats { return n.fstats }
 
 // reliable reports whether a message rides the reliable channel:
 // transfers always (the paper scopes out payment-mechanism failures),
@@ -329,7 +363,7 @@ func (n *Network) sendAfter(m Message, extra Time) {
 	f := n.faults
 	if f == nil {
 		m.At = n.now + lat
-		n.schedule(&m)
+		n.schedule(m)
 		return
 	}
 	if heal, cut := n.partitioned(m.From, m.To); cut {
@@ -346,7 +380,7 @@ func (n *Network) sendAfter(m Message, extra Time) {
 			n.tel.Reg().Counter("sim.faults.deferred").Inc()
 		}
 		m.At = heal + lat
-		n.schedule(&m)
+		n.schedule(m)
 		return
 	}
 	if f.ReorderRate > 0 && n.rng.Float64() < f.ReorderRate {
@@ -368,10 +402,10 @@ func (n *Network) sendAfter(m Message, extra Time) {
 		if n.tel.Enabled() {
 			n.tel.Reg().Counter("sim.faults.dup_notifies").Inc()
 		}
-		n.schedule(&dup)
+		n.schedule(dup)
 	}
 	m.At = n.now + lat
-	n.schedule(&m)
+	n.schedule(m)
 }
 
 // partitioned reports whether the from→to link is cut right now, and if
@@ -393,102 +427,130 @@ func (n *Network) partitioned(from, to model.PartyID) (heal Time, cut bool) {
 
 // timer schedules a self-wakeup at an absolute time.
 func (n *Network) timer(to model.PartyID, at Time, tag string) {
-	n.schedule(&Message{At: at, From: to, To: to, Kind: MsgTimer, Tag: tag})
+	n.schedule(Message{At: at, From: to, To: to, Kind: MsgTimer, Tag: tag})
 }
 
 // Run initializes every node, schedules the fault plan's crash events,
 // and processes events to quiescence.
 func (n *Network) Run() error {
-	ids := make([]model.PartyID, 0, len(n.nodes))
-	for id := range n.nodes {
-		ids = append(ids, id)
+	ids := make([]model.PartyID, 0, n.parties.Len())
+	for p := int32(0); p < int32(n.parties.Len()); p++ {
+		if n.nodes[p] != nil {
+			ids = append(ids, n.parties.Key(p))
+		}
 	}
 	// Deterministic init order.
-	for i := 0; i < len(ids); i++ {
-		for j := i + 1; j < len(ids); j++ {
-			if ids[j] < ids[i] {
-				ids[i], ids[j] = ids[j], ids[i]
-			}
-		}
-	}
+	slices.Sort(ids)
 	n.scheduleCrashes()
 	for _, id := range ids {
-		node := n.nodes[id]
-		node.Init(&Context{net: n, self: id})
+		p, _ := n.parties.Lookup(id)
+		n.ctx.self = id
+		n.nodes[p].Init(&n.ctx)
 	}
-	processed := 0
-	for n.q.Len() > 0 {
-		m := heap.Pop(&n.q).(*Message)
-		if m.At > n.now {
-			n.now = m.At
+	return n.loop()
+}
+
+// loop processes queued events to quiescence. Both the fresh-run and
+// the restored-from-checkpoint paths end up here.
+func (n *Network) loop() error {
+	for {
+		more, err := n.step()
+		if err != nil {
+			return err
 		}
-		processed++
-		if processed > n.maxMsgs {
-			return fmt.Errorf("sim: exceeded %d messages; likely livelock", n.maxMsgs)
+		if !more {
+			return nil
 		}
-		node, ok := n.nodes[m.To]
-		if !ok {
-			return fmt.Errorf("sim: message to unknown node %s", m.To)
-		}
-		switch m.Kind {
-		case MsgCrash:
-			n.handleCrash(*m, node)
-			continue
-		case MsgRestart:
-			n.handleRestart(*m, node)
-			continue
-		}
-		if n.down[m.To] {
-			n.divert(m)
-			continue
-		}
-		if m.Kind != MsgTimer {
-			n.trace = append(n.trace, *m)
-			if n.deliverHook != nil {
-				if err := n.deliverHook(*m); err != nil {
-					return fmt.Errorf("sim: delivering %v: %w", m, err)
-				}
-			}
-			if n.tel.Enabled() {
-				n.observeDelivery(*m)
-			}
-		} else if n.tel.Enabled() {
-			n.tel.Reg().Counter("sim.timers").Inc()
-		}
-		node.OnMessage(&Context{net: n, self: m.To}, *m)
 	}
-	return nil
+}
+
+// step pops and delivers exactly one event, reporting false once the
+// queue has drained. The steady-state alloc budget is enforced around
+// this unit (see alloc_test.go).
+func (n *Network) step() (bool, error) {
+	m, ok := n.q.pop()
+	if !ok {
+		return false, nil
+	}
+	if m.At > n.now {
+		n.now = m.At
+	}
+	n.processed++
+	if n.processed > n.maxMsgs {
+		return false, fmt.Errorf("sim: exceeded %d messages; likely livelock", n.maxMsgs)
+	}
+	if n.onEvent != nil {
+		if err := n.onEvent(m); err != nil {
+			return false, err
+		}
+	}
+	p, ok := n.parties.Lookup(m.To)
+	if !ok || n.nodes[p] == nil {
+		return false, fmt.Errorf("sim: message to unknown node %s", m.To)
+	}
+	node := n.nodes[p]
+	switch m.Kind {
+	case MsgCrash:
+		n.handleCrash(m, p, node)
+		return true, nil
+	case MsgRestart:
+		n.handleRestart(m, p, node)
+		return true, nil
+	}
+	if n.down[p] {
+		n.divert(p, m)
+		return true, nil
+	}
+	if m.Kind != MsgTimer {
+		n.trace = append(n.trace, m)
+		if n.deliverHook != nil {
+			if err := n.deliverHook(m); err != nil {
+				return false, fmt.Errorf("sim: delivering %v: %w", m, err)
+			}
+		}
+		if n.tel.Enabled() {
+			n.observeDelivery(m)
+		}
+	} else if n.tel.Enabled() {
+		n.tel.Reg().Counter("sim.timers").Inc()
+	}
+	n.ctx.self = m.To
+	node.OnMessage(&n.ctx, m)
+	return true, nil
 }
 
 // scheduleCrashes turns the fault plan's crash events into scheduled
 // crash/restart messages and records each node's restart ticks in At
-// order (Validate guarantees the windows don't overlap).
+// order. The sort is stable, so equal-tick crash events keep the
+// plan's order by construction (Validate additionally guarantees the
+// windows don't overlap).
 func (n *Network) scheduleCrashes() {
 	if n.faults == nil {
 		return
 	}
 	evs := append([]CrashEvent(nil), n.faults.Crashes...)
-	sort.Slice(evs, func(i, j int) bool {
-		if evs[i].At != evs[j].At {
-			return evs[i].At < evs[j].At
+	slices.SortStableFunc(evs, func(a, b CrashEvent) int {
+		if a.At != b.At {
+			return int(a.At - b.At)
 		}
-		return evs[i].Node < evs[j].Node
+		return strings.Compare(string(a.Node), string(b.Node))
 	})
 	for _, ev := range evs {
 		end := ev.At + ev.Downtime
-		n.crashEnds[ev.Node] = append(n.crashEnds[ev.Node], end)
-		n.schedule(&Message{At: ev.At, From: ev.Node, To: ev.Node, Kind: MsgCrash, Tag: "crash"})
-		n.schedule(&Message{At: end, From: ev.Node, To: ev.Node, Kind: MsgRestart, Tag: "restart"})
+		p := n.slot(ev.Node)
+		n.crashEnds[p] = append(n.crashEnds[p], end)
+		n.schedule(Message{At: ev.At, From: ev.Node, To: ev.Node, Kind: MsgCrash, Tag: "crash"})
+		n.schedule(Message{At: end, From: ev.Node, To: ev.Node, Kind: MsgRestart, Tag: "restart"})
 	}
 }
 
 // handleCrash marks the node down and wipes its volatile state. The
 // event lands in the trace: the audit log records the outage.
-func (n *Network) handleCrash(m Message, node Node) {
-	n.down[m.To] = true
-	ends := n.crashEnds[m.To]
-	n.restartAt[m.To] = ends[0]
-	n.crashEnds[m.To] = ends[1:]
+func (n *Network) handleCrash(m Message, p int32, node Node) {
+	n.down[p] = true
+	ends := n.crashEnds[p]
+	n.restartAt[p] = ends[0]
+	n.crashEnds[p] = ends[1:]
 	n.fstats.Crashes++
 	n.trace = append(n.trace, m)
 	if r, ok := node.(Recoverable); ok {
@@ -504,12 +566,13 @@ func (n *Network) handleCrash(m Message, node Node) {
 
 // handleRestart brings the node back and lets it restore from its
 // durable log.
-func (n *Network) handleRestart(m Message, node Node) {
-	delete(n.down, m.To)
+func (n *Network) handleRestart(m Message, p int32, node Node) {
+	n.down[p] = false
 	n.fstats.Restarts++
 	n.trace = append(n.trace, m)
 	if r, ok := node.(Recoverable); ok {
-		r.Restore(&Context{net: n, self: m.To})
+		n.ctx.self = m.To
+		r.Restore(&n.ctx)
 	}
 	if n.tel.Enabled() {
 		n.tel.Reg().Counter("sim.restarts").Inc()
@@ -522,8 +585,8 @@ func (n *Network) handleRestart(m Message, node Node) {
 // divert disposes of a message addressed to a down node: timers and
 // notifications are lost (the node was not there to hear them);
 // reliable traffic is re-delivered right after the restart.
-func (n *Network) divert(m *Message) {
-	if !reliable(*m) {
+func (n *Network) divert(p int32, m Message) {
+	if !reliable(m) {
 		// Best-effort notifications and armed timers die with the node:
 		// a crashed trustee's deadline timer is gone, and recovery must
 		// re-arm it from the durable log.
@@ -537,7 +600,7 @@ func (n *Network) divert(m *Message) {
 	if n.tel.Enabled() {
 		n.tel.Reg().Counter("sim.faults.deferred").Inc()
 	}
-	m.At = n.restartAt[m.To]
+	m.At = n.restartAt[p]
 	n.schedule(m)
 }
 
@@ -568,7 +631,9 @@ func (n *Network) observeDelivery(m Message) {
 		obs.Str("tag", m.Tag))
 }
 
-// Context is the API a node uses during a callback.
+// Context is the API a node uses during a callback. The network hands
+// every callback the same scratch Context, so a node must not retain
+// it past the callback's return.
 type Context struct {
 	net  *Network
 	self model.PartyID

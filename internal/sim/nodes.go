@@ -31,17 +31,19 @@ type TrustedNode struct {
 	adjacent []int // exchange indices mediated here
 
 	// Volatile working state, lost on a crash and rebuilt from the wal.
-	received  map[model.Action]bool
-	refunded  map[model.Action]bool
-	delivered map[int]bool
+	// The containers are slab-style (see arena.go): zero-value-ready,
+	// reset in place, no per-node map allocations.
+	received  actionSet
+	refunded  actionSet
+	delivered flagSet
 	aborted   bool
 	// deadlineAt is the earliest armed escrow expiry (0 = unarmed); a
 	// recovering node re-arms it, or unwinds immediately if it passed
 	// while the node was down.
 	deadlineAt Time
 
-	collateral map[int]bool // offer index -> currently held
-	settled    map[int]bool // offer index -> refunded or paid out
+	collateral flagSet // offer index -> currently held
+	settled    flagSet // offer index -> refunded or paid out
 
 	// wal is the durable escrow log: every state mutation is appended
 	// before it is applied, so Restore can rebuild the exact pre-crash
@@ -90,19 +92,19 @@ func (n *TrustedNode) logApply(e walEntry) {
 func (n *TrustedNode) apply(e walEntry) {
 	switch e.op {
 	case walReceived:
-		n.received[e.action] = true
+		n.received.add(e.action)
 	case walRefunded:
-		n.refunded[e.action] = true
+		n.refunded.add(e.action)
 	case walDelivered:
-		n.delivered[e.idx] = true
+		n.delivered.set(e.idx, true)
 	case walUndelivered:
-		n.delivered[e.idx] = false
+		n.delivered.set(e.idx, false)
 	case walAborted:
 		n.aborted = true
 	case walCollateral:
-		n.collateral[e.idx] = true
+		n.collateral.set(e.idx, true)
 	case walSettled:
-		n.settled[e.idx] = true
+		n.settled.set(e.idx, true)
 	case walDeadline:
 		if n.deadlineAt == 0 || e.at < n.deadlineAt {
 			n.deadlineAt = e.at
@@ -119,11 +121,11 @@ func (n *TrustedNode) armDeadline(ctx *Context, tag string) {
 // Crash implements Recoverable: volatile state is lost; the wal (and
 // the node's configuration) survives.
 func (n *TrustedNode) Crash() {
-	n.received = make(map[model.Action]bool)
-	n.refunded = make(map[model.Action]bool)
-	n.delivered = make(map[int]bool)
-	n.collateral = make(map[int]bool)
-	n.settled = make(map[int]bool)
+	n.received.reset()
+	n.refunded.reset()
+	n.delivered.reset()
+	n.collateral.reset()
+	n.settled.reset()
 	n.aborted = false
 	n.deadlineAt = 0
 }
@@ -157,15 +159,10 @@ func (n *TrustedNode) Restore(ctx *Context) {
 // NewTrustedNode builds the node for one trusted component.
 func NewTrustedNode(p *model.Problem, self model.PartyID, deadline Time, honest bool) *TrustedNode {
 	n := &TrustedNode{
-		Problem:    p,
-		Self:       self,
-		Deadline:   deadline,
-		Honest:     honest,
-		received:   make(map[model.Action]bool),
-		refunded:   make(map[model.Action]bool),
-		delivered:  make(map[int]bool),
-		collateral: make(map[int]bool),
-		settled:    make(map[int]bool),
+		Problem:  p,
+		Self:     self,
+		Deadline: deadline,
+		Honest:   honest,
 	}
 	for _, ei := range p.ExchangesOf(self) {
 		if p.Exchanges[ei].Trusted == self {
@@ -207,7 +204,7 @@ func (n *TrustedNode) onTransfer(ctx *Context, a model.Action) {
 	if a.Inverse {
 		for _, ei := range n.adjacent {
 			for _, r := range model.ReceiptActions(n.Problem.Exchanges[ei]) {
-				if r.Compensation() == a && n.delivered[ei] {
+				if r.Compensation() == a && n.delivered.get(ei) {
 					n.logApply(walEntry{op: walUndelivered, idx: ei})
 					n.retryRefunds(ctx)
 					return
@@ -242,7 +239,7 @@ func (n *TrustedNode) onTransfer(ctx *Context, a model.Action) {
 		return
 	}
 	if n.aborted {
-		if n.delivered[ei] {
+		if n.delivered.get(ei) {
 			// A persona owner settling its withdrawal with payment after
 			// the unwind: accept and finish the counterpart sides.
 			n.logApply(walEntry{op: walReceived, action: a})
@@ -274,11 +271,11 @@ func (n *TrustedNode) onTransfer(ctx *Context, a model.Action) {
 // exchanges during an unwind, as returned assets make them fundable.
 func (n *TrustedNode) retryRefunds(ctx *Context) {
 	for _, ei := range n.adjacent {
-		if n.delivered[ei] {
+		if n.delivered.get(ei) {
 			continue
 		}
 		for _, d := range model.DepositActions(n.Problem.Exchanges[ei]) {
-			if n.received[d] && !n.refunded[d] {
+			if n.received.has(d) && !n.refunded.has(d) {
 				if err := ctx.SendTransfer(d.Compensation()); err == nil {
 					n.logApply(walEntry{op: walRefunded, action: d})
 				}
@@ -296,7 +293,7 @@ func (n *TrustedNode) settleAfterAbort(ctx *Context) {
 		}
 	}
 	for _, ei := range n.adjacent {
-		if n.delivered[ei] {
+		if n.delivered.get(ei) {
 			continue
 		}
 		allSent := true
@@ -319,7 +316,7 @@ func (n *TrustedNode) maybeForwardPersona(ctx *Context) {
 	}
 	for _, ei := range n.adjacent {
 		e := n.Problem.Exchanges[ei]
-		if e.Principal != n.PersonaOwner || n.delivered[ei] {
+		if e.Principal != n.PersonaOwner || n.delivered.get(ei) {
 			continue
 		}
 		// Forward when every item of the owner's Gets has arrived from
@@ -344,8 +341,8 @@ func (n *TrustedNode) maybeForwardPersona(ctx *Context) {
 }
 
 func (n *TrustedNode) holdsItem(item model.ItemID) bool {
-	for a := range n.received {
-		if a.Kind == model.ActionGive && a.Item == item && !n.refunded[a] {
+	for _, a := range n.received.keys {
+		if a.Kind == model.ActionGive && a.Item == item && !n.refunded.has(a) {
 			return true
 		}
 	}
@@ -359,7 +356,7 @@ func (n *TrustedNode) maybeComplete(ctx *Context) {
 		}
 	}
 	for _, ei := range n.adjacent {
-		if n.delivered[ei] {
+		if n.delivered.get(ei) {
 			continue
 		}
 		n.logApply(walEntry{op: walDelivered, idx: ei})
@@ -374,7 +371,7 @@ func (n *TrustedNode) maybeComplete(ctx *Context) {
 	}
 	// Everything delivered: refund live collateral to its offerers.
 	for oi, off := range n.Problem.Indemnities {
-		if off.Via != n.Self || !n.collateral[oi] || n.settled[oi] {
+		if off.Via != n.Self || !n.collateral.get(oi) || n.settled.get(oi) {
 			continue
 		}
 		n.logApply(walEntry{op: walSettled, idx: oi})
@@ -389,7 +386,7 @@ func (n *TrustedNode) onDeadline(ctx *Context) {
 	}
 	complete := true
 	for _, ei := range n.adjacent {
-		if !n.delivered[ei] {
+		if !n.delivered.get(ei) {
 			complete = false
 		}
 	}
@@ -400,7 +397,7 @@ func (n *TrustedNode) onDeadline(ctx *Context) {
 	// Settle collateral first: a covered, attempted, undelivered exchange
 	// forfeits the collateral to the protected principal.
 	for oi, off := range n.Problem.Indemnities {
-		if off.Via != n.Self || !n.collateral[oi] || n.settled[oi] {
+		if off.Via != n.Self || !n.collateral.get(oi) || n.settled.get(oi) {
 			continue
 		}
 		n.settleOffer(ctx, oi, off)
@@ -410,7 +407,7 @@ func (n *TrustedNode) onDeadline(ctx *Context) {
 	// Withdrawn-but-unpaid persona exchanges: demand return or payment.
 	for _, ei := range n.adjacent {
 		e := n.Problem.Exchanges[ei]
-		if e.Principal == n.PersonaOwner && n.delivered[ei] && !n.exchangeWhole(ei) {
+		if e.Principal == n.PersonaOwner && n.delivered.get(ei) && !n.exchangeWhole(ei) {
 			ctx.SendTagged(n.PersonaOwner, "recall:"+strconv.Itoa(ei))
 		}
 	}
@@ -424,7 +421,7 @@ func (n *TrustedNode) onDeadline(ctx *Context) {
 func (n *TrustedNode) settleOffer(ctx *Context, oi int, off model.IndemnityOffer) {
 	n.logApply(walEntry{op: walSettled, idx: oi})
 	amount := n.offerAmount(off)
-	if n.depositAttempted(off.Covers) && !n.delivered[off.Covers] {
+	if n.depositAttempted(off.Covers) && !n.delivered.get(off.Covers) {
 		_ = ctx.SendTransfer(model.Pay(n.Self, n.Problem.Exchanges[off.Covers].Principal, amount))
 		return
 	}
@@ -441,7 +438,7 @@ func (n *TrustedNode) offerAmount(off model.IndemnityOffer) model.Money {
 
 func (n *TrustedNode) depositAttempted(ei int) bool {
 	for _, d := range model.DepositActions(n.Problem.Exchanges[ei]) {
-		if !n.received[d] {
+		if !n.received.has(d) {
 			return false
 		}
 	}
@@ -449,8 +446,8 @@ func (n *TrustedNode) depositAttempted(ei int) bool {
 }
 
 func (n *TrustedNode) anyDepositReceived() bool {
-	for a, ok := range n.received {
-		if ok && a.Kind != model.ActionNotify {
+	for _, a := range n.received.keys {
+		if a.Kind != model.ActionNotify {
 			return true
 		}
 	}
@@ -459,7 +456,7 @@ func (n *TrustedNode) anyDepositReceived() bool {
 
 func (n *TrustedNode) exchangeWhole(ei int) bool {
 	for _, d := range model.DepositActions(n.Problem.Exchanges[ei]) {
-		if !n.received[d] || n.refunded[d] {
+		if !n.received.has(d) || n.refunded.has(d) {
 			return false
 		}
 	}
@@ -510,9 +507,12 @@ type PrincipalNode struct {
 	Self      model.PartyID
 	StopAfter int
 
-	script   []scriptStep
-	next     int
-	seen     map[model.Action]bool
+	script []scriptStep
+	next   int
+	seen   actionSet
+	// seenTags is allocated lazily: tagged control messages only flow
+	// on the indemnity and recall paths, so most principals never pay
+	// for the map.
 	seenTags map[string]bool
 	fired    int
 	faults   []error
@@ -521,8 +521,19 @@ type PrincipalNode struct {
 	// settlement consults it so a deposit the script already paid is not
 	// paid again (and makes the recall moot — the owner's side is
 	// settled).
-	sent map[model.Action]bool
+	sent actionSet
 }
+
+// markTag records a seen control tag, allocating the map on first use.
+func (n *PrincipalNode) markTag(tag string) {
+	if n.seenTags == nil {
+		n.seenTags = make(map[string]bool, 4)
+	}
+	n.seenTags[tag] = true
+}
+
+// sawTag reports whether a control tag has been seen.
+func (n *PrincipalNode) sawTag(tag string) bool { return n.seenTags[tag] }
 
 // recallState tracks one unwind demand from a persona trustee until the
 // owner settles it. Settlement may not be immediately fundable under
@@ -562,32 +573,81 @@ type scriptStep struct {
 	waitAny [][]model.Action
 }
 
-// NewPrincipalNode derives the principal's script from the plan.
+// NewPrincipalNode derives one principal's script from the plan. It is
+// a convenience for tests and single-node callers; building a whole
+// population goes through BuildPrincipalNodes, which derives every
+// script in one pass over the plan.
 func NewPrincipalNode(plan *core.Plan, self model.PartyID, stopAfter int) *PrincipalNode {
-	n := &PrincipalNode{
-		Problem:   plan.Problem,
-		Self:      self,
-		StopAfter: stopAfter,
-		seen:      make(map[model.Action]bool),
-		seenTags:  make(map[string]bool),
-		sent:      make(map[model.Action]bool),
+	for _, n := range BuildPrincipalNodes(plan, map[model.PartyID]int{self: stopAfter}) {
+		if n.Self == self {
+			return n
+		}
 	}
-	var observed []model.Action
-	var observedTags []string
+	return nil
+}
+
+// BuildPrincipalNodes derives the script of every principal in one
+// pass over plan.Steps. The per-principal derivation is exactly
+// NewPrincipalNode's: each principal accumulates the actions and
+// control tags addressed to it in step order, and snapshots that
+// prefix as the wait set of each of its own deposit/post steps. Doing
+// all principals in a single pass turns an O(principals × steps)
+// build — quadratic at population scale, since steps grow with
+// principals — into O(steps × step fan-out).
+//
+// defectors maps principals to their StopAfter bound; absent
+// principals are honest (StopAfter -1).
+// snapshotPrefix freezes the current contents of an append-only slice
+// without copying: the capacity cap makes the snapshot un-appendable,
+// and since the source only ever grows past its current length, the
+// shared prefix is immutable. The script builder leans on this — a
+// population producer observes thousands of actions across its steps,
+// and copying each step's cumulative prefix was the single largest
+// allocation in a large-population setup (~24 KB per principal).
+func snapshotPrefix[T any](s []T) []T {
+	return s[:len(s):len(s)]
+}
+
+func BuildPrincipalNodes(plan *core.Plan, defectors map[model.PartyID]int) []*PrincipalNode {
+	p := plan.Problem
+	idx := make(map[model.PartyID]int32, len(p.Parties))
+	nodes := make([]*PrincipalNode, 0, len(p.Parties))
+	for _, pa := range p.Parties {
+		if pa.IsTrusted() {
+			continue
+		}
+		stop := -1
+		if k, ok := defectors[pa.ID]; ok {
+			stop = k
+		}
+		idx[pa.ID] = int32(len(nodes))
+		nodes = append(nodes, &PrincipalNode{Problem: p, Self: pa.ID, StopAfter: stop})
+	}
+	observed := make([][]model.Action, len(nodes))
+	observedTags := make([][]string, len(nodes))
 	for _, st := range plan.Steps {
 		switch st.Kind {
 		case core.StepNotify, core.StepDeliver, core.StepIndemnityRefund:
 			for _, a := range st.Actions {
-				if a.Receiver() == self || (a.Kind == model.ActionNotify && a.To == self) {
-					observed = append(observed, a)
+				recv := a.Receiver()
+				if i, ok := idx[recv]; ok {
+					observed[i] = append(observed[i], a)
+				}
+				// A notify can address a party distinct from the asset
+				// receiver; both observe it (once, when they coincide).
+				if a.Kind == model.ActionNotify && a.To != recv {
+					if i, ok := idx[a.To]; ok {
+						observed[i] = append(observed[i], a)
+					}
 				}
 			}
 		case core.StepIndemnityPost:
-			off := plan.Problem.Indemnities[st.Offer]
-			if plan.Problem.Exchanges[off.Covers].Principal == self {
-				observedTags = append(observedTags, "posted:"+strconv.Itoa(st.Offer))
+			off := p.Indemnities[st.Offer]
+			if i, ok := idx[p.Exchanges[off.Covers].Principal]; ok {
+				observedTags[i] = append(observedTags[i], "posted:"+strconv.Itoa(st.Offer))
 			}
-			if st.From != self {
+			i, ok := idx[st.From]
+			if !ok {
 				continue
 			}
 			// A self-insured offerer posts only once it observes that the
@@ -596,27 +656,28 @@ func NewPrincipalNode(plan *core.Plan, self model.PartyID, stopAfter int) *Princ
 			// the wholesale intermediary's notification or the item's
 			// actual delivery.
 			var anyOf [][]model.Action
-			if model.SelfInsured(plan.Problem, off) {
-				anyOf = securingSignals(plan.Problem, self, off)
+			if model.SelfInsured(p, off) {
+				anyOf = securingSignals(p, st.From, off)
 			}
-			n.script = append(n.script, scriptStep{
+			nodes[i].script = append(nodes[i].script, scriptStep{
 				actions:  append([]model.Action(nil), st.Actions...),
-				waitFor:  append([]model.Action(nil), observed...),
-				waitTags: append([]string(nil), observedTags...),
+				waitFor:  snapshotPrefix(observed[i]),
+				waitTags: snapshotPrefix(observedTags[i]),
 				waitAny:  anyOf,
 			})
 		case core.StepDeposit:
-			if st.From != self {
+			i, ok := idx[st.From]
+			if !ok {
 				continue
 			}
-			n.script = append(n.script, scriptStep{
+			nodes[i].script = append(nodes[i].script, scriptStep{
 				actions:  append([]model.Action(nil), st.Actions...),
-				waitFor:  append([]model.Action(nil), observed...),
-				waitTags: append([]string(nil), observedTags...),
+				waitFor:  snapshotPrefix(observed[i]),
+				waitTags: snapshotPrefix(observedTags[i]),
 			})
 		}
 	}
-	return n
+	return nodes
 }
 
 // securingSignals returns, per covered item, the alternative
@@ -667,9 +728,9 @@ func (n *PrincipalNode) OnMessage(ctx *Context, m Message) {
 		return
 	}
 	if m.Tag != "" {
-		n.seenTags[m.Tag] = true
+		n.markTag(m.Tag)
 	} else {
-		n.seen[m.Action] = true
+		n.seen.add(m.Action)
 	}
 	n.tryFire(ctx)
 	n.pumpRecalls(ctx)
@@ -686,10 +747,10 @@ func (n *PrincipalNode) OnMessage(ctx *Context, m Message) {
 // that cannot be funded yet (the assets are in flight or in another
 // escrow) is parked and re-attempted on every later delivery.
 func (n *PrincipalNode) onRecall(ctx *Context, m Message) {
-	if n.seenTags[m.Tag] {
+	if n.sawTag(m.Tag) {
 		return
 	}
-	n.seenTags[m.Tag] = true
+	n.markTag(m.Tag)
 	if n.StopAfter >= 0 && n.fired >= n.StopAfter {
 		return
 	}
@@ -728,7 +789,7 @@ func (n *PrincipalNode) attemptRecall(ctx *Context, rc *recallState) {
 	if rc.mode != recallReturning {
 		paid := true
 		for _, d := range deposits {
-			if !n.sent[d] && !rc.sent[d] {
+			if !n.sent.has(d) && !rc.sent[d] {
 				paid = false
 			}
 		}
@@ -761,7 +822,7 @@ func (n *PrincipalNode) attemptRecall(ctx *Context, rc *recallState) {
 	}
 	all := true
 	for _, d := range deposits {
-		if rc.sent[d] || n.sent[d] {
+		if rc.sent[d] || n.sent.has(d) {
 			continue
 		}
 		if err := ctx.SendTransfer(d); err != nil {
@@ -786,19 +847,19 @@ func (n *PrincipalNode) tryFire(ctx *Context) {
 		}
 		st := n.script[n.next]
 		for _, w := range st.waitFor {
-			if !n.seen[w] {
+			if !n.seen.has(w) {
 				return
 			}
 		}
 		for _, tag := range st.waitTags {
-			if !n.seenTags[tag] {
+			if !n.sawTag(tag) {
 				return
 			}
 		}
 		for _, alts := range st.waitAny {
 			sawOne := false
 			for _, a := range alts {
-				if n.seen[a] {
+				if n.seen.has(a) {
 					sawOne = true
 					break
 				}
@@ -812,7 +873,7 @@ func (n *PrincipalNode) tryFire(ctx *Context) {
 				n.faults = append(n.faults, fmt.Errorf("sim: %s step %d: %w", n.Self, n.next, err))
 				return
 			}
-			n.sent[a] = true
+			n.sent.add(a)
 		}
 		n.next++
 		n.fired++

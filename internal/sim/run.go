@@ -19,6 +19,13 @@ type Options struct {
 	Seed        int64
 	BaseLatency Time
 	Jitter      Time
+	// Scheduler selects the event-queue implementation (see
+	// Config.Scheduler). The zero value is the timing wheel.
+	Scheduler SchedulerKind
+	// MaxMessages overrides the runaway-livelock guard. The default
+	// scales with the problem: max(100_000, 256 × exchanges), so
+	// population-scale runs are not cut off by the paper-scale guard.
+	MaxMessages int
 	// Deadline is the escrow expiry each trusted component enforces from
 	// its first deposit. It must comfortably exceed the honest protocol's
 	// span; the default (1000 ticks) does.
@@ -46,6 +53,11 @@ type Options struct {
 	// network counters (see Config.Obs). Nil disables; telemetry never
 	// changes the simulated schedule.
 	Obs *obs.Telemetry
+	// Checkpoint, when set, makes Run snapshot the whole simulation to
+	// Checkpoint.Path at the first event at or after Checkpoint.At and
+	// then continue normally. RestoreRun resumes such a snapshot and
+	// replays the remainder of the run tick-for-tick (see checkpoint.go).
+	Checkpoint *CheckpointSpec
 }
 
 // Result is the outcome of a simulation.
@@ -127,9 +139,24 @@ func (r *Result) Summary() string {
 	return b.String()
 }
 
-// Run executes a synthesized plan on the simulated network. The plan
-// must be feasible.
-func Run(plan *core.Plan, opts Options) (*Result, error) {
+// runtime is one assembled simulation: the network, the ledger wired
+// into its hooks, and the node roster. Run builds it and starts from
+// scratch; RestoreRun builds the identical roster and then injects a
+// checkpoint's state before entering the event loop.
+type runtime struct {
+	plan       *core.Plan
+	opts       Options // normalized (defaults applied)
+	p          *model.Problem
+	net        *Network
+	book       *ledger.Ledger
+	trusted    []*TrustedNode
+	principals []*PrincipalNode
+}
+
+// setupRun validates the plan and options and assembles the runtime:
+// ledger, network, hooks, and every node, registered but not yet
+// initialized.
+func setupRun(plan *core.Plan, opts Options) (*runtime, error) {
 	if !plan.Feasible {
 		return nil, core.ErrInfeasible
 	}
@@ -140,27 +167,24 @@ func Run(plan *core.Plan, opts Options) (*Result, error) {
 	if err := opts.Faults.Validate(p); err != nil {
 		return nil, err
 	}
+	if opts.MaxMessages <= 0 {
+		opts.MaxMessages = 100_000
+		if scaled := 256 * len(p.Exchanges); scaled > opts.MaxMessages {
+			opts.MaxMessages = scaled
+		}
+	}
 
 	initial := model.InitialHoldings(p)
 	initial[transitAccount] = model.NewHolding()
 	book := ledger.New(initial)
 
-	tel := opts.Obs
-	var span obs.Span
-	if tel.Enabled() {
-		span = tel.Trace().StartSpan("sim.run",
-			obs.Str("problem", p.Name),
-			obs.Int64("seed", opts.Seed),
-			obs.Int("defectors", len(opts.Defectors)),
-			obs.Bool("faults", opts.Faults.Enabled()))
-	}
-
 	net := NewNetwork(Config{
 		Seed: opts.Seed, BaseLatency: opts.BaseLatency, Jitter: opts.Jitter,
+		Scheduler: opts.Scheduler, MaxMessages: opts.MaxMessages,
 		NotifyDropRate: opts.NotifyDropRate, Faults: opts.Faults,
-		NotifyRetries: opts.NotifyRetries, RetryBase: opts.RetryBase, Obs: tel,
+		NotifyRetries: opts.NotifyRetries, RetryBase: opts.RetryBase, Obs: opts.Obs,
 	})
-	net.SetHooks(
+	net.setHooks(
 		func(m Message) error {
 			return book.Transfer(m.Action.Mover(), transitAccount, m.Action.Asset(), m.Action.String())
 		},
@@ -172,43 +196,40 @@ func Run(plan *core.Plan, opts Options) (*Result, error) {
 		},
 	)
 
-	var principals []*PrincipalNode
+	rs := &runtime{plan: plan, opts: opts, p: p, net: net, book: book}
 	for _, pa := range p.Parties {
-		if pa.IsTrusted() {
-			honest := true
-			if q, ok := p.PersonaOf(pa.ID); ok {
-				if _, defects := opts.Defectors[q]; defects {
-					honest = false
-				}
-			}
-			net.AddNode(NewTrustedNode(p, pa.ID, opts.Deadline, honest))
+		if !pa.IsTrusted() {
 			continue
 		}
-		stopAfter := -1
-		if k, ok := opts.Defectors[pa.ID]; ok {
-			stopAfter = k
+		honest := true
+		if q, ok := p.PersonaOf(pa.ID); ok {
+			if _, defects := opts.Defectors[q]; defects {
+				honest = false
+			}
 		}
-		node := NewPrincipalNode(plan, pa.ID, stopAfter)
-		principals = append(principals, node)
+		tn := NewTrustedNode(p, pa.ID, opts.Deadline, honest)
+		rs.trusted = append(rs.trusted, tn)
+		net.AddNode(tn)
+	}
+	rs.principals = BuildPrincipalNodes(plan, opts.Defectors)
+	for _, node := range rs.principals {
 		net.AddNode(node)
 	}
+	return rs, nil
+}
 
-	if err := net.Run(); err != nil {
-		if tel.Enabled() {
-			span.End(obs.Str("error", err.Error()))
-		}
-		return nil, err
-	}
-
+// assemble builds the Result after the event loop has quiesced.
+func (rs *runtime) assemble() (*Result, error) {
+	p := rs.p
 	res := &Result{
 		Problem:         p,
 		State:           model.NewState(),
 		Balances:        make(map[model.PartyID]*model.Holding, len(p.Parties)),
-		Duration:        net.Now(),
-		DroppedNotifies: net.Dropped(),
+		Duration:        rs.net.Now(),
+		DroppedNotifies: rs.net.dropped,
 	}
-	res.Trace = net.Trace()
-	res.FaultStats = net.FaultStats()
+	res.Trace = rs.net.trace
+	res.FaultStats = rs.net.fstats
 	for _, m := range res.Trace {
 		if m.Kind == MsgCrash || m.Kind == MsgRestart {
 			continue // fault events are not deliveries
@@ -222,17 +243,53 @@ func Run(plan *core.Plan, opts Options) (*Result, error) {
 		}
 	}
 	for _, pa := range p.Parties {
-		res.Balances[pa.ID] = book.Balance(pa.ID)
+		res.Balances[pa.ID] = rs.book.Balance(pa.ID)
 	}
-	res.Balances[transitAccount] = book.Balance(transitAccount)
+	res.Balances[transitAccount] = rs.book.Balance(transitAccount)
 	if !res.Balances[transitAccount].IsEmpty() {
 		return nil, fmt.Errorf("sim: assets stuck in transit: %v", res.Balances[transitAccount])
 	}
-	if err := book.Audit(); err != nil {
+	if err := rs.book.Audit(); err != nil {
 		return nil, err
 	}
-	for _, node := range principals {
+	for _, node := range rs.principals {
 		res.Faults = append(res.Faults, node.Faults()...)
+	}
+	return res, nil
+}
+
+// Run executes a synthesized plan on the simulated network. The plan
+// must be feasible.
+func Run(plan *core.Plan, opts Options) (*Result, error) {
+	rs, err := setupRun(plan, opts)
+	if err != nil {
+		return nil, err
+	}
+	tel := rs.opts.Obs
+	var span obs.Span
+	if tel.Enabled() {
+		span = tel.Trace().StartSpan("sim.run",
+			obs.Str("problem", rs.p.Name),
+			obs.Int64("seed", opts.Seed),
+			obs.Int("defectors", len(opts.Defectors)),
+			obs.Bool("faults", opts.Faults.Enabled()))
+	}
+	if rs.opts.Checkpoint != nil {
+		rs.armCheckpoint()
+	}
+
+	if err := rs.net.Run(); err != nil {
+		if tel.Enabled() {
+			span.End(obs.Str("error", err.Error()))
+		}
+		return nil, err
+	}
+	res, err := rs.assemble()
+	if err != nil {
+		if tel.Enabled() {
+			span.End(obs.Str("error", err.Error()))
+		}
+		return nil, err
 	}
 	if tel.Enabled() {
 		tel.Reg().Counter("sim.runs").Inc()

@@ -1,0 +1,326 @@
+package sim
+
+import (
+	"math/bits"
+	"slices"
+)
+
+// This file holds the simulator's event queues. The default is a
+// hierarchical timing wheel — O(1) schedule and amortized O(1) fire —
+// and a binary heap is kept alongside it as the oracle for the
+// heap-vs-wheel equivalence property test. Both implementations pop in
+// exactly the total order (At, seq): At is the virtual delivery tick
+// and seq the global scheduling sequence number, so equal-tick events
+// fire in FIFO order. Because that order is total, any two correct
+// queues produce byte-identical traces.
+
+// msgLess is the scheduling order: delivery tick, then FIFO sequence.
+func msgLess(a, b Message) bool {
+	return a.At < b.At || (a.At == b.At && a.seq < b.seq)
+}
+
+// eventQueue is the scheduler behind Network. push accepts a message
+// whose seq is already assigned; pop returns events in (At, seq) order.
+// pending snapshots every queued event in pop order without consuming
+// it — the checkpoint writer uses it.
+type eventQueue interface {
+	push(m Message)
+	pop() (Message, bool)
+	len() int
+	pending() []Message
+}
+
+// SchedulerKind selects the event-queue implementation.
+type SchedulerKind int
+
+// Scheduler kinds. The timing wheel is the zero value and the default;
+// the binary heap is retained as the test oracle and for A/B
+// benchmarking.
+const (
+	SchedulerWheel SchedulerKind = iota
+	SchedulerHeap
+)
+
+// String names the scheduler.
+func (k SchedulerKind) String() string {
+	if k == SchedulerHeap {
+		return "heap"
+	}
+	return "wheel"
+}
+
+const (
+	wheelBits     = 6
+	wheelSlots    = 1 << wheelBits // 64 slots per level
+	wheelMask     = wheelSlots - 1
+	wheelLevels   = 4
+	wheelSpanBits = wheelBits * wheelLevels // the wheel covers 2^24 ticks
+)
+
+// wheelQueue is a hierarchical timing wheel over virtual time:
+// wheelLevels levels of wheelSlots buckets, where level l buckets
+// events by the l-th 6-bit digit of their delivery tick.
+//
+// Placement is by digit, not by delta: an event lands at the most
+// significant digit position where its tick differs from the wheel's
+// current time (`now`). That choice carries the invariants the
+// correctness argument rests on:
+//
+//   - every event in a level-l bucket shares all digits above l with
+//     now, and its digit at l is strictly greater than now's (no bucket
+//     ever mixes the current lap with the next), so
+//   - the lowest occupied level always contains the globally next
+//     event, found by one TrailingZeros64 over the level's occupancy
+//     bitmap, and
+//   - cascading a level-l bucket after advancing now to the bucket's
+//     window start re-inserts every event at a strictly lower level —
+//     progress is guaranteed, and each event cascades at most
+//     wheelLevels-1 times.
+//
+// Events beyond the wheel's 2^24-tick span wait in an overflow list;
+// they are provably later than everything in the wheel, so they
+// migrate only when the wheel drains. Firing copies a whole level-0
+// bucket into the batch buffer and sorts it by (At, seq) — a bucket is
+// almost always a single tick, so the sort is the FIFO tie-break, and
+// same-tick events scheduled during the firing batch are spliced into
+// it to preserve the global order.
+//
+// Every bucket's backing array stays resident in its slot: draining or
+// cascading reslices it to length zero instead of releasing it, so
+// each array grows once to its workload's high-water mark and
+// steady-state schedule+fire allocates nothing. The stale entries
+// between a drained bucket's length and capacity pin their party-ID
+// and tag strings until the slot refills, but those strings are alive
+// in the plan anyway, so the retention is free.
+type wheelQueue struct {
+	now   Time
+	slots [wheelLevels][wheelSlots][]Message
+	occ   [wheelLevels]uint64 // per-level bucket occupancy bitmaps
+	count int                 // events in buckets + overflow, excluding the batch
+
+	overflow    []Message
+	overflowMin Time
+
+	// The active firing batch: a persistent buffer holding a copy of
+	// the drained level-0 bucket, sorted.
+	batch     []Message
+	batchIdx  int
+	batchTime Time
+	firing    bool
+}
+
+func newWheelQueue() *wheelQueue { return &wheelQueue{} }
+
+func (w *wheelQueue) len() int { return w.count + len(w.batch) - w.batchIdx }
+
+func (w *wheelQueue) push(m Message) {
+	if w.firing && m.At <= w.batchTime {
+		w.spliceBatch(m)
+		return
+	}
+	w.insert(&m)
+}
+
+// insert buckets one event relative to the wheel's current time. It
+// takes a pointer so the ~100-byte Message is copied once, at the
+// bucket append, rather than at every hop of the call chain.
+func (w *wheelQueue) insert(m *Message) {
+	w.count++
+	at := m.At
+	if at <= w.now {
+		// Late (or exactly-now) events clamp into the current bucket;
+		// the batch sort orders them correctly by their original At.
+		w.place(0, int(w.now)&wheelMask, m)
+		return
+	}
+	if at>>wheelSpanBits != w.now>>wheelSpanBits {
+		if len(w.overflow) == 0 || at < w.overflowMin {
+			w.overflowMin = at
+		}
+		w.overflow = append(w.overflow, *m)
+		return
+	}
+	diff := uint64(at ^ w.now)
+	level := (63 - bits.LeadingZeros64(diff)) / wheelBits
+	slot := int(at>>(uint(level)*wheelBits)) & wheelMask
+	w.place(level, slot, m)
+}
+
+func (w *wheelQueue) place(level, slot int, m *Message) {
+	w.slots[level][slot] = append(w.slots[level][slot], *m)
+	w.occ[level] |= 1 << uint(slot)
+}
+
+// spliceBatch inserts a same-tick event scheduled mid-firing into the
+// unconsumed tail of the active batch, keeping (At, seq) order. New
+// events carry the largest seq so far, so the common case is a plain
+// append.
+func (w *wheelQueue) spliceBatch(m Message) {
+	i := len(w.batch)
+	for i > w.batchIdx && msgLess(m, w.batch[i-1]) {
+		i--
+	}
+	w.batch = append(w.batch, Message{})
+	copy(w.batch[i+1:], w.batch[i:])
+	w.batch[i] = m
+}
+
+func (w *wheelQueue) pop() (Message, bool) {
+	if w.batchIdx < len(w.batch) {
+		m := w.batch[w.batchIdx]
+		w.batchIdx++
+		return m, true
+	}
+	w.batch = w.batch[:0]
+	w.batchIdx = 0
+	w.firing = false
+	for {
+		if w.count == 0 {
+			return Message{}, false
+		}
+		level := -1
+		for l := 0; l < wheelLevels; l++ {
+			if w.occ[l] != 0 {
+				level = l
+				break
+			}
+		}
+		if level < 0 {
+			w.migrateOverflow()
+			continue
+		}
+		slot := bits.TrailingZeros64(w.occ[level])
+		events := w.slots[level][slot]
+		w.occ[level] &^= 1 << uint(slot)
+		w.count -= len(events)
+		if level == 0 {
+			w.now = (w.now &^ wheelMask) | Time(slot)
+			w.batch = append(w.batch[:0], events...)
+			w.slots[0][slot] = events[:0]
+			slices.SortFunc(w.batch, func(a, b Message) int {
+				if a.At != b.At {
+					return int(a.At - b.At)
+				}
+				return a.seq - b.seq
+			})
+			w.batchIdx = 1
+			w.batchTime = w.now
+			w.firing = true
+			return w.batch[0], true
+		}
+		// Cascade: advance now to the bucket's window start and
+		// re-insert; every event lands at a strictly lower level, so
+		// none of the inserts can touch the bucket being ranged.
+		shift := uint(level) * wheelBits
+		windowMask := Time(1)<<(shift+wheelBits) - 1
+		w.now = (w.now &^ windowMask) | Time(slot)<<shift
+		for i := range events {
+			w.insert(&events[i])
+		}
+		w.slots[level][slot] = events[:0]
+	}
+}
+
+// migrateOverflow jumps the wheel to the earliest overflow event —
+// every overflow event is strictly later than everything the (now
+// empty) wheel held — and re-buckets whatever now fits in the span.
+func (w *wheelQueue) migrateOverflow() {
+	waiting := w.overflow
+	w.now = w.overflowMin
+	w.overflow = nil
+	w.overflowMin = 0
+	w.count -= len(waiting)
+	for i := range waiting {
+		w.insert(&waiting[i])
+	}
+}
+
+func (w *wheelQueue) pending() []Message {
+	out := make([]Message, 0, w.len())
+	out = append(out, w.batch[w.batchIdx:]...)
+	for l := range w.slots {
+		for s := range w.slots[l] {
+			out = append(out, w.slots[l][s]...)
+		}
+	}
+	out = append(out, w.overflow...)
+	slices.SortFunc(out, func(a, b Message) int {
+		if a.At != b.At {
+			return int(a.At - b.At)
+		}
+		return a.seq - b.seq
+	})
+	return out
+}
+
+// heapQueue is a plain binary min-heap on (At, seq). It exists as the
+// oracle the wheel is property-tested against and as the baseline side
+// of the scheduler benchmarks; container/heap is avoided so neither
+// queue pays interface boxing on the hot path.
+type heapQueue struct {
+	h []Message
+}
+
+func newHeapQueue() *heapQueue { return &heapQueue{} }
+
+func (q *heapQueue) len() int { return len(q.h) }
+
+func (q *heapQueue) push(m Message) {
+	q.h = append(q.h, m)
+	i := len(q.h) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if !msgLess(q.h[i], q.h[p]) {
+			break
+		}
+		q.h[i], q.h[p] = q.h[p], q.h[i]
+		i = p
+	}
+}
+
+func (q *heapQueue) pop() (Message, bool) {
+	if len(q.h) == 0 {
+		return Message{}, false
+	}
+	top := q.h[0]
+	last := len(q.h) - 1
+	q.h[0] = q.h[last]
+	q.h[last] = Message{}
+	q.h = q.h[:last]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		min := i
+		if l < len(q.h) && msgLess(q.h[l], q.h[min]) {
+			min = l
+		}
+		if r < len(q.h) && msgLess(q.h[r], q.h[min]) {
+			min = r
+		}
+		if min == i {
+			break
+		}
+		q.h[i], q.h[min] = q.h[min], q.h[i]
+		i = min
+	}
+	return top, true
+}
+
+func (q *heapQueue) pending() []Message {
+	out := append([]Message(nil), q.h...)
+	slices.SortFunc(out, func(a, b Message) int {
+		if a.At != b.At {
+			return int(a.At - b.At)
+		}
+		return a.seq - b.seq
+	})
+	return out
+}
+
+// newQueue builds the configured scheduler.
+func newQueue(kind SchedulerKind) eventQueue {
+	if kind == SchedulerHeap {
+		return newHeapQueue()
+	}
+	return newWheelQueue()
+}

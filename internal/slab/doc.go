@@ -1,0 +1,14 @@
+// Package slab provides the arena idioms the million-principal
+// simulator shards its state with: an open-addressing interned index
+// that maps string-like identifiers (party and item IDs) to dense int32
+// slots, and a packed open-addressing count table keyed by a pair of
+// slots. Both structures keep memory per entry flat — one slice cell
+// plus a fraction of a probe table — and allocate only on growth, so
+// the steady-state hot paths of the ledger and the event loop stay
+// allocation-free.
+//
+// Concurrency: neither structure is safe for concurrent mutation; the
+// simulator owns one per run and mutates it from the single-threaded
+// event loop. Reads and writes never retain pointers into the tables,
+// so callers may grow them freely between uses.
+package slab

@@ -1,0 +1,219 @@
+package slab
+
+// Index interns string-like keys into dense int32 slots. Slots are
+// assigned in first-intern order, never reused, and never move, so a
+// slot is a stable, compact handle for a party or item identifier: the
+// caller indexes parallel slices ("slabs") by slot instead of hashing
+// the string on every touch. Lookups after warm-up are a single probe
+// sequence over an int32 table with no allocation.
+type Index[K ~string] struct {
+	keys  []K     // slot → key, dense
+	table []int32 // open addressing; stores slot+1, 0 = empty
+	mask  uint64  // len(table)-1, table length is a power of two
+}
+
+// NewIndex returns an index pre-sized for about n keys so early interns
+// do not rehash. n may be zero.
+func NewIndex[K ~string](n int) *Index[K] {
+	cap := 16
+	for cap*7 < n*10 { // keep load factor under 0.7
+		cap *= 2
+	}
+	return &Index[K]{
+		keys:  make([]K, 0, n),
+		table: make([]int32, cap),
+		mask:  uint64(cap - 1),
+	}
+}
+
+// fnv1a hashes the key bytes with 64-bit FNV-1a.
+func fnv1a[K ~string](k K) uint64 {
+	const (
+		offset = 14695981039346656037
+		prime  = 1099511628211
+	)
+	h := uint64(offset)
+	for i := 0; i < len(k); i++ {
+		h ^= uint64(k[i])
+		h *= prime
+	}
+	return h
+}
+
+// Intern returns the slot for k, assigning the next dense slot on first
+// sight. It is the only mutating operation.
+func (ix *Index[K]) Intern(k K) int32 {
+	h := fnv1a(k)
+	for i := h & ix.mask; ; i = (i + 1) & ix.mask {
+		e := ix.table[i]
+		if e == 0 {
+			slot := int32(len(ix.keys))
+			ix.keys = append(ix.keys, k)
+			ix.table[i] = slot + 1
+			if uint64(len(ix.keys))*10 >= uint64(len(ix.table))*7 {
+				ix.grow()
+			}
+			return slot
+		}
+		if ix.keys[e-1] == k {
+			return e - 1
+		}
+	}
+}
+
+// Lookup returns the slot for k without interning. The second result is
+// false when k has never been interned.
+func (ix *Index[K]) Lookup(k K) (int32, bool) {
+	h := fnv1a(k)
+	for i := h & ix.mask; ; i = (i + 1) & ix.mask {
+		e := ix.table[i]
+		if e == 0 {
+			return 0, false
+		}
+		if ix.keys[e-1] == k {
+			return e - 1, true
+		}
+	}
+}
+
+// Key returns the key interned at slot. It panics when slot was never
+// assigned, mirroring slice indexing.
+func (ix *Index[K]) Key(slot int32) K { return ix.keys[slot] }
+
+// Len reports how many distinct keys have been interned.
+func (ix *Index[K]) Len() int { return len(ix.keys) }
+
+// grow doubles the probe table and reinserts every slot.
+func (ix *Index[K]) grow() {
+	next := make([]int32, len(ix.table)*2)
+	mask := uint64(len(next) - 1)
+	for slot, k := range ix.keys {
+		h := fnv1a(k)
+		for i := h & mask; ; i = (i + 1) & mask {
+			if next[i] == 0 {
+				next[i] = int32(slot) + 1
+				break
+			}
+		}
+	}
+	ix.table, ix.mask = next, mask
+}
+
+// Counts is an open-addressing map from a packed uint64 key to an int64
+// count. The simulator packs (principal slot, item slot) pairs into the
+// key, so per-principal holdings live in one flat table instead of a
+// map-of-maps: flat memory per entry, no per-principal allocation, and
+// zero-allocation increments at steady state. Entries are never
+// deleted; a count that returns to zero keeps its cell, which is the
+// common case for an item that will be traded again.
+type Counts struct {
+	keys []uint64
+	vals []int64
+	live []bool
+	n    int
+	mask uint64
+}
+
+// NewCounts returns a count table pre-sized for about n entries.
+func NewCounts(n int) *Counts {
+	cap := 16
+	for cap*7 < n*10 {
+		cap *= 2
+	}
+	return &Counts{
+		keys: make([]uint64, cap),
+		vals: make([]int64, cap),
+		live: make([]bool, cap),
+		mask: uint64(cap - 1),
+	}
+}
+
+// PairKey packs two non-negative slots into one Counts key.
+func PairKey(a, b int32) uint64 { return uint64(uint32(a))<<32 | uint64(uint32(b)) }
+
+// mix is a 64-bit finalizer (splitmix64) spreading packed keys whose
+// entropy sits in a few low bits of each half.
+func mix(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// Add adds delta to the count at key and returns the new value,
+// creating the entry at zero when absent.
+func (c *Counts) Add(key uint64, delta int64) int64 {
+	v, _ := c.Upsert(key, delta)
+	return v
+}
+
+// Upsert adds delta like Add and additionally reports whether the entry
+// was created by this call — the hook callers use to maintain "ever
+// held" side lists without a second probe.
+func (c *Counts) Upsert(key uint64, delta int64) (int64, bool) {
+	h := mix(key)
+	for i := h & c.mask; ; i = (i + 1) & c.mask {
+		if !c.live[i] {
+			c.keys[i], c.vals[i], c.live[i] = key, delta, true
+			c.n++
+			if uint64(c.n)*10 >= uint64(len(c.keys))*7 {
+				c.grow()
+			}
+			return delta, true
+		}
+		if c.keys[i] == key {
+			c.vals[i] += delta
+			return c.vals[i], false
+		}
+	}
+}
+
+// Get returns the count at key, zero when absent.
+func (c *Counts) Get(key uint64) int64 {
+	h := mix(key)
+	for i := h & c.mask; ; i = (i + 1) & c.mask {
+		if !c.live[i] {
+			return 0
+		}
+		if c.keys[i] == key {
+			return c.vals[i]
+		}
+	}
+}
+
+// Len reports how many distinct keys hold an entry, including entries
+// whose count has returned to zero.
+func (c *Counts) Len() int { return c.n }
+
+// Range calls fn for every live entry in unspecified order. fn must not
+// mutate the table.
+func (c *Counts) Range(fn func(key uint64, val int64)) {
+	for i, ok := range c.live {
+		if ok {
+			fn(c.keys[i], c.vals[i])
+		}
+	}
+}
+
+// grow doubles the table and reinserts every live entry.
+func (c *Counts) grow() {
+	keys := make([]uint64, len(c.keys)*2)
+	vals := make([]int64, len(keys))
+	live := make([]bool, len(keys))
+	mask := uint64(len(keys) - 1)
+	for i, ok := range c.live {
+		if !ok {
+			continue
+		}
+		h := mix(c.keys[i])
+		for j := h & mask; ; j = (j + 1) & mask {
+			if !live[j] {
+				keys[j], vals[j], live[j] = c.keys[i], c.vals[i], true
+				break
+			}
+		}
+	}
+	c.keys, c.vals, c.live, c.mask = keys, vals, live, mask
+}

@@ -1,0 +1,144 @@
+package slab
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+func TestIndexInternAssignsDenseSlots(t *testing.T) {
+	ix := NewIndex[string](0)
+	keys := []string{"alice", "bob", "carol", "alice", "bob", "dave"}
+	want := []int32{0, 1, 2, 0, 1, 3}
+	for i, k := range keys {
+		if got := ix.Intern(k); got != want[i] {
+			t.Fatalf("Intern(%q) = %d, want %d", k, got, want[i])
+		}
+	}
+	if ix.Len() != 4 {
+		t.Fatalf("Len = %d, want 4", ix.Len())
+	}
+	for slot, k := range []string{"alice", "bob", "carol", "dave"} {
+		if ix.Key(int32(slot)) != k {
+			t.Errorf("Key(%d) = %q, want %q", slot, ix.Key(int32(slot)), k)
+		}
+		got, ok := ix.Lookup(k)
+		if !ok || got != int32(slot) {
+			t.Errorf("Lookup(%q) = %d,%v, want %d,true", k, got, ok, slot)
+		}
+	}
+	if _, ok := ix.Lookup("eve"); ok {
+		t.Error("Lookup of never-interned key reported present")
+	}
+}
+
+func TestIndexGrowKeepsSlots(t *testing.T) {
+	ix := NewIndex[string](0)
+	const n = 10_000
+	for i := 0; i < n; i++ {
+		if got := ix.Intern(fmt.Sprintf("party-%d", i)); got != int32(i) {
+			t.Fatalf("Intern #%d = %d", i, got)
+		}
+	}
+	// Every key survives many doublings with its original slot.
+	for i := 0; i < n; i++ {
+		k := fmt.Sprintf("party-%d", i)
+		got, ok := ix.Lookup(k)
+		if !ok || got != int32(i) {
+			t.Fatalf("after grow: Lookup(%q) = %d,%v", k, got, ok)
+		}
+	}
+}
+
+func TestIndexSteadyStateNoAlloc(t *testing.T) {
+	ix := NewIndex[string](8)
+	keys := []string{"a", "bb", "ccc", "dddd"}
+	for _, k := range keys {
+		ix.Intern(k)
+	}
+	got := testing.AllocsPerRun(100, func() {
+		for _, k := range keys {
+			ix.Intern(k)
+			ix.Lookup(k)
+		}
+	})
+	if got != 0 {
+		t.Errorf("warm Intern/Lookup allocates %.0f/run, want 0", got)
+	}
+}
+
+func TestCountsAddGet(t *testing.T) {
+	c := NewCounts(0)
+	k1 := PairKey(0, 7)
+	k2 := PairKey(7, 0) // must not collide with k1
+	if k1 == k2 {
+		t.Fatal("PairKey is symmetric")
+	}
+	if got := c.Add(k1, 3); got != 3 {
+		t.Fatalf("Add = %d, want 3", got)
+	}
+	if got := c.Add(k1, -3); got != 0 {
+		t.Fatalf("Add = %d, want 0", got)
+	}
+	if got := c.Get(k1); got != 0 {
+		t.Fatalf("Get = %d, want 0", got)
+	}
+	if got := c.Get(k2); got != 0 {
+		t.Fatalf("Get(absent) = %d, want 0", got)
+	}
+	c.Add(k2, 5)
+	if got := c.Get(k2); got != 5 {
+		t.Fatalf("Get = %d, want 5", got)
+	}
+	if c.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", c.Len())
+	}
+}
+
+func TestCountsAgainstMap(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	c := NewCounts(0)
+	ref := map[uint64]int64{}
+	for i := 0; i < 50_000; i++ {
+		key := PairKey(int32(rng.Intn(200)), int32(rng.Intn(50)))
+		delta := int64(rng.Intn(7) - 3)
+		c.Add(key, delta)
+		ref[key] += delta
+	}
+	if c.Len() != len(ref) {
+		t.Fatalf("Len = %d, map has %d", c.Len(), len(ref))
+	}
+	for k, v := range ref {
+		if got := c.Get(k); got != v {
+			t.Fatalf("Get(%#x) = %d, want %d", k, got, v)
+		}
+	}
+	seen := 0
+	c.Range(func(k uint64, v int64) {
+		if ref[k] != v {
+			t.Fatalf("Range(%#x) = %d, want %d", k, v, ref[k])
+		}
+		seen++
+	})
+	if seen != len(ref) {
+		t.Fatalf("Range visited %d entries, want %d", seen, len(ref))
+	}
+}
+
+func TestCountsSteadyStateNoAlloc(t *testing.T) {
+	c := NewCounts(16)
+	keys := []uint64{PairKey(1, 2), PairKey(3, 4), PairKey(5, 6)}
+	for _, k := range keys {
+		c.Add(k, 1)
+	}
+	got := testing.AllocsPerRun(100, func() {
+		for _, k := range keys {
+			c.Add(k, 1)
+			c.Add(k, -1)
+			c.Get(k)
+		}
+	})
+	if got != 0 {
+		t.Errorf("warm Add/Get allocates %.0f/run, want 0", got)
+	}
+}

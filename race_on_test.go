@@ -1,0 +1,7 @@
+//go:build race
+
+package trustseq
+
+// raceEnabled reports whether this test binary was built with the race
+// detector; exact allocation-count gates skip themselves when it is on.
+const raceEnabled = true

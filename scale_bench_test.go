@@ -1,0 +1,73 @@
+package trustseq
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"testing"
+
+	"trustseq/internal/core"
+	"trustseq/internal/gen"
+	"trustseq/internal/sim"
+)
+
+// popDeadline is the simulation deadline used by every population
+// benchmark. The protocol's critical path grows with the producer
+// fan-out (256 consumers funnel through each producer serially), so
+// the default paper-scale deadline of 1000 ticks is too short for any
+// generated population; 20000 clears the critical path at every size
+// benchmarked here while staying far inside the timing wheel's 2^24
+// span.
+const popDeadline = 20000
+
+// popPlans caches one synthesized plan per population size so the
+// benchmark loop times only the simulation. Synthesis is measured
+// separately (it is linear after the compile-pass fixes; see
+// BENCH_pr8.json) and at 10^5 principals takes longer than a single
+// simulated run — folding it in would drown the metric under test.
+var popPlans sync.Map
+
+func popPlan(b *testing.B, n int) *core.Plan {
+	if v, ok := popPlans.Load(n); ok {
+		return v.(*core.Plan)
+	}
+	plan, err := core.Synthesize(gen.Population(n, 0, 10))
+	if err != nil {
+		b.Fatalf("synthesize population %d: %v", n, err)
+	}
+	popPlans.Store(n, plan)
+	return plan
+}
+
+// BenchmarkPopulationSim is the scale benchmark behind BENCH_pr8.json:
+// end-to-end simulation of a generated n-consumer population, reported
+// as raw ns/op plus two derived metrics — principals/s (simulation
+// throughput) and B/principal (allocation per principal per run, from
+// the MemStats TotalAlloc delta). The bytes-per-principal curve is the
+// flat-memory acceptance gate: cmd/benchtrend fails if it grows by
+// more than 1.5x from 10^3 to 10^5 principals.
+func BenchmarkPopulationSim(b *testing.B) {
+	for _, n := range []int{1000, 10000, 100000} {
+		b.Run(fmt.Sprintf("principals=%d", n), func(b *testing.B) {
+			plan := popPlan(b, n)
+			var ms runtime.MemStats
+			runtime.ReadMemStats(&ms)
+			before := ms.TotalAlloc
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res, err := sim.Run(plan, sim.Options{Seed: 1, Deadline: popDeadline})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if !res.Completed() {
+					b.Fatal("population run missed its deadline")
+				}
+			}
+			b.StopTimer()
+			runtime.ReadMemStats(&ms)
+			perRun := float64(ms.TotalAlloc-before) / float64(b.N)
+			b.ReportMetric(perRun/float64(n), "B/principal")
+			b.ReportMetric(float64(n)*float64(b.N)/b.Elapsed().Seconds(), "principals/s")
+		})
+	}
+}

@@ -28,6 +28,25 @@
 //	                    (e.g. 127.0.0.1:6060; empty = off)
 //	-quiet              suppress the startup line
 //
+// Cluster mode (see ARCHITECTURE.md, "Cluster topology"):
+//
+//	-cluster            join/form a cluster even with no seed peers
+//	-peers A,B,...      seed addresses of other members; implies -cluster
+//	-advertise ADDR     address peers use to reach this node (default: the
+//	                    bound address, host 127.0.0.1 when unspecified);
+//	                    implies -cluster
+//	-gossip-interval D  gossip round period (default 500ms)
+//	-suspect-after D    silence before a member is suspect (default 4×interval)
+//	-dead-after D       silence before a member leaves the ring (default
+//	                    5×suspect-after)
+//	-vnodes N           virtual nodes per member on the hash ring (default 64)
+//
+// In cluster mode each node gossips membership and cache-fill hints with
+// its peers over the service listener (/cluster/gossip), routes analyze
+// requests to the digest's ring owner, and partitions /v1/sweep across
+// live members. Every node serves the full API; point clients (or
+// trustlb) at any of them.
+//
 // SIGINT/SIGTERM starts a graceful drain: the listener stops accepting,
 // in-flight requests get up to -drain to finish, then the process
 // exits. The pprof listener (when enabled) is independent of the main
@@ -46,9 +65,11 @@ import (
 	"os"
 	"os/signal"
 	"runtime"
+	"strings"
 	"syscall"
 	"time"
 
+	"trustseq/internal/cluster"
 	"trustseq/internal/obs"
 	"trustseq/internal/service"
 )
@@ -79,27 +100,19 @@ func run(ctx context.Context, args []string, errw io.Writer) error {
 	slowlogEntries := fs.Int("slowlog-entries", 128, "recent-request table and slow-trace ring capacity")
 	pprofAddr := fs.String("pprof", "", "serve net/http/pprof on this loopback address (e.g. 127.0.0.1:6060; empty = off)")
 	quiet := fs.Bool("quiet", false, "suppress the startup line")
+	clusterMode := fs.Bool("cluster", false, "join/form a cluster even with no seed peers")
+	peers := fs.String("peers", "", "comma-separated seed addresses of other cluster members (implies -cluster)")
+	advertise := fs.String("advertise", "", "address peers use to reach this node (implies -cluster; default: the bound address)")
+	gossipInterval := fs.Duration("gossip-interval", 500*time.Millisecond, "gossip round period")
+	suspectAfter := fs.Duration("suspect-after", 0, "silence before a member is suspect (0 = 4×gossip-interval)")
+	deadAfter := fs.Duration("dead-after", 0, "silence before a member leaves the ring (0 = 5×suspect-after)")
+	vnodes := fs.Int("vnodes", 0, "virtual nodes per member on the hash ring (0 = 64)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if fs.NArg() != 0 {
 		return fmt.Errorf("usage: trustd [flags] (no positional arguments)")
 	}
-
-	tel := &obs.Telemetry{Metrics: obs.NewRegistry()}
-	svc := service.New(service.Options{
-		CacheEntries:       *cacheEntries,
-		BaseEntries:        *baseEntries,
-		MaxConcurrent:      *concurrency,
-		RequestTimeout:     *timeout,
-		SweepTimeout:       *sweepTimeout,
-		MaxSearchExchanges: *maxSearch,
-		PetriBudget:        *petriBudget,
-		SearchWorkers:      *searchWorkers,
-		Telemetry:          tel,
-		SlowLogMillis:      *slowlogMS,
-		SlowLogEntries:     *slowlogEntries,
-	})
 
 	if *pprofAddr != "" {
 		pln, err := listenLoopback(*pprofAddr)
@@ -114,10 +127,57 @@ func run(ctx context.Context, args []string, errw io.Writer) error {
 		}
 	}
 
+	// The listener binds before the cluster node exists: the advertised
+	// identity defaults to the actually-bound address (with an
+	// unspecified host rewritten to loopback so peers can dial it).
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		return err
 	}
+
+	tel := &obs.Telemetry{Metrics: obs.NewRegistry()}
+	var node *cluster.Node
+	if *clusterMode || *peers != "" || *advertise != "" {
+		self := *advertise
+		if self == "" {
+			if self, err = advertisableAddr(ln.Addr().String()); err != nil {
+				ln.Close()
+				return err
+			}
+		}
+		node, err = cluster.NewNode(cluster.Config{
+			Self:         self,
+			Peers:        splitPeers(*peers),
+			VNodes:       *vnodes,
+			Interval:     *gossipInterval,
+			SuspectAfter: *suspectAfter,
+			DeadAfter:    *deadAfter,
+			Telemetry:    tel,
+			Logf: func(format string, args ...any) {
+				fmt.Fprintf(errw, "trustd: cluster: "+format+"\n", args...)
+			},
+		})
+		if err != nil {
+			ln.Close()
+			return err
+		}
+	}
+
+	svc := service.New(service.Options{
+		CacheEntries:       *cacheEntries,
+		BaseEntries:        *baseEntries,
+		MaxConcurrent:      *concurrency,
+		RequestTimeout:     *timeout,
+		SweepTimeout:       *sweepTimeout,
+		MaxSearchExchanges: *maxSearch,
+		PetriBudget:        *petriBudget,
+		SearchWorkers:      *searchWorkers,
+		Telemetry:          tel,
+		SlowLogMillis:      *slowlogMS,
+		SlowLogEntries:     *slowlogEntries,
+		Cluster:            node,
+	})
+
 	if !*quiet {
 		workers := *concurrency
 		if workers < 1 {
@@ -125,11 +185,45 @@ func run(ctx context.Context, args []string, errw io.Writer) error {
 		}
 		fmt.Fprintf(errw, "trustd: serving on http://%s (cache %d entries, %d concurrent runs)\n",
 			ln.Addr(), *cacheEntries, workers)
+		if node != nil {
+			fmt.Fprintf(errw, "trustd: cluster member %s (%d seed peers, gossip every %v)\n",
+				node.Self(), len(splitPeers(*peers)), *gossipInterval)
+		}
 	}
 
 	ctx, stop := signal.NotifyContext(ctx, os.Interrupt, syscall.SIGTERM)
 	defer stop()
+	if node != nil {
+		go node.Run(ctx)
+	}
 	return service.Serve(ctx, ln, svc.Handler(), *drain)
+}
+
+// splitPeers parses the -peers list, dropping empties so trailing
+// commas are harmless.
+func splitPeers(s string) []string {
+	var out []string
+	for _, p := range strings.Split(s, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// advertisableAddr turns the bound listen address into one peers can
+// dial: an unspecified host (the ":8086" default binds every interface)
+// is rewritten to loopback, which is right for single-machine clusters
+// and the CI ring; multi-host deployments pass -advertise explicitly.
+func advertisableAddr(bound string) (string, error) {
+	host, port, err := net.SplitHostPort(bound)
+	if err != nil {
+		return "", fmt.Errorf("advertise address from %q: %w", bound, err)
+	}
+	if ip := net.ParseIP(host); host == "" || (ip != nil && ip.IsUnspecified()) {
+		host = "127.0.0.1"
+	}
+	return net.JoinHostPort(host, port), nil
 }
 
 // listenLoopback binds addr after verifying the host is loopback: the

@@ -3,6 +3,7 @@ package main
 import (
 	"bytes"
 	"context"
+	"encoding/json"
 	"io"
 	"net/http"
 	"regexp"
@@ -113,6 +114,95 @@ func TestRunWithPprofListener(t *testing.T) {
 		}
 	case <-time.After(10 * time.Second):
 		t.Fatal("daemon did not exit after context cancel")
+	}
+}
+
+// bootDaemon starts run() with the given extra flags on an ephemeral
+// port and returns the bound address once the startup line appears.
+func bootDaemon(t *testing.T, ctx context.Context, extra ...string) (string, chan error, *lockedBuffer) {
+	t.Helper()
+	var errw lockedBuffer
+	done := make(chan error, 1)
+	args := append([]string{"-addr", "127.0.0.1:0"}, extra...)
+	go func() { done <- run(ctx, args, &errw) }()
+	addrRe := regexp.MustCompile(`serving on http://([0-9.]+:[0-9]+)`)
+	deadline := time.After(10 * time.Second)
+	for {
+		select {
+		case err := <-done:
+			t.Fatalf("run exited early: %v\n%s", err, errw.String())
+		case <-deadline:
+			t.Fatalf("no startup line after 10s: %q", errw.String())
+		case <-time.After(5 * time.Millisecond):
+			if m := addrRe.FindStringSubmatch(errw.String()); m != nil {
+				return m[1], done, &errw
+			}
+		}
+	}
+}
+
+// TestRunClusterPairConverges boots two daemons in cluster mode — the
+// second seeded with the first — and waits for both to agree on a
+// two-member ring, then drives an analysis through the pair and checks
+// the cluster routing header is present.
+func TestRunClusterPairConverges(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	addrA, doneA, logA := bootDaemon(t, ctx, "-cluster", "-gossip-interval", "25ms")
+	addrB, doneB, _ := bootDaemon(t, ctx, "-peers", addrA, "-gossip-interval", "25ms")
+
+	ringSize := func(addr string) int {
+		resp, err := http.Get("http://" + addr + "/cluster/members")
+		if err != nil {
+			return 0
+		}
+		defer resp.Body.Close()
+		var st struct {
+			Live int `json:"live"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+			return 0
+		}
+		return st.Live
+	}
+	deadline := time.After(10 * time.Second)
+	for ringSize(addrA) != 2 || ringSize(addrB) != 2 {
+		select {
+		case <-deadline:
+			t.Fatalf("cluster never converged; A log:\n%s", logA.String())
+		case <-time.After(20 * time.Millisecond):
+		}
+	}
+
+	resp, err := http.Post("http://"+addrB+"/v1/analyze", "text/plain", strings.NewReader(
+		`problem p {
+    consumer c
+    producer s
+    trusted  t
+    exchange c with s via t { c gives $10; s gives doc "d" }
+}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || !strings.Contains(string(body), `"feasible": true`) {
+		t.Fatalf("analyze: status %d, body %s", resp.StatusCode, body)
+	}
+	if cl := resp.Header.Get("X-Trustd-Cluster"); cl != "owner" && cl != "proxied" {
+		t.Fatalf("X-Trustd-Cluster = %q, want owner or proxied", cl)
+	}
+
+	cancel()
+	for _, done := range []chan error{doneA, doneB} {
+		select {
+		case err := <-done:
+			if err != nil {
+				t.Fatalf("run: %v", err)
+			}
+		case <-time.After(10 * time.Second):
+			t.Fatal("daemon did not exit after context cancel")
+		}
 	}
 }
 

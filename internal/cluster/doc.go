@@ -1,0 +1,44 @@
+// Package cluster turns a set of trustd processes into one logical
+// analysis service: a consistent-hash ring routes each compiled-problem
+// digest to exactly one owner node, and a lightweight gossip layer
+// keeps every node's view of the membership — and of which peer holds
+// which cached result — converging without a coordinator.
+//
+// The package has two halves with a deliberate seam between them:
+//
+//   - Ring (ring.go) is a pure, immutable value: a sorted array of
+//     virtual-node points hashed from the member addresses. Any two
+//     nodes that agree on the live member set compute byte-identical
+//     rings, which is what lets every node (and the thin cmd/trustlb
+//     router) route client requests independently. Joins and leaves
+//     move only the ~1/N key range adjacent to the affected member's
+//     virtual nodes; everything else stays put.
+//
+//   - Node (gossip.go) is the mutable runtime: an incarnation-numbered
+//     membership table disseminated by HTTP push-pull rounds. Each
+//     round the node picks a random peer, POSTs its member table plus
+//     recent cache-fill announcements to /cluster/gossip, and merges
+//     the peer's table from the response. Liveness is age-based: every
+//     entry carries "milliseconds since somebody last heard from this
+//     node", the minimum age wins on merge, and each node locally
+//     derives alive → suspect → dead from its merged age against the
+//     configured thresholds. A member is dropped from the ring only
+//     when it goes dead, so a transient blip (suspect) does not
+//     reshuffle key ownership. Incarnations — stamped from the wall
+//     clock at process start — let a restarted process supersede its
+//     own stale entry immediately.
+//
+// Cache-fill announcements ride the same gossip messages: when a node
+// renders a result it announces (kind, key, origin); peers record the
+// hint and, on a local cache miss, fetch the rendered bodies from the
+// announcing node instead of re-running the engines. Evictions are
+// announced the same way and delete the hint, so the base-plan LRU
+// (the incremental-analysis diff targets) never advertises plans it
+// has already dropped. Hints are strictly an optimization: a stale
+// hint costs one failed fetch and the request falls through to a
+// normal engine run.
+//
+// Concurrency: the membership table, fill log and hint map are guarded
+// by one mutex; the ring is republished through an atomic pointer so
+// the per-request Owner lookup never takes the lock.
+package cluster

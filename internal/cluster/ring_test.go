@@ -1,0 +1,138 @@
+package cluster
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func randomDigests(n int, seed int64) [][2]uint64 {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([][2]uint64, n)
+	for i := range out {
+		out[i] = [2]uint64{rng.Uint64(), rng.Uint64()}
+	}
+	return out
+}
+
+func TestRingEmptyAndNil(t *testing.T) {
+	var nilRing *Ring
+	if _, ok := nilRing.Owner([2]uint64{1, 2}); ok {
+		t.Fatal("nil ring reported an owner")
+	}
+	empty := NewRing(nil, 0)
+	if _, ok := empty.Owner([2]uint64{1, 2}); ok {
+		t.Fatal("empty ring reported an owner")
+	}
+	if empty.Len() != 0 {
+		t.Fatalf("empty ring Len = %d", empty.Len())
+	}
+}
+
+func TestRingSingleNodeDegeneratesToLocal(t *testing.T) {
+	r := NewRing([]string{"127.0.0.1:8086"}, 0)
+	for _, d := range randomDigests(1000, 1) {
+		owner, ok := r.Owner(d)
+		if !ok || owner != "127.0.0.1:8086" {
+			t.Fatalf("single-node ring routed %v to %q (ok=%v)", d, owner, ok)
+		}
+	}
+}
+
+func TestRingDeterministicAcrossInputOrder(t *testing.T) {
+	a := NewRing([]string{"n1", "n2", "n3"}, 32)
+	b := NewRing([]string{"n3", "n1", "n2", "n1", ""}, 32)
+	if a.Version() != b.Version() {
+		t.Fatalf("versions differ: %x vs %x", a.Version(), b.Version())
+	}
+	for _, d := range randomDigests(2000, 2) {
+		oa, _ := a.Owner(d)
+		ob, _ := b.Owner(d)
+		if oa != ob {
+			t.Fatalf("owner differs for %v: %q vs %q", d, oa, ob)
+		}
+	}
+}
+
+func TestRingVersionTracksMembership(t *testing.T) {
+	a := NewRing([]string{"n1", "n2"}, 0)
+	b := NewRing([]string{"n1", "n2", "n3"}, 0)
+	if a.Version() == b.Version() {
+		t.Fatal("version unchanged across a membership change")
+	}
+	if !b.Contains("n3") || a.Contains("n3") {
+		t.Fatal("Contains disagrees with membership")
+	}
+}
+
+// TestRingJoinMovesOnlyToNewMember is the consistent-hashing contract:
+// when a member joins, every key that changes owner moves TO the new
+// member, and the moved fraction is ~1/N.
+func TestRingJoinMovesOnlyToNewMember(t *testing.T) {
+	members := []string{"10.0.0.1:8086", "10.0.0.2:8086", "10.0.0.3:8086"}
+	before := NewRing(members, 0)
+	after := NewRing(append(append([]string(nil), members...), "10.0.0.4:8086"), 0)
+	digests := randomDigests(10000, 3)
+	moved := 0
+	for _, d := range digests {
+		oa, _ := before.Owner(d)
+		ob, _ := after.Owner(d)
+		if oa == ob {
+			continue
+		}
+		moved++
+		if ob != "10.0.0.4:8086" {
+			t.Fatalf("key %v moved %q -> %q, not to the joining member", d, oa, ob)
+		}
+	}
+	frac := float64(moved) / float64(len(digests))
+	// Expectation is 1/4; allow wide statistical slack but catch both a
+	// full reshuffle (~3/4) and a ring that never rebalances (0).
+	if frac < 0.10 || frac > 0.45 {
+		t.Fatalf("join moved %.1f%% of keys, want ~25%%", frac*100)
+	}
+}
+
+// TestRingLeaveMovesOnlyFromLeavingMember is the complementary
+// property: only keys owned by the leaver are redistributed.
+func TestRingLeaveMovesOnlyFromLeavingMember(t *testing.T) {
+	members := []string{"n1", "n2", "n3", "n4", "n5"}
+	before := NewRing(members, 0)
+	after := NewRing([]string{"n1", "n2", "n4", "n5"}, 0)
+	digests := randomDigests(10000, 4)
+	moved := 0
+	for _, d := range digests {
+		oa, _ := before.Owner(d)
+		ob, _ := after.Owner(d)
+		if oa == ob {
+			continue
+		}
+		moved++
+		if oa != "n3" {
+			t.Fatalf("key %v moved %q -> %q though its owner stayed", d, oa, ob)
+		}
+		if ob == "n3" {
+			t.Fatalf("key %v assigned to the departed member", d)
+		}
+	}
+	frac := float64(moved) / float64(len(digests))
+	if frac < 0.08 || frac > 0.40 {
+		t.Fatalf("leave moved %.1f%% of keys, want ~20%%", frac*100)
+	}
+}
+
+// TestRingBalance checks no member owns a pathological share.
+func TestRingBalance(t *testing.T) {
+	r := NewRing([]string{"a", "b", "c", "d", "e"}, 0)
+	counts := map[string]int{}
+	digests := randomDigests(20000, 5)
+	for _, d := range digests {
+		o, _ := r.Owner(d)
+		counts[o]++
+	}
+	for m, c := range counts {
+		frac := float64(c) / float64(len(digests))
+		if frac < 0.05 || frac > 0.45 {
+			t.Fatalf("member %s owns %.1f%% of keys (want ~20%%): %v", m, frac*100, counts)
+		}
+	}
+}

@@ -55,21 +55,23 @@ func (c *lru[V]) get(key [2]uint64) (V, bool) {
 }
 
 // put inserts or refreshes a value, evicting the least recently used
-// entry when full. It returns the number of evictions (0 or 1).
-func (c *lru[V]) put(key [2]uint64, val V) int {
+// entry when full. It reports the evicted key, when any — the cluster
+// layer announces evictions so peers drop their stale fill hints.
+func (c *lru[V]) put(key [2]uint64, val V) (evictedKey [2]uint64, evicted bool) {
 	if el, ok := c.entries[key]; ok {
 		el.Value.(*lruEntry[V]).val = val
 		c.order.MoveToFront(el)
-		return 0
+		return [2]uint64{}, false
 	}
 	c.entries[key] = c.order.PushFront(&lruEntry[V]{key: key, val: val})
 	if c.order.Len() <= c.max {
-		return 0
+		return [2]uint64{}, false
 	}
 	oldest := c.order.Back()
 	c.order.Remove(oldest)
-	delete(c.entries, oldest.Value.(*lruEntry[V]).key)
-	return 1
+	old := oldest.Value.(*lruEntry[V]).key
+	delete(c.entries, old)
+	return old, true
 }
 
 // len reports the number of cached values.

@@ -1,6 +1,7 @@
 package service
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
@@ -53,6 +54,16 @@ func (s *Service) Handler() http.Handler {
 	// so a 15s Prometheus interval cannot wash real traffic out of the
 	// recent-request table.
 	handle("/metrics", "metrics", obs.MetricsHandler(reg, s.runtime), false)
+	if s.cluster != nil {
+		// The gossip wire protocol and the peer cache-fetch share the
+		// service listener (one advertised address per node). They get
+		// metrics and identity but stay out of the request log — gossip
+		// fires every interval and would wash out real traffic.
+		ch := s.cluster.Handler()
+		handle("/cluster/gossip", "gossip", ch, false)
+		handle("/cluster/members", "members", ch, false)
+		handle("/cluster/fetch", "fetch", http.HandlerFunc(s.handleClusterFetch), false)
+	}
 	handle("/healthz", "healthz", http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
 		io.WriteString(w, "{\"status\":\"ok\"}\n")
@@ -97,10 +108,21 @@ func (s *Service) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 	}
 	rt := traceFrom(r.Context())
 	parse := rt.beginStage("parse")
-	p, opts, wantText, err := parseAnalyzeRequest(r)
+	// The body is read up front so the cluster path can replay it
+	// verbatim to the ring owner after parsing routed the request.
+	body, err := io.ReadAll(io.LimitReader(r.Body, 1<<20))
+	if err != nil {
+		rt.endStage(parse)
+		httpError(w, http.StatusBadRequest, fmt.Sprintf("reading body: %v", err))
+		return
+	}
+	p, opts, wantText, err := parseAnalyzeRequest(r, body)
 	rt.endStage(parse)
 	if err != nil {
 		httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	if s.cluster != nil && s.routeAnalyze(w, r, p, body) {
 		return
 	}
 	// An If-Match-style base digest turns the request into an edit of a
@@ -147,14 +169,15 @@ func (s *Service) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 	w.Write(res.json)
 }
 
-// parseAnalyzeRequest decodes either request form into a compiled-ready
-// problem plus options, reporting whether the caller wants the
-// trustseq-identical text rendering.
-func parseAnalyzeRequest(r *http.Request) (*model.Problem, AnalyzeOptions, bool, error) {
+// parseAnalyzeRequest decodes either request form (body already read by
+// the handler, so cluster mode can replay it to the ring owner) into a
+// compiled-ready problem plus options, reporting whether the caller
+// wants the trustseq-identical text rendering.
+func parseAnalyzeRequest(r *http.Request, body []byte) (*model.Problem, AnalyzeOptions, bool, error) {
 	var req analyzeRequest
 	ct := r.Header.Get("Content-Type")
 	if strings.HasPrefix(ct, "application/json") {
-		dec := json.NewDecoder(io.LimitReader(r.Body, 1<<20))
+		dec := json.NewDecoder(bytes.NewReader(body))
 		dec.DisallowUnknownFields()
 		if err := dec.Decode(&req); err != nil {
 			return nil, AnalyzeOptions{}, false, fmt.Errorf("decoding JSON spec: %w", err)
@@ -163,11 +186,7 @@ func parseAnalyzeRequest(r *http.Request) (*model.Problem, AnalyzeOptions, bool,
 			return nil, AnalyzeOptions{}, false, errors.New("JSON spec is missing \"source\"")
 		}
 	} else {
-		src, err := io.ReadAll(io.LimitReader(r.Body, 1<<20))
-		if err != nil {
-			return nil, AnalyzeOptions{}, false, fmt.Errorf("reading body: %w", err)
-		}
-		req.Source = string(src)
+		req.Source = string(body)
 	}
 	opts := req.AnalyzeOptions
 
@@ -214,16 +233,27 @@ type sweepRequest struct {
 	PetriBudget        int    `json:"petri_budget"`
 	ChaosRuns          int    `json:"chaos_runs"`
 	ChaosFaults        string `json:"chaos_faults"`
+
+	// RangeLo/RangeHi restrict the run to global indices [lo, hi) —
+	// the coordinator of a distributed sweep sets them on each
+	// per-member forward. Plain clients leave them unset.
+	RangeLo *int `json:"range_lo,omitempty"`
+	RangeHi *int `json:"range_hi,omitempty"`
 }
 
-// sweepResponse summarizes a completed sweep.
+// sweepResponse summarizes a completed sweep. Results is populated only
+// on ranged (coordinator-forwarded) requests: the coordinator needs the
+// raw per-problem rows to merge, while plain clients get the aggregate —
+// which also keeps a distributed response byte-identical to a
+// single-node one, elapsed_ms aside.
 type sweepResponse struct {
-	Completed  int         `json:"completed"`
-	Canceled   bool        `json:"canceled"`
-	Violations int         `json:"violations"`
-	Stats      sweep.Stats `json:"stats"`
-	Summary    string      `json:"summary"`
-	ElapsedMS  int64       `json:"elapsed_ms"`
+	Completed  int            `json:"completed"`
+	Canceled   bool           `json:"canceled"`
+	Violations int            `json:"violations"`
+	Stats      sweep.Stats    `json:"stats"`
+	Summary    string         `json:"summary"`
+	ElapsedMS  int64          `json:"elapsed_ms"`
+	Results    []sweep.Result `json:"results,omitempty"`
 }
 
 func (s *Service) handleSweep(w http.ResponseWriter, r *http.Request) {
@@ -269,15 +299,44 @@ func (s *Service) handleSweep(w http.ResponseWriter, r *http.Request) {
 	}
 	ctx, cancel := context.WithTimeout(r.Context(), s.opts.SweepTimeout)
 	defer cancel()
-	rep := sweep.RunContext(ctx, cfg)
-	writeJSON(w, http.StatusOK, sweepResponse{
+	ranged := req.RangeLo != nil || req.RangeHi != nil
+	if !ranged && s.cluster != nil && r.Header.Get(forwardedHeader) == "" {
+		if s.distributeSweep(ctx, w, req, cfg) {
+			return
+		}
+	}
+	var rep *sweep.Report
+	if ranged {
+		lo, hi := 0, int(^uint(0)>>1)
+		if req.RangeLo != nil {
+			lo = *req.RangeLo
+		}
+		if req.RangeHi != nil {
+			hi = *req.RangeHi
+		}
+		rep = sweep.RunContextRange(ctx, cfg, lo, hi)
+	} else {
+		rep = sweep.RunContext(ctx, cfg)
+	}
+	resp := sweepResponse{
 		Completed:  rep.Completed,
 		Canceled:   rep.Canceled,
 		Violations: rep.Stats.Violations(),
 		Stats:      rep.Stats,
 		Summary:    rep.Summary(),
 		ElapsedMS:  rep.Elapsed.Milliseconds(),
-	})
+	}
+	if ranged {
+		// Only completed rows go back: the coordinator marks everything
+		// it receives done, and Merge detects the missing indices.
+		resp.Results = make([]sweep.Result, 0, len(rep.Results))
+		for i, res := range rep.Results {
+			if rep.Done[i] {
+				resp.Results = append(resp.Results, res)
+			}
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 // statsResponse is the GET /v1/stats schema. The flat cache fields
@@ -292,6 +351,7 @@ type statsResponse struct {
 	Cache     cacheStats               `json:"cache"`
 	Endpoints map[string]endpointStats `json:"endpoints,omitempty"`
 	SlowLog   slowlogStats             `json:"slowlog"`
+	Cluster   *clusterStats            `json:"cluster,omitempty"`
 }
 
 // cacheStats details the result cache: lifetime traffic counters plus
@@ -374,6 +434,7 @@ func (s *Service) handleStats(w http.ResponseWriter, r *http.Request) {
 	}
 	resp.SlowLog.ThresholdMS, resp.SlowLog.RetainAll, resp.SlowLog.Capacity,
 		resp.SlowLog.Requests, resp.SlowLog.Slow = s.reqlog.stats()
+	resp.Cluster = s.clusterStatsSnapshot()
 	writeJSON(w, http.StatusOK, resp)
 }
 

@@ -9,6 +9,7 @@ import (
 	"sync"
 	"time"
 
+	"trustseq/internal/cluster"
 	"trustseq/internal/core"
 	"trustseq/internal/indemnity"
 	"trustseq/internal/model"
@@ -70,6 +71,13 @@ type Options struct {
 	// the bound evict the oldest and the trace reports how many were
 	// dropped. Default 256.
 	TraceEvents int
+	// Cluster, when non-nil, puts the service in cluster mode: the node's
+	// consistent-hash ring routes each analyze request to its owner
+	// (non-owners proxy, one hop max), gossip fill hints let a cache miss
+	// fetch a peer's rendered bodies before running engines, and
+	// /v1/sweep partitions across live members. Nil — the default — is
+	// single-node operation, byte-identical to previous releases.
+	Cluster *cluster.Node
 }
 
 func (o Options) withDefaults() Options {
@@ -198,6 +206,17 @@ type Service struct {
 	incPatched, incFull, incBaseMiss       *obs.Counter
 	slowRequests                           *obs.Counter
 
+	// Cluster mode (nil fields when Options.Cluster is nil; the obs
+	// counters are nil-safe, so the single-node hot path pays only a
+	// pointer check).
+	cluster    *cluster.Node
+	peerClient *http.Client
+
+	clusterOwned, clusterProxied, clusterLocal    *obs.Counter
+	clusterPeerFills, clusterPeerFillMisses       *obs.Counter
+	clusterFetchServed                            *obs.Counter
+	clusterSweepDistributed, clusterSweepFallback *obs.Counter
+
 	// testComputeHook, when set, runs at the top of every engine run.
 	// Tests use it to hold runs open and provoke collapses/timeouts.
 	testComputeHook func()
@@ -213,13 +232,16 @@ type call struct {
 	// leader, before done closes) only for requests that named a base
 	// digest; coalesced followers replay the leader's disposition.
 	inc IncrementalDisposition
+	// peer reports that the leader satisfied the miss from a peer's
+	// cache instead of an engine run (written before done closes).
+	peer bool
 }
 
 // New constructs a Service.
 func New(opts Options) *Service {
 	opts = opts.withDefaults()
 	reg := opts.Telemetry.Reg()
-	return &Service{
+	s := &Service{
 		opts:           opts,
 		sem:            make(chan struct{}, opts.MaxConcurrent),
 		cache:          newLRU[*cached](opts.CacheEntries),
@@ -237,6 +259,21 @@ func New(opts Options) *Service {
 		incBaseMiss:    reg.Counter("service.incremental.base_miss"),
 		slowRequests:   reg.Counter("service.requests.slow"),
 	}
+	if opts.Cluster != nil {
+		s.cluster = opts.Cluster
+		// Peer calls carry their own context deadlines; the client itself
+		// has none so a long proxied analysis is not cut short.
+		s.peerClient = &http.Client{}
+		s.clusterOwned = reg.Counter("service.cluster.analyze.owner")
+		s.clusterProxied = reg.Counter("service.cluster.analyze.proxied")
+		s.clusterLocal = reg.Counter("service.cluster.analyze.local")
+		s.clusterPeerFills = reg.Counter("service.cluster.peer_fills")
+		s.clusterPeerFillMisses = reg.Counter("service.cluster.peer_fill_misses")
+		s.clusterFetchServed = reg.Counter("service.cluster.fetch_served")
+		s.clusterSweepDistributed = reg.Counter("service.cluster.sweeps_distributed")
+		s.clusterSweepFallback = reg.Counter("service.cluster.sweep_range_fallbacks")
+	}
+	return s
 }
 
 // cacheDisposition labels how a request was served, for the
@@ -247,6 +284,9 @@ const (
 	dispositionHit       cacheDisposition = "hit"
 	dispositionMiss      cacheDisposition = "miss"
 	dispositionCoalesced cacheDisposition = "coalesced"
+	// dispositionPeer: a miss that never ran engines because a gossip
+	// fill hint located the rendered bodies in a peer's cache.
+	dispositionPeer cacheDisposition = "peer"
 )
 
 // IncrementalDisposition labels how the incremental machinery handled
@@ -337,6 +377,18 @@ func (s *Service) analyzeTraced(ctx context.Context, p *model.Problem, opts Anal
 	// stages are recorded even if the leader stops waiting, so the
 	// slow-request log still explains where the time went.
 	go func() {
+		// In cluster mode a gossip fill hint may place the rendered
+		// bodies in a peer's cache: fetching them is far cheaper than an
+		// engine run. Requests with a resident base plan skip the network
+		// — the local patch path is faster still. Failure of any kind
+		// just falls through to the engines.
+		if basePlan == nil {
+			if c := s.fetchPeerFill(key); c != nil {
+				fl.peer = true
+				s.publish(fl, key, digest, c, nil, nil)
+				return
+			}
+		}
 		s.sem <- struct{}{}
 		val, plan, patched, err := s.compute(p, opts, basePlan, rt)
 		<-s.sem
@@ -349,19 +401,50 @@ func (s *Service) analyzeTraced(ctx context.Context, p *model.Problem, opts Anal
 				s.incFull.Inc()
 			}
 		}
-		s.mu.Lock()
-		if err == nil {
-			s.cacheEvictions.Add(int64(s.cache.put(key, val)))
-			if plan != nil {
-				s.bases.put(digest, plan)
-			}
-		}
-		delete(s.flight, key)
-		s.mu.Unlock()
-		fl.val, fl.err = val, err
-		close(fl.done)
+		s.publish(fl, key, digest, val, plan, err)
 	}()
 	return s.await(ctx, fl, dispositionMiss)
+}
+
+// publish deposits a finished run (engine or peer-fetched) into the
+// caches, retires the in-flight entry, and releases the waiters. In
+// cluster mode it then announces the fills — and any evictions they
+// forced — to the gossip tier, outside the service lock (the node has
+// its own mutex; nothing there calls back into the service).
+func (s *Service) publish(fl *call, key, digest [2]uint64, val *cached, plan *core.Plan, err error) {
+	type ann struct {
+		kind  string
+		key   [2]uint64
+		evict bool
+	}
+	var anns []ann
+	s.mu.Lock()
+	if err == nil {
+		if old, ok := s.cache.put(key, val); ok {
+			s.cacheEvictions.Inc()
+			anns = append(anns, ann{cluster.FillResult, old, true})
+		}
+		anns = append(anns, ann{cluster.FillResult, key, false})
+		if plan != nil {
+			if old, ok := s.bases.put(digest, plan); ok {
+				anns = append(anns, ann{cluster.FillBase, old, true})
+			}
+			anns = append(anns, ann{cluster.FillBase, digest, false})
+		}
+	}
+	delete(s.flight, key)
+	s.mu.Unlock()
+	if s.cluster != nil {
+		for _, a := range anns {
+			if a.evict {
+				s.cluster.AnnounceEvict(a.kind, FormatDigest(a.key))
+			} else {
+				s.cluster.AnnounceFill(a.kind, FormatDigest(a.key))
+			}
+		}
+	}
+	fl.val, fl.err = val, err
+	close(fl.done)
 }
 
 // await parks on an in-flight run until it publishes or the request's
@@ -371,6 +454,9 @@ func (s *Service) analyzeTraced(ctx context.Context, p *model.Problem, opts Anal
 func (s *Service) await(ctx context.Context, fl *call, d cacheDisposition) (*cached, cacheDisposition, IncrementalDisposition, error) {
 	select {
 	case <-fl.done:
+		if fl.peer && d == dispositionMiss {
+			d = dispositionPeer
+		}
 		return fl.val, d, fl.inc, fl.err
 	case <-ctx.Done():
 		s.timeouts.Inc()

@@ -484,8 +484,8 @@ func TestLRUCache(t *testing.T) {
 	if got, ok := c.get(k(1)); !ok || got != v1 {
 		t.Fatal("k1 missing")
 	}
-	if ev := c.put(k(3), v3); ev != 1 { // k2 is now the LRU entry
-		t.Fatalf("evictions = %d, want 1", ev)
+	if old, ev := c.put(k(3), v3); !ev || old != k(2) { // k2 is now the LRU entry
+		t.Fatalf("evicted %v, %v; want k2", old, ev)
 	}
 	if _, ok := c.get(k(2)); ok {
 		t.Fatal("k2 should have been evicted")

@@ -1,0 +1,146 @@
+package sweep
+
+import (
+	"context"
+	"reflect"
+	"testing"
+)
+
+// TestMergeReproducesSingleRun is the distributed sweep's headline
+// property: running the same Config as disjoint ranges (as a cluster's
+// members would) and merging the partial reports yields Results, Stats
+// and a rendered Summary byte-identical to one single-process run.
+func TestMergeReproducesSingleRun(t *testing.T) {
+	for _, tc := range []struct {
+		name  string
+		cfg   Config
+		parts int
+	}{
+		{"random-3way", Config{N: 30, Seed: 11}, 3},
+		{"chain-5way", Config{N: 24, Seed: 7, Family: FamilyChain}, 5},
+		{"star-uneven", Config{N: 17, Seed: 3, Family: FamilyStar}, 4},
+		{"chaos-3way", Config{N: 12, Seed: 5, ChaosRuns: 2}, 3},
+		{"more-parts-than-problems", Config{N: 4, Seed: 9}, 7},
+		{"single-part", Config{N: 10, Seed: 2}, 1},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			ctx := context.Background()
+			full := RunContext(ctx, tc.cfg)
+
+			ranges := Partition(tc.cfg.withDefaults().N, tc.parts)
+			parts := make([]*Report, len(ranges))
+			for i, r := range ranges {
+				parts[i] = RunContextRange(ctx, tc.cfg, r[0], r[1])
+			}
+			merged := Merge(tc.cfg, parts...)
+
+			if !reflect.DeepEqual(merged.Results, full.Results) {
+				for i := range full.Results {
+					if !reflect.DeepEqual(merged.Results[i], full.Results[i]) {
+						t.Fatalf("result %d differs:\n merged: %+v\n   full: %+v",
+							i, merged.Results[i], full.Results[i])
+					}
+				}
+				t.Fatal("results differ")
+			}
+			if merged.Stats != full.Stats {
+				t.Fatalf("stats differ:\n merged: %+v\n   full: %+v", merged.Stats, full.Stats)
+			}
+			if merged.Canceled || merged.Completed != full.Completed {
+				t.Fatalf("merged completed=%d canceled=%v, full completed=%d",
+					merged.Completed, merged.Canceled, full.Completed)
+			}
+			if ms, fs := merged.Summary(), full.Summary(); ms != fs {
+				t.Fatalf("summaries differ:\n merged:\n%s\n full:\n%s", ms, fs)
+			}
+		})
+	}
+}
+
+// TestRunContextRangeIndicesAreGlobal pins the seed-derivation
+// contract: a range report's entries carry the global index and the
+// exact seed the full sweep would use.
+func TestRunContextRangeIndicesAreGlobal(t *testing.T) {
+	cfg := Config{N: 20, Seed: 42}
+	full := RunContext(context.Background(), cfg)
+	part := RunContextRange(context.Background(), cfg, 13, 17)
+	if len(part.Results) != 4 {
+		t.Fatalf("range produced %d results, want 4", len(part.Results))
+	}
+	for j, r := range part.Results {
+		want := full.Results[13+j]
+		if r.Index != 13+j || r.Seed != want.Seed || r.Name != want.Name {
+			t.Fatalf("range result %d = {idx %d seed %d %q}, want {idx %d seed %d %q}",
+				j, r.Index, r.Seed, r.Name, want.Index, want.Seed, want.Name)
+		}
+	}
+	if part.Stats.Problems != 4 {
+		t.Fatalf("range stats cover %d problems, want 4", part.Stats.Problems)
+	}
+}
+
+// TestRunContextRangeClamps exercises the degenerate bounds.
+func TestRunContextRangeClamps(t *testing.T) {
+	cfg := Config{N: 5, Seed: 1}
+	if rep := RunContextRange(context.Background(), cfg, -3, 99); len(rep.Results) != 5 {
+		t.Fatalf("clamped full range produced %d results", len(rep.Results))
+	}
+	if rep := RunContextRange(context.Background(), cfg, 4, 2); len(rep.Results) != 0 {
+		t.Fatalf("inverted range produced %d results", len(rep.Results))
+	}
+}
+
+// TestMergeWithMissingRangeMarksCanceled: a lost partition must not
+// silently aggregate as a clean full sweep.
+func TestMergeWithMissingRangeMarksCanceled(t *testing.T) {
+	cfg := Config{N: 12, Seed: 4}
+	ctx := context.Background()
+	a := RunContextRange(ctx, cfg, 0, 4)
+	c := RunContextRange(ctx, cfg, 8, 12)
+	merged := Merge(cfg, a, nil, c)
+	if !merged.Canceled {
+		t.Fatal("merge with a missing range was not marked canceled")
+	}
+	if merged.Completed != 8 {
+		t.Fatalf("completed = %d, want 8", merged.Completed)
+	}
+	if merged.Stats.Problems != 8 {
+		t.Fatalf("stats cover %d problems, want only the 8 that ran", merged.Stats.Problems)
+	}
+}
+
+// TestPartition pins the deterministic split.
+func TestPartition(t *testing.T) {
+	for _, tc := range []struct {
+		n, parts int
+		want     [][2]int
+	}{
+		{10, 3, [][2]int{{0, 3}, {3, 6}, {6, 10}}},
+		{4, 7, [][2]int{{0, 1}, {1, 2}, {2, 3}, {3, 4}}},
+		{5, 1, [][2]int{{0, 5}}},
+		{0, 3, nil},
+		{3, 0, nil},
+	} {
+		got := Partition(tc.n, tc.parts)
+		if !reflect.DeepEqual(got, tc.want) {
+			t.Fatalf("Partition(%d, %d) = %v, want %v", tc.n, tc.parts, got, tc.want)
+		}
+	}
+	// Every partition covers [0, n) exactly once.
+	for n := 1; n < 40; n++ {
+		for parts := 1; parts < 9; parts++ {
+			covered := 0
+			prev := 0
+			for _, r := range Partition(n, parts) {
+				if r[0] != prev {
+					t.Fatalf("Partition(%d, %d) has a gap at %d", n, parts, prev)
+				}
+				covered += r[1] - r[0]
+				prev = r[1]
+			}
+			if covered != n || prev != n {
+				t.Fatalf("Partition(%d, %d) covers %d indices ending at %d", n, parts, covered, prev)
+			}
+		}
+	}
+}

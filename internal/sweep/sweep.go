@@ -264,8 +264,36 @@ func Run(cfg Config) *Report {
 // and Stats over only the completed problems.
 func RunContext(ctx context.Context, cfg Config) *Report {
 	cfg = cfg.withDefaults()
+	return runRange(ctx, cfg, 0, cfg.N)
+}
+
+// RunContextRange executes only the index range [lo, hi) of the sweep
+// cfg describes: problem i still derives its seed from cfg.Seed and
+// its global index i, so the results are byte-identical to the same
+// indices of a full run — the property a distributed sweep's merge
+// step (Merge) relies on. The report's Results carry global indices;
+// its Stats aggregate the range alone. Out-of-range bounds are clamped
+// to [0, cfg.N].
+func RunContextRange(ctx context.Context, cfg Config, lo, hi int) *Report {
+	cfg = cfg.withDefaults()
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > cfg.N {
+		hi = cfg.N
+	}
+	if lo > hi {
+		lo = hi
+	}
+	return runRange(ctx, cfg, lo, hi)
+}
+
+// runRange is the shared sweep engine over global indices [lo, hi).
+// cfg must already carry defaults.
+func runRange(ctx context.Context, cfg Config, lo, hi int) *Report {
 	tel := cfg.Obs
 	start := time.Now()
+	n := hi - lo
 	var span obs.Span
 	if tel.Enabled() {
 		// Pre-create the counter the sweep's soundness contract is about,
@@ -273,20 +301,22 @@ func RunContext(ctx context.Context, cfg Config) *Report {
 		tel.Reg().Counter("sweep.disagreements")
 		span = tel.Trace().StartSpan("sweep.run",
 			obs.Int("n", cfg.N),
+			obs.Int("lo", lo),
+			obs.Int("hi", hi),
 			obs.Int("workers", cfg.Workers),
 			obs.Str("family", cfg.Family.String()),
 			obs.Int64("seed", cfg.Seed))
 	}
 
-	results := make([]Result, cfg.N)
-	durations := make([]time.Duration, cfg.N)
-	done := make([]bool, cfg.N)
+	results := make([]Result, n)
+	durations := make([]time.Duration, n)
+	done := make([]bool, n)
 	workers := cfg.Workers
-	if workers > cfg.N {
-		workers = cfg.N
+	if workers > n {
+		workers = n
 	}
-	jobs := make(chan int, cfg.N)
-	for i := 0; i < cfg.N; i++ {
+	jobs := make(chan int, n)
+	for i := lo; i < hi; i++ {
 		jobs <- i
 	}
 	close(jobs)
@@ -302,13 +332,13 @@ func RunContext(ctx context.Context, cfg Config) *Report {
 					return
 				}
 				t0 := time.Now()
-				results[i] = runOne(cfg, i, ws)
-				durations[i] = time.Since(t0)
-				done[i] = true
-				n := int(completed.Add(1))
-				observeProblem(tel, &results[i], durations[i])
+				results[i-lo] = runOne(cfg, i, ws)
+				durations[i-lo] = time.Since(t0)
+				done[i-lo] = true
+				c := int(completed.Add(1))
+				observeProblem(tel, &results[i-lo], durations[i-lo])
 				if cfg.Progress != nil {
-					cfg.Progress(n, cfg.N)
+					cfg.Progress(c, n)
 				}
 			}
 		}()
@@ -537,6 +567,94 @@ func aggregate(results []Result) Stats {
 		}
 	}
 	return st
+}
+
+// Normalized returns the Config with defaults applied, so callers that
+// partition a sweep across processes (the service's distributed sweep)
+// agree with RunContext on the effective N and worker counts.
+func (c Config) Normalized() Config { return c.withDefaults() }
+
+// Partition splits the index space [0, n) into at most parts
+// contiguous, near-equal ranges (the trailing ranges are one shorter
+// when n is not divisible). Empty ranges are omitted, so the result
+// has min(parts, n) entries. The cluster's distributed sweep assigns
+// range i to live member i; the same deterministic split on every node
+// keeps retries idempotent.
+func Partition(n, parts int) [][2]int {
+	if n <= 0 || parts <= 0 {
+		return nil
+	}
+	if parts > n {
+		parts = n
+	}
+	out := make([][2]int, 0, parts)
+	for i := 0; i < parts; i++ {
+		lo := i * n / parts
+		hi := (i + 1) * n / parts
+		if lo < hi {
+			out = append(out, [2]int{lo, hi})
+		}
+	}
+	return out
+}
+
+// Merge stitches partial reports (from RunContextRange, typically run
+// on different nodes) back into one full report over cfg. Results are
+// placed by their global Index; indices no part completed stay not-done
+// and the merged report is marked Canceled, aggregating only what ran.
+// Because runOne depends only on (cfg, index) — never on which worker,
+// process or node executed it — merging the complete partition of
+// [0, N) reproduces a single-node run's Results, Stats and Summary
+// byte for byte. Durations are carried over per index but remain, as
+// in any report, machine-dependent.
+func Merge(cfg Config, parts ...*Report) *Report {
+	cfg = cfg.withDefaults()
+	results := make([]Result, cfg.N)
+	durations := make([]time.Duration, cfg.N)
+	done := make([]bool, cfg.N)
+	var elapsed time.Duration
+	for _, part := range parts {
+		if part == nil {
+			continue
+		}
+		if part.Elapsed > elapsed {
+			elapsed = part.Elapsed
+		}
+		for j, r := range part.Results {
+			if r.Index < 0 || r.Index >= cfg.N {
+				continue
+			}
+			if j < len(part.Done) && !part.Done[j] {
+				continue
+			}
+			results[r.Index] = r
+			if j < len(part.Durations) {
+				durations[r.Index] = part.Durations[j]
+			}
+			done[r.Index] = true
+		}
+	}
+	completed := 0
+	for _, d := range done {
+		if d {
+			completed++
+		}
+	}
+	rep := &Report{
+		Config:    cfg,
+		Results:   results,
+		Durations: durations,
+		Done:      done,
+		Completed: completed,
+		Canceled:  completed < cfg.N,
+		Elapsed:   elapsed,
+	}
+	if rep.Canceled {
+		rep.Stats = aggregatePartial(results, done)
+	} else {
+		rep.Stats = aggregate(results)
+	}
+	return rep
 }
 
 // Violations reports the soundness-violation count: agreement properties

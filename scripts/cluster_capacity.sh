@@ -1,0 +1,73 @@
+#!/usr/bin/env bash
+# cluster_capacity.sh — measure trustd analyze capacity at several ring
+# sizes. For each size it boots a local loopback cluster, waits for
+# gossip convergence, drives a fixed trustload workload through the
+# first member, and merges the measurement into one benchtrend Trend
+# file (entries TrustloadAnalyze/nodes=N). The committed BENCH_pr9.json
+# was produced by this script; the CI bench job re-runs it at sizes 1
+# and 3 and gates with `benchtrend -compare` against that snapshot.
+#
+# Environment knobs (defaults in parentheses):
+#   OUT       output Trend file (BENCH_latest_cluster.json)
+#   SIZES     ring sizes to measure ("1 3 5")
+#   DURATION  trustload window per size (8s)
+#   RPS       target request rate (300; 0 = closed loop)
+#   CONNS     trustload workers (8)
+#   BASE_PORT first listen port (8186)
+set -euo pipefail
+
+OUT="${OUT:-BENCH_latest_cluster.json}"
+SIZES="${SIZES:-1 3 5}"
+DURATION="${DURATION:-8s}"
+RPS="${RPS:-300}"
+CONNS="${CONNS:-8}"
+BASE_PORT="${BASE_PORT:-8186}"
+
+cd "$(dirname "$0")/.."
+bindir="$(mktemp -d)"
+trap 'rm -rf "$bindir"' EXIT
+go build -o "$bindir/trustd" ./cmd/trustd
+go build -o "$bindir/trustload" ./cmd/trustload
+rm -f "$OUT"
+
+# live_count ADDR — the "live" field of /cluster/members, 0 on any error.
+live_count() {
+  curl -fsS --max-time 2 "http://$1/cluster/members" 2>/dev/null |
+    tr -d ' \n' | sed -n 's/.*"live":\([0-9]*\).*/\1/p'
+}
+
+for n in $SIZES; do
+  pids=()
+  for i in $(seq 0 $((n - 1))); do
+    port=$((BASE_PORT + i))
+    args=(-addr "127.0.0.1:$port" -cluster -gossip-interval 100ms -quiet)
+    if [ "$i" -gt 0 ]; then
+      args+=(-peers "127.0.0.1:$BASE_PORT")
+    fi
+    "$bindir/trustd" "${args[@]}" &
+    pids+=($!)
+  done
+
+  for i in $(seq 0 $((n - 1))); do
+    port=$((BASE_PORT + i))
+    for _ in $(seq 1 100); do
+      [ "$(live_count "127.0.0.1:$port")" = "$n" ] && break
+      sleep 0.1
+    done
+    if [ "$(live_count "127.0.0.1:$port")" != "$n" ]; then
+      echo "cluster_capacity: node $port never saw $n live members" >&2
+      kill "${pids[@]}" 2>/dev/null || true
+      exit 1
+    fi
+  done
+
+  echo "== ring of $n =="
+  "$bindir/trustload" -target "127.0.0.1:$BASE_PORT" \
+    -duration "$DURATION" -rps "$RPS" -conns "$CONNS" \
+    -name "TrustloadAnalyze/nodes=$n" -out "$OUT"
+
+  kill "${pids[@]}" 2>/dev/null || true
+  wait "${pids[@]}" 2>/dev/null || true
+done
+
+echo "cluster_capacity: wrote $OUT"

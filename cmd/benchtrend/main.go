@@ -21,8 +21,11 @@
 //	benchtrend -compare -threshold 10 a b   # tighten the regression threshold to 10%
 //
 // BENCH_latest.json is the rolling, gitignored output; the committed
-// snapshots (BENCH_pr3.json, BENCH_pr6.json, BENCH_pr8.json) are the
-// frozen baselines it is compared against.
+// snapshots (BENCH_pr3.json, BENCH_pr6.json, BENCH_pr8.json,
+// BENCH_pr10.json) are the frozen baselines it is compared against.
+// Since PR 10 the set also samples the verifiable-log proof paths
+// (append, membership generation/verification, consistency
+// verification) so proof cost per operation is tracked over time.
 package main
 
 import (
@@ -124,6 +127,20 @@ func main() {
 		for name, m := range pop {
 			current[name] = m
 		}
+	}
+	// The verifiable-log proof paths are cheap (microseconds at the
+	// fixed 1024-leaf tree the benchmarks build), so they always run:
+	// every snapshot from BENCH_pr10.json on records append, membership
+	// generation/verification, and consistency-verification ns/op.
+	proof, err := runBenchmarks(
+		"BenchmarkAppend|BenchmarkProofGenerate|BenchmarkProofVerify|BenchmarkConsistencyVerify",
+		*benchtime, "./internal/vlog")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchtrend: vlog benchmarks: %v\n", err)
+		os.Exit(1)
+	}
+	for name, m := range proof {
+		current[name] = m
 	}
 	trend := Trend{Baseline: baseline, Current: current, Delta: map[string]Delta{}}
 	for name, base := range baseline {

@@ -7,14 +7,18 @@
 //
 // Usage:
 //
-//	doclint [-min-words N] DIR [DIR...]
+//	doclint [-min-words N] [-types] DIR [DIR...]
 //
 //	-min-words  minimum words in the package comment (default 10)
+//	-types      additionally report exported top-level types in
+//	            internal/ packages that carry no doc comment
+//	            (report-only: never affects the exit status)
 package main
 
 import (
 	"flag"
 	"fmt"
+	"go/ast"
 	"go/parser"
 	"go/token"
 	"io/fs"
@@ -26,12 +30,13 @@ import (
 
 func main() {
 	minWords := flag.Int("min-words", 10, "minimum words in a package comment")
+	checkTypes := flag.Bool("types", false, "report exported top-level types in internal/ packages with no doc comment (report-only)")
 	flag.Parse()
 	if flag.NArg() == 0 {
-		fmt.Fprintln(os.Stderr, "usage: doclint [-min-words N] DIR [DIR...]")
+		fmt.Fprintln(os.Stderr, "usage: doclint [-min-words N] [-types] DIR [DIR...]")
 		os.Exit(2)
 	}
-	var problems []string
+	var problems, notes []string
 	for _, root := range flag.Args() {
 		ps, err := lintTree(root, *minWords)
 		if err != nil {
@@ -39,6 +44,23 @@ func main() {
 			os.Exit(2)
 		}
 		problems = append(problems, ps...)
+		if *checkTypes {
+			ns, err := lintTypesTree(root)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "doclint:", err)
+				os.Exit(2)
+			}
+			notes = append(notes, ns...)
+		}
+	}
+	// Type findings are report-only: surfaced for review, never fatal —
+	// the package-comment floor stays the only gate.
+	if len(notes) > 0 {
+		sort.Strings(notes)
+		for _, n := range notes {
+			fmt.Println("note:", n)
+		}
+		fmt.Fprintf(os.Stderr, "doclint: %d undocumented exported type(s) (report-only)\n", len(notes))
 	}
 	if len(problems) > 0 {
 		sort.Strings(problems)
@@ -71,6 +93,68 @@ func lintTree(root string, minWords int) ([]string, error) {
 		return nil
 	})
 	return problems, err
+}
+
+// lintTypesTree walks root and reports every exported top-level type in
+// an internal/ package that carries no doc comment. Test files are
+// skipped; so are packages outside an internal/ segment — exported API
+// there is documented (or not) under different review pressure.
+func lintTypesTree(root string) ([]string, error) {
+	var notes []string
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			if name := d.Name(); name != root && strings.HasPrefix(name, ".") {
+				return fs.SkipDir
+			}
+			return nil
+		}
+		name := d.Name()
+		if !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			return nil
+		}
+		if !underInternal(path) {
+			return nil
+		}
+		fset := token.NewFileSet()
+		f, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
+		if err != nil {
+			return fmt.Errorf("parsing %s: %v", path, err)
+		}
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.TYPE {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok || !ts.Name.IsExported() {
+					continue
+				}
+				// A doc comment on either the spec or a single-spec
+				// declaration counts.
+				if ts.Doc.Text() != "" || (len(gd.Specs) == 1 && gd.Doc.Text() != "") {
+					continue
+				}
+				pos := fset.Position(ts.Pos())
+				notes = append(notes, fmt.Sprintf("%s:%d: exported type %s has no doc comment", path, pos.Line, ts.Name.Name))
+			}
+		}
+		return nil
+	})
+	return notes, err
+}
+
+// underInternal reports whether the path has an "internal" segment.
+func underInternal(path string) bool {
+	for _, seg := range strings.Split(filepath.ToSlash(path), "/") {
+		if seg == "internal" {
+			return true
+		}
+	}
+	return false
 }
 
 // lintDir reports whether the directory holds Go files (found) and, if

@@ -1,0 +1,364 @@
+// Command trustlb is a thin, cluster-aware front door for a trustd
+// ring: it embeds the same consistent-hash ring as the cluster members,
+// parses each analyze request just far enough to compute the problem
+// digest, and forwards the request straight to the digest's owner — so
+// clients hit the node whose cache already holds the answer without a
+// redirect hop inside the cluster. Everything trustlb cannot route by
+// digest (sweeps, stats, metrics) is spread round-robin over the live
+// members. The balancer holds no analysis state of its own: losing it
+// loses nothing, and any number can run side by side.
+//
+// Usage:
+//
+//	trustlb -backends HOST:PORT,... [flags]
+//
+//	-addr ADDR      listen address (default :8085)
+//	-backends LIST  comma-separated trustd member addresses (required);
+//	                also the membership-poll seeds in cluster deployments
+//	-refresh D      membership poll period (default 2s)
+//	-vnodes N       virtual nodes per member, matching the cluster (default 64)
+//	-timeout D      per-proxied-request timeout (default 60s)
+//	-quiet          suppress the startup line
+//
+// trustlb polls /cluster/members on the backends and rebuilds its ring
+// from the live member set, so it tracks joins, deaths and heals within
+// one refresh period. Backends that are plain single-node trustd (no
+// cluster mode) work too: the poll 404s and the static -backends list
+// becomes the ring. GET /lb/status reports the balancer's own view.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"syscall"
+	"time"
+
+	"trustseq/internal/cluster"
+	"trustseq/internal/dsl"
+	"trustseq/internal/service"
+)
+
+func main() {
+	if err := run(context.Background(), os.Args[1:], os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "trustlb:", err)
+		os.Exit(1)
+	}
+}
+
+// run is the testable body of main.
+func run(ctx context.Context, args []string, errw io.Writer) error {
+	fs := flag.NewFlagSet("trustlb", flag.ContinueOnError)
+	addr := fs.String("addr", ":8085", "listen address")
+	backends := fs.String("backends", "", "comma-separated trustd member addresses (required)")
+	refresh := fs.Duration("refresh", 2*time.Second, "membership poll period")
+	vnodes := fs.Int("vnodes", 0, "virtual nodes per member, matching the cluster (0 = 64)")
+	timeout := fs.Duration("timeout", 60*time.Second, "per-proxied-request timeout")
+	quiet := fs.Bool("quiet", false, "suppress the startup line")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 0 {
+		return fmt.Errorf("usage: trustlb -backends HOST:PORT,... [flags]")
+	}
+	seeds := splitList(*backends)
+	if len(seeds) == 0 {
+		return fmt.Errorf("-backends is required (comma-separated trustd addresses)")
+	}
+
+	lb := newBalancer(seeds, *vnodes, *timeout)
+	lb.refreshMembers(ctx)
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	if !*quiet {
+		fmt.Fprintf(errw, "trustlb: serving on http://%s (%d backends, refresh %v)\n",
+			ln.Addr(), len(seeds), *refresh)
+	}
+
+	ctx, stop := signal.NotifyContext(ctx, os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	go func() {
+		t := time.NewTicker(*refresh)
+		defer t.Stop()
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case <-t.C:
+				lb.refreshMembers(ctx)
+			}
+		}
+	}()
+	return service.Serve(ctx, ln, lb.handler(), 5*time.Second)
+}
+
+func splitList(s string) []string {
+	var out []string
+	for _, p := range strings.Split(s, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// balancer is the routing state: the ring (rebuilt on every membership
+// refresh) plus a round-robin cursor for requests with no digest.
+type balancer struct {
+	seeds   []string
+	vnodes  int
+	timeout time.Duration
+	client  *http.Client
+
+	mu   sync.Mutex
+	ring *cluster.Ring
+	live []string
+
+	rr       atomic.Uint64 // round-robin cursor
+	routed   atomic.Int64  // digest-routed analyze requests
+	spread   atomic.Int64  // round-robin-forwarded requests
+	failures atomic.Int64  // forwards that found no reachable backend
+}
+
+func newBalancer(seeds []string, vnodes int, timeout time.Duration) *balancer {
+	b := &balancer{
+		seeds:   seeds,
+		vnodes:  vnodes,
+		timeout: timeout,
+		// Forwards carry per-request contexts; the client needs no
+		// global timeout of its own.
+		client: &http.Client{},
+	}
+	b.setMembers(seeds)
+	return b
+}
+
+func (b *balancer) setMembers(members []string) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.ring = cluster.NewRing(members, b.vnodes)
+	b.live = b.ring.Members()
+}
+
+func (b *balancer) snapshot() (*cluster.Ring, []string) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.ring, b.live
+}
+
+// refreshMembers asks the backends (in order, first answer wins) for
+// the cluster's live member list and rebuilds the ring from it. When no
+// backend answers the poll — all down, or plain non-cluster daemons —
+// the static seed list stands in, so trustlb degrades to a plain
+// round-robin/digest balancer over whatever was configured.
+func (b *balancer) refreshMembers(ctx context.Context) {
+	for _, seed := range b.seeds {
+		rctx, cancel := context.WithTimeout(ctx, 2*time.Second)
+		req, err := http.NewRequestWithContext(rctx, http.MethodGet, "http://"+seed+"/cluster/members", nil)
+		if err != nil {
+			cancel()
+			continue
+		}
+		resp, err := b.client.Do(req)
+		if err != nil {
+			cancel()
+			continue
+		}
+		var st struct {
+			Members []struct {
+				Addr  string `json:"addr"`
+				State string `json:"state"`
+			} `json:"members"`
+		}
+		decodeErr := json.NewDecoder(io.LimitReader(resp.Body, 1<<20)).Decode(&st)
+		resp.Body.Close()
+		cancel()
+		if resp.StatusCode != http.StatusOK || decodeErr != nil {
+			continue
+		}
+		var alive []string
+		for _, m := range st.Members {
+			// Suspect members stay on the cluster's own ring, so they
+			// stay on trustlb's too; only dead ones drop.
+			if m.State != "dead" {
+				alive = append(alive, m.Addr)
+			}
+		}
+		if len(alive) > 0 {
+			b.setMembers(alive)
+			return
+		}
+	}
+	b.setMembers(b.seeds)
+}
+
+func (b *balancer) handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/analyze", b.handleAnalyze)
+	mux.HandleFunc("/lb/status", b.handleStatus)
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		io.WriteString(w, "{\"status\":\"ok\"}\n")
+	})
+	mux.HandleFunc("/", b.handleSpread)
+	return mux
+}
+
+// handleAnalyze routes by digest: parse the spec exactly as the service
+// would, hash it, forward to the ring owner. A spec trustlb cannot
+// parse is forwarded round-robin anyway — the backend owns error
+// reporting, and a balancer must never reject what a member might
+// accept.
+func (b *balancer) handleAnalyze(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	body, err := io.ReadAll(io.LimitReader(r.Body, 1<<20))
+	if err != nil {
+		httpError(w, http.StatusBadRequest, fmt.Sprintf("reading body: %v", err))
+		return
+	}
+	ring, live := b.snapshot()
+	var targets []string
+	if owner, ok := ring.Owner(digestOf(r, body)); ok {
+		// Owner first, then the rest as fallbacks.
+		targets = append(targets, owner)
+		for _, m := range live {
+			if m != owner {
+				targets = append(targets, m)
+			}
+		}
+		b.routed.Add(1)
+	} else {
+		targets = b.rotation(live)
+		b.spread.Add(1)
+	}
+	b.forward(w, r, body, targets)
+}
+
+// digestOf extracts the routing digest from an analyze request body
+// (either form), returning the zero digest when it will not parse —
+// the zero digest still routes somewhere deterministic.
+func digestOf(r *http.Request, body []byte) [2]uint64 {
+	src := string(body)
+	if strings.HasPrefix(r.Header.Get("Content-Type"), "application/json") {
+		var req struct {
+			Source string `json:"source"`
+		}
+		if json.Unmarshal(body, &req) != nil || req.Source == "" {
+			return [2]uint64{}
+		}
+		src = req.Source
+	}
+	p, err := dsl.LoadReader(strings.NewReader(src))
+	if err != nil {
+		return [2]uint64{}
+	}
+	return service.ProblemDigest(p)
+}
+
+// handleSpread forwards digest-less traffic round-robin.
+func (b *balancer) handleSpread(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(io.LimitReader(r.Body, 1<<20))
+	if err != nil {
+		httpError(w, http.StatusBadRequest, fmt.Sprintf("reading body: %v", err))
+		return
+	}
+	_, live := b.snapshot()
+	b.spread.Add(1)
+	b.forward(w, r, body, b.rotation(live))
+}
+
+// rotation returns the live members starting at the round-robin cursor.
+func (b *balancer) rotation(live []string) []string {
+	if len(live) == 0 {
+		return nil
+	}
+	start := int(b.rr.Add(1)-1) % len(live)
+	out := make([]string, 0, len(live))
+	for i := range live {
+		out = append(out, live[(start+i)%len(live)])
+	}
+	return out
+}
+
+// forward tries each target in order until one answers, relaying that
+// response verbatim (plus X-Trustlb-Backend naming the member that
+// served). Only transport failures advance to the next target; an HTTP
+// error status is a backend's answer and is passed through.
+func (b *balancer) forward(w http.ResponseWriter, r *http.Request, body []byte, targets []string) {
+	ctx, cancel := context.WithTimeout(r.Context(), b.timeout)
+	defer cancel()
+	for _, target := range targets {
+		u := "http://" + target + r.URL.Path
+		if r.URL.RawQuery != "" {
+			u += "?" + r.URL.RawQuery
+		}
+		req, err := http.NewRequestWithContext(ctx, r.Method, u, strings.NewReader(string(body)))
+		if err != nil {
+			continue
+		}
+		req.Header = r.Header.Clone()
+		resp, err := b.client.Do(req)
+		if err != nil {
+			continue
+		}
+		for k, vs := range resp.Header {
+			for _, v := range vs {
+				w.Header().Add(k, v)
+			}
+		}
+		w.Header().Set("X-Trustlb-Backend", target)
+		w.WriteHeader(resp.StatusCode)
+		io.Copy(w, resp.Body)
+		resp.Body.Close()
+		return
+	}
+	b.failures.Add(1)
+	httpError(w, http.StatusBadGateway, "no reachable backend")
+}
+
+// lbStatus is the GET /lb/status schema.
+type lbStatus struct {
+	Backends    []string `json:"backends"`
+	Live        []string `json:"live"`
+	RingVersion string   `json:"ring_version"`
+	Routed      int64    `json:"routed"`
+	Spread      int64    `json:"spread"`
+	Failures    int64    `json:"failures"`
+}
+
+func (b *balancer) handleStatus(w http.ResponseWriter, _ *http.Request) {
+	ring, live := b.snapshot()
+	st := lbStatus{
+		Backends:    b.seeds,
+		Live:        live,
+		RingVersion: fmt.Sprintf("%016x", ring.Version()),
+		Routed:      b.routed.Load(),
+		Spread:      b.spread.Load(),
+		Failures:    b.failures.Load(),
+	}
+	w.Header().Set("Content-Type", "application/json")
+	data, _ := json.MarshalIndent(st, "", "  ")
+	w.Write(append(data, '\n'))
+}
+
+func httpError(w http.ResponseWriter, code int, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	data, _ := json.Marshal(map[string]string{"error": msg})
+	w.Write(append(data, '\n'))
+}

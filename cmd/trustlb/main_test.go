@@ -1,0 +1,154 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"trustseq/internal/cluster"
+	"trustseq/internal/service"
+)
+
+const spec = `problem p {
+    consumer c
+    producer s
+    trusted  t
+    exchange c with s via t { c gives $10; s gives doc "d" }
+}`
+
+// backend is one in-process trustd-shaped member.
+type backend struct {
+	addr string
+	srv  *http.Server
+	node *cluster.Node
+}
+
+func startBackend(t *testing.T) *backend {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	node, err := cluster.NewNode(cluster.Config{Self: ln.Addr().String()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc := service.New(service.Options{Cluster: node})
+	srv := &http.Server{Handler: svc.Handler()}
+	go srv.Serve(ln)
+	t.Cleanup(func() { srv.Close() })
+	return &backend{addr: ln.Addr().String(), srv: srv, node: node}
+}
+
+func TestBalancerRoutesToOwner(t *testing.T) {
+	a := startBackend(t)
+	b := startBackend(t)
+	ctx := context.Background()
+	if err := b.node.Sync(ctx, a.addr); err != nil {
+		t.Fatal(err)
+	}
+
+	lb := newBalancer([]string{a.addr, b.addr}, 0, 10*time.Second)
+	lb.refreshMembers(ctx)
+	front := httptest.NewServer(lb.handler())
+	defer front.Close()
+
+	// The balancer and the members embed the same ring: whatever member
+	// trustlb picks must report itself as the owner — never a proxy hop.
+	for i := 0; i < 3; i++ {
+		resp, err := http.Post(front.URL+"/v1/analyze", "text/plain", strings.NewReader(spec))
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("status %d: %s", resp.StatusCode, body)
+		}
+		if got := resp.Header.Get("X-Trustd-Cluster"); got != "owner" {
+			t.Fatalf("X-Trustd-Cluster = %q, want owner (lb must hit the owner directly)", got)
+		}
+		if resp.Header.Get("X-Trustlb-Backend") == "" {
+			t.Fatal("no X-Trustlb-Backend header")
+		}
+	}
+
+	// Digest-less traffic spreads but still answers.
+	resp, err := http.Get(front.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("stats via lb: status %d", resp.StatusCode)
+	}
+
+	var st lbStatus
+	sresp, err := http.Get(front.URL + "/lb/status")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.NewDecoder(sresp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	sresp.Body.Close()
+	if len(st.Live) != 2 || st.Routed != 3 || st.Spread != 1 {
+		t.Fatalf("lb status = %+v, want 2 live, 3 routed, 1 spread", st)
+	}
+}
+
+func TestBalancerFailsOverWhenOwnerDies(t *testing.T) {
+	a := startBackend(t)
+	b := startBackend(t)
+	ctx := context.Background()
+	if err := b.node.Sync(ctx, a.addr); err != nil {
+		t.Fatal(err)
+	}
+	lb := newBalancer([]string{a.addr, b.addr}, 0, 10*time.Second)
+	lb.refreshMembers(ctx)
+	front := httptest.NewServer(lb.handler())
+	defer front.Close()
+
+	// Kill whichever member owns the spec's digest; the forward must
+	// fall through to the survivor.
+	ring, _ := lb.snapshot()
+	owner, _ := ring.Owner(digestOf(&http.Request{Header: http.Header{}}, []byte(spec)))
+	for _, be := range []*backend{a, b} {
+		if be.addr == owner {
+			be.srv.Close()
+		}
+	}
+	resp, err := http.Post(front.URL+"/v1/analyze", "text/plain", strings.NewReader(spec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("failover analyze: status %d: %s", resp.StatusCode, body)
+	}
+	if got := resp.Header.Get("X-Trustlb-Backend"); got == owner {
+		t.Fatalf("served by the dead owner %q?", got)
+	}
+}
+
+func TestRunRequiresBackends(t *testing.T) {
+	err := run(context.Background(), []string{"-addr", "127.0.0.1:0"}, io.Discard)
+	if err == nil || !strings.Contains(err.Error(), "-backends") {
+		t.Fatalf("want -backends error, got %v", err)
+	}
+}
+
+func TestSplitList(t *testing.T) {
+	got := splitList(" a:1, ,b:2,")
+	if len(got) != 2 || got[0] != "a:1" || got[1] != "b:2" {
+		t.Fatalf("splitList = %v", got)
+	}
+}

@@ -1,0 +1,127 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"trustseq/internal/service"
+)
+
+func startService(t *testing.T) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := &http.Server{Handler: service.New(service.Options{}).Handler()}
+	go srv.Serve(ln)
+	t.Cleanup(func() { srv.Close() })
+	return ln.Addr().String()
+}
+
+func TestLoadRunProducesTrendFile(t *testing.T) {
+	addr := startService(t)
+	out := filepath.Join(t.TempDir(), "trend.json")
+	var errw bytes.Buffer
+	err := run(context.Background(), []string{
+		"-target", addr,
+		"-duration", "400ms",
+		"-rps", "0", // closed loop: finish fast regardless of machine speed
+		"-conns", "4",
+		"-hot", "4",
+		"-out", out,
+		"-name", "TrustloadAnalyze/nodes=1",
+	}, &errw)
+	if err != nil {
+		t.Fatalf("run: %v\n%s", err, errw.String())
+	}
+	if !strings.Contains(errw.String(), "latency p50") {
+		t.Fatalf("no latency summary in output:\n%s", errw.String())
+	}
+
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tr trend
+	if err := json.Unmarshal(data, &tr); err != nil {
+		t.Fatalf("trend file does not parse: %v\n%s", err, data)
+	}
+	m, ok := tr.Current["TrustloadAnalyze/nodes=1"]
+	if !ok {
+		t.Fatalf("trend file missing the benchmark entry: %s", data)
+	}
+	if m.NsPerOp <= 0 {
+		t.Fatalf("ns_per_op = %v, want positive", m.NsPerOp)
+	}
+	if m.Extra["req_s"] <= 0 || m.Extra["errors"] != 0 {
+		t.Fatalf("extra = %v, want positive req_s and zero errors", m.Extra)
+	}
+	// A 4-problem hot pool at 90% hot must be overwhelmingly warm.
+	if m.Extra["hit_pct"] < 50 {
+		t.Fatalf("hit_pct = %v, want >= 50", m.Extra["hit_pct"])
+	}
+}
+
+func TestLoadRunAgainstDeadTargetFails(t *testing.T) {
+	// A port from a just-closed listener: nothing is listening.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+	err = run(context.Background(), []string{
+		"-target", addr, "-duration", "200ms", "-rps", "0", "-conns", "2", "-quiet",
+	}, io.Discard)
+	if err == nil {
+		t.Fatal("run against a dead target succeeded")
+	}
+}
+
+func TestLoadRejectsBadMix(t *testing.T) {
+	if err := run(context.Background(), []string{"-mix", "1.5"}, io.Discard); err == nil {
+		t.Fatal("mix 1.5 accepted")
+	}
+}
+
+func TestHotPoolDeterministic(t *testing.T) {
+	a, err := hotPool(3, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := hotPool(3, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("hot pool not deterministic at %d", i)
+		}
+	}
+	if a[0] == a[1] {
+		t.Fatal("hot pool problems are not distinct")
+	}
+}
+
+func TestPercentiles(t *testing.T) {
+	r := &result{elapsed: time.Second}
+	for i := 1; i <= 100; i++ {
+		r.latencies = append(r.latencies, time.Duration(i)*time.Millisecond)
+	}
+	if got := r.percentile(0.50); got != 50*time.Millisecond {
+		t.Fatalf("p50 = %v", got)
+	}
+	if got := r.percentile(0.99); got != 99*time.Millisecond {
+		t.Fatalf("p99 = %v", got)
+	}
+}

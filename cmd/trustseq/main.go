@@ -13,6 +13,14 @@
 //	-indemnify  propose a minimal indemnification when infeasible
 //	-verify     re-verify the synthesized plan step by step
 //	-base FILE  analyse incrementally against this base spec (edit workloads)
+//
+// The verify-proof subcommand checks a verifiable-log proof envelope
+// (as served by trustd's /v1/proof endpoints) entirely offline:
+//
+//	trustseq verify-proof [-root HEX] [-old-root HEX] [-pubkey HEX] proof.json|-
+//
+// It exits non-zero on any malformed, truncated, tampered, or
+// mismatching proof.
 package main
 
 import (
@@ -35,6 +43,9 @@ func main() {
 }
 
 func run(args []string, out io.Writer) error {
+	if len(args) > 0 && args[0] == "verify-proof" {
+		return runVerifyProof(args[1:], out)
+	}
 	fs := flag.NewFlagSet("trustseq", flag.ContinueOnError)
 	showTrace := fs.Bool("seq", false, "print the reduction trace")
 	dotDir := fs.String("dot", "", "write DOT renderings into this directory")

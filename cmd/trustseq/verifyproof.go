@@ -1,0 +1,122 @@
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"trustseq/internal/vlog"
+)
+
+// runVerifyProof is the `trustseq verify-proof` subcommand: a
+// deterministic, offline verifier for the proof envelopes trustd serves
+// from /v1/proof/... and the settlement proofs the simulator emits. It
+// needs only the proof document plus whatever anchors the caller pins —
+// a trusted root (-root, and -old-root for consistency proofs) and/or
+// the daemon's signing key (-pubkey) — and it fails closed: any
+// truncation, bit-flip, reordering, or root mismatch is a non-zero
+// exit with the typed reason on stderr.
+func runVerifyProof(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("trustseq verify-proof", flag.ContinueOnError)
+	rootHex := fs.String("root", "", "trusted root (hex, or the \"size:hex\" X-Trustd-Log-Root form) the proof must resolve to")
+	oldRootHex := fs.String("old-root", "", "for consistency proofs: the previously observed root (hex or \"size:hex\") the new log must extend")
+	pubkey := fs.String("pubkey", "", "pinned ed25519 public key (hex) the proof must be signed with")
+	quiet := fs.Bool("q", false, "suppress the OK line; exit status only")
+	fs.Usage = func() {
+		fmt.Fprintln(fs.Output(), "usage: trustseq verify-proof [-root HEX] [-old-root HEX] [-pubkey HEX] [-q] proof.json|-")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		fs.Usage()
+		return errors.New("verify-proof takes exactly one proof file (or - for stdin)")
+	}
+	var data []byte
+	var err error
+	if fs.Arg(0) == "-" {
+		data, err = io.ReadAll(os.Stdin)
+	} else {
+		data, err = os.ReadFile(fs.Arg(0))
+	}
+	if err != nil {
+		return err
+	}
+
+	e, err := vlog.ParseEnvelope(data)
+	if err != nil {
+		return verifyProofError(err)
+	}
+	var trustedRoot *vlog.Hash
+	if *rootHex != "" {
+		h, err := parseRootArg(*rootHex)
+		if err != nil {
+			return fmt.Errorf("-root: %w", err)
+		}
+		trustedRoot = &h
+	}
+	if err := e.VerifyAgainst(trustedRoot, *pubkey); err != nil {
+		return verifyProofError(err)
+	}
+	if *oldRootHex != "" {
+		if e.Kind != vlog.KindConsistency {
+			return fmt.Errorf("-old-root only applies to consistency proofs (this is a %s proof)", e.Kind)
+		}
+		want, err := parseRootArg(*oldRootHex)
+		if err != nil {
+			return fmt.Errorf("-old-root: %w", err)
+		}
+		got, err := vlog.ParseHash(e.FromRoot)
+		if err != nil {
+			return verifyProofError(err)
+		}
+		if got != want {
+			return verifyProofError(fmt.Errorf("%w: proof extends root %s, pinned old root is %s",
+				vlog.ErrRootMismatch, got, want))
+		}
+	}
+	if !*quiet {
+		switch e.Kind {
+		case vlog.KindMembership:
+			fmt.Fprintf(out, "OK %s: entry %d of %d in log %q under root %s\n",
+				e.Kind, e.Index, e.TreeSize, e.Log, e.Root)
+		case vlog.KindConsistency:
+			fmt.Fprintf(out, "OK %s: log %q at size %d extends size %d append-only\n",
+				e.Kind, e.Log, e.ToSize, e.FromSize)
+		}
+	}
+	return nil
+}
+
+// parseRootArg accepts either a bare hex root or the "<size>:<hex>"
+// form the X-Trustd-Log-Root header uses, so a curl pipeline can pass
+// the header value through unchanged.
+func parseRootArg(s string) (vlog.Hash, error) {
+	for i := 0; i < len(s); i++ {
+		if s[i] == ':' {
+			return vlog.ParseHash(s[i+1:])
+		}
+	}
+	return vlog.ParseHash(s)
+}
+
+// verifyProofError maps the vlog error taxonomy to the user-facing
+// failure lines, keeping the sentinel wrapped so scripts (and tests)
+// can still distinguish the classes while humans get one clear verb.
+func verifyProofError(err error) error {
+	switch {
+	case errors.Is(err, vlog.ErrMalformedProof):
+		return fmt.Errorf("MALFORMED: %w", err)
+	case errors.Is(err, vlog.ErrRootMismatch):
+		return fmt.Errorf("ROOT MISMATCH: %w", err)
+	case errors.Is(err, vlog.ErrBadSignature):
+		return fmt.Errorf("BAD SIGNATURE: %w", err)
+	case errors.Is(err, vlog.ErrProofInvalid):
+		return fmt.Errorf("INVALID: %w", err)
+	default:
+		return fmt.Errorf("INVALID: %w", err)
+	}
+}

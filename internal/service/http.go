@@ -31,6 +31,8 @@ const maxSweepN = 5000
 //	GET  /v1/stats       cache occupancy, rolling latency, slowlog state
 //	GET  /v1/requests    the recent-request table with stage breakdown
 //	GET  /v1/trace/{id}  the retained span tree of one slow request
+//	GET  /v1/proof/{digest}              membership proof for an analysis
+//	GET  /v1/proof/consistency?from=&to= append-only extension proof
 //	GET  /metrics        registry snapshot (JSON; Prometheus exposition
 //	                     under content negotiation; ?format=text)
 //	GET  /healthz        liveness
@@ -50,6 +52,7 @@ func (s *Service) Handler() http.Handler {
 	handle("/v1/stats", "stats", http.HandlerFunc(s.handleStats), true)
 	handle("/v1/requests", "requests", http.HandlerFunc(s.handleRequests), true)
 	handle("/v1/trace/", "trace", http.HandlerFunc(s.handleTrace), true)
+	handle("/v1/proof/", "proof", http.HandlerFunc(s.handleProof), true)
 	// Scrapes and probes get identity but stay out of the request log,
 	// so a 15s Prometheus interval cannot wash real traffic out of the
 	// recent-request table.
@@ -157,6 +160,9 @@ func (s *Service) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 	// The problem digest is this response's base handle: replay it in
 	// X-Trustd-Base after an edit to request the incremental path.
 	w.Header().Set("X-Trustd-Digest", FormatDigest(ProblemDigest(p)))
+	// The verifiable-log anchor ("<size>:<root>"): fetch
+	// /v1/proof/{digest} and verify it offline against this root.
+	w.Header().Set(logRootHeader, s.vl.rootHeader())
 	if incremental != "" {
 		w.Header().Set("X-Trustd-Incremental", string(incremental))
 	}
@@ -351,6 +357,7 @@ type statsResponse struct {
 	Cache     cacheStats               `json:"cache"`
 	Endpoints map[string]endpointStats `json:"endpoints,omitempty"`
 	SlowLog   slowlogStats             `json:"slowlog"`
+	VLog      vlogStats                `json:"vlog"`
 	Cluster   *clusterStats            `json:"cluster,omitempty"`
 }
 
@@ -415,7 +422,7 @@ func (s *Service) handleStats(w http.ResponseWriter, r *http.Request) {
 	// histograms the HTTP middleware feeds; endpoints quiet for a full
 	// window are omitted.
 	if reg := s.opts.Telemetry.Reg(); reg != nil {
-		for _, name := range []string{"analyze", "sweep", "stats", "requests", "trace", "metrics", "healthz"} {
+		for _, name := range []string{"analyze", "sweep", "stats", "requests", "trace", "proof", "metrics", "healthz"} {
 			snap := reg.Rolling("http."+name+".rolling_seconds", obs.DurationBuckets()).Snapshot()
 			if snap.Count == 0 {
 				continue
@@ -434,6 +441,7 @@ func (s *Service) handleStats(w http.ResponseWriter, r *http.Request) {
 	}
 	resp.SlowLog.ThresholdMS, resp.SlowLog.RetainAll, resp.SlowLog.Capacity,
 		resp.SlowLog.Requests, resp.SlowLog.Slow = s.reqlog.stats()
+	resp.VLog = s.vl.stats()
 	resp.Cluster = s.clusterStatsSnapshot()
 	writeJSON(w, http.StatusOK, resp)
 }

@@ -179,6 +179,11 @@ type SimulationInfo struct {
 	Messages  int    `json:"messages"`
 	Duration  int64  `json:"duration_ticks"`
 	Summary   string `json:"summary"`
+	// SettlementRoot is the Merkle root of the run's verifiable
+	// settlement log (hex; see internal/vlog): the anchor against which
+	// the run's trace can be replayed proof-checked. JSON only — the
+	// text rendering stays byte-identical to the trustseq CLI.
+	SettlementRoot string `json:"settlement_root,omitempty"`
 }
 
 // Service is the protocol-synthesis daemon behind cmd/trustd: it
@@ -198,6 +203,10 @@ type Service struct {
 	// the /metrics scrape with process health.
 	reqlog  *requestLog
 	runtime *obs.Runtime
+
+	// vl is the daemon's verifiable analysis log (vlog.go): every
+	// published result appends one leaf; /v1/proof serves proofs over it.
+	vl *serviceLog
 
 	// Pre-interned counters: the analyze path must not take the
 	// registry lock per request.
@@ -249,6 +258,7 @@ func New(opts Options) *Service {
 		flight:         make(map[[2]uint64]*call),
 		reqlog:         newRequestLog(opts.SlowLogMillis, opts.SlowLogEntries),
 		runtime:        obs.NewRuntime(),
+		vl:             newServiceLog(reg),
 		cacheHits:      reg.Counter("service.cache.hits"),
 		cacheMisses:    reg.Counter("service.cache.misses"),
 		cacheEvictions: reg.Counter("service.cache.evictions"),
@@ -418,6 +428,12 @@ func (s *Service) publish(fl *call, key, digest [2]uint64, val *cached, plan *co
 		evict bool
 	}
 	var anns []ann
+	if err == nil {
+		// Sign the result into the verifiable log before it becomes
+		// visible: a client that reads a response can immediately demand
+		// a membership proof for it.
+		s.vl.append(digest, key, val)
+	}
 	s.mu.Lock()
 	if err == nil {
 		if old, ok := s.cache.put(key, val); ok {
@@ -559,16 +575,18 @@ func (s *Service) compute(p *model.Problem, opts AnalyzeOptions, basePlan *core.
 			Seed:     opts.SimSeed,
 			Deadline: sim.Time(opts.SimDeadline),
 			Obs:      tel,
+			VLog:     true,
 		})
 		rt.endStage(ss)
 		if err != nil {
 			return nil, nil, patched, &StatusError{Code: http.StatusInternalServerError, Msg: err.Error()}
 		}
 		res.Simulation = &SimulationInfo{
-			Completed: out.Completed(),
-			Messages:  out.Messages,
-			Duration:  int64(out.Duration),
-			Summary:   out.Summary(),
+			Completed:      out.Completed(),
+			Messages:       out.Messages,
+			Duration:       int64(out.Duration),
+			Summary:        out.Summary(),
+			SettlementRoot: out.SettlementRoot,
 		}
 	}
 

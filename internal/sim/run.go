@@ -9,6 +9,7 @@ import (
 	"trustseq/internal/ledger"
 	"trustseq/internal/model"
 	"trustseq/internal/obs"
+	"trustseq/internal/vlog"
 )
 
 // transitAccount holds in-flight assets between send and delivery.
@@ -58,6 +59,13 @@ type Options struct {
 	// then continue normally. RestoreRun resumes such a snapshot and
 	// replays the remainder of the run tick-for-tick (see checkpoint.go).
 	Checkpoint *CheckpointSpec
+	// VLog builds the verifiable settlement log over the delivered
+	// trace after quiescence (see internal/vlog): Result gains a
+	// SettlementLog and SettlementRoot, and ReplayBalancesVerified
+	// becomes available. The log is assembled from the trace the run
+	// already records, so enabling it changes no schedule, verdict, or
+	// trace byte.
+	VLog bool
 }
 
 // Result is the outcome of a simulation.
@@ -83,6 +91,11 @@ type Result struct {
 	// Trace holds every delivered message in delivery order; render it
 	// with RenderTrace.
 	Trace []Message
+	// SettlementLog is the verifiable log over Trace (one leaf per
+	// entry, in order) and SettlementRoot its Merkle root in hex. Both
+	// are set only when Options.VLog was on.
+	SettlementLog  *vlog.Log
+	SettlementRoot string
 }
 
 // Completed reports whether every exchange delivered in full.
@@ -230,6 +243,10 @@ func (rs *runtime) assemble() (*Result, error) {
 	}
 	res.Trace = rs.net.trace
 	res.FaultStats = rs.net.fstats
+	if rs.opts.VLog {
+		res.SettlementLog = SettlementLog(res.Trace)
+		res.SettlementRoot = res.SettlementLog.Root().String()
+	}
 	for _, m := range res.Trace {
 		if m.Kind == MsgCrash || m.Kind == MsgRestart {
 			continue // fault events are not deliveries

@@ -1,0 +1,103 @@
+package sim
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"trustseq/internal/ledger"
+	"trustseq/internal/model"
+	"trustseq/internal/vlog"
+)
+
+// AuditRecord is the canonical byte encoding of one delivered message
+// for the verifiable settlement log: every field that determines what
+// the message did — delivery time, kind, endpoints, the action, the
+// tag — length- or varint-prefixed so no two distinct messages share an
+// encoding. The trace order plus these bytes fully determine the
+// settlement root; an offline verifier can rebuild the root from a
+// trace alone.
+func AuditRecord(m Message) []byte {
+	b := make([]byte, 0, 64)
+	b = binary.AppendVarint(b, int64(m.At))
+	b = binary.AppendUvarint(b, uint64(m.Kind))
+	b = appendString(b, string(m.From))
+	b = appendString(b, string(m.To))
+	b = binary.AppendUvarint(b, uint64(m.Action.Kind))
+	b = appendString(b, string(m.Action.From))
+	b = appendString(b, string(m.Action.To))
+	b = appendString(b, string(m.Action.Item))
+	b = binary.AppendVarint(b, int64(m.Action.Amount))
+	if m.Action.Inverse {
+		b = append(b, 1)
+	} else {
+		b = append(b, 0)
+	}
+	return appendString(b, m.Tag)
+}
+
+// appendString appends a uvarint length prefix and the bytes, making
+// the overall record encoding prefix-free per field.
+func appendString(b []byte, s string) []byte {
+	b = binary.AppendUvarint(b, uint64(len(s)))
+	return append(b, s...)
+}
+
+// SettlementLog builds the verifiable log over a delivered-message
+// trace, one leaf per trace entry in delivery order. It is hash-only:
+// the trace itself already retains the records.
+func SettlementLog(trace []Message) *vlog.Log {
+	l := vlog.New()
+	for _, m := range trace {
+		l.Append(AuditRecord(m))
+	}
+	return l
+}
+
+// ReplayBalancesVerified is ReplayBalances in proof-checked mode: in
+// addition to replaying the trace through a fresh ledger, it rebuilds
+// the settlement log from the trace, demands its root equal the root
+// the run published, and verifies a membership proof for every trace
+// entry against that root before trusting the entry. A truncated,
+// edited, or reordered trace fails before any balance is derived.
+func ReplayBalancesVerified(p *model.Problem, trace []Message, root vlog.Hash) (map[model.PartyID]*model.Holding, error) {
+	l := SettlementLog(trace)
+	if got := l.Root(); got != root {
+		return nil, fmt.Errorf("sim: %w: trace rebuilds root %s, run published %s", vlog.ErrRootMismatch, got, root)
+	}
+	n := l.Size()
+	book := ledger.New(model.InitialHoldings(p))
+	for i, m := range trace {
+		leaf := vlog.LeafHash(AuditRecord(m))
+		path, err := l.MembershipProof(uint64(i), n)
+		if err != nil {
+			return nil, fmt.Errorf("sim: proving trace entry %d: %w", i, err)
+		}
+		if err := vlog.VerifyMembership(root, uint64(i), n, leaf, path); err != nil {
+			return nil, fmt.Errorf("sim: trace entry %d (%v): %w", i, m, err)
+		}
+		if m.Kind != MsgTransfer {
+			continue
+		}
+		if err := book.Transfer(m.Action.Mover(), m.Action.Receiver(), m.Action.Asset(), m.Action.String()); err != nil {
+			return nil, fmt.Errorf("sim: replaying trace entry %d (%v): %w", i, m, err)
+		}
+	}
+	if err := book.Audit(); err != nil {
+		return nil, fmt.Errorf("sim: replayed ledger fails audit: %w", err)
+	}
+	out := make(map[model.PartyID]*model.Holding, len(p.Parties))
+	for _, pa := range p.Parties {
+		out[pa.ID] = book.Balance(pa.ID)
+	}
+	return out, nil
+}
+
+// ReplayBalancesVerified re-derives the run's final balances from its
+// own trace under proof checking against the run's settlement root.
+// The run must have been made with Options.VLog set.
+func (r *Result) ReplayBalancesVerified() (map[model.PartyID]*model.Holding, error) {
+	if r.SettlementLog == nil {
+		return nil, fmt.Errorf("sim: run has no settlement log; set Options.VLog")
+	}
+	return ReplayBalancesVerified(r.Problem, r.Trace, r.SettlementLog.Root())
+}

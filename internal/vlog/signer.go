@@ -1,0 +1,85 @@
+package vlog
+
+import (
+	"crypto/ed25519"
+	"crypto/rand"
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+)
+
+// rootStatementPrefix domain-separates root signatures from anything
+// else an ed25519 key might ever sign.
+const rootStatementPrefix = "trustseq-vlog-root-v1\x00"
+
+// RootStatement is the canonical byte string a Signer signs: the
+// versioned prefix, the tree size (big-endian), and the root. Binding
+// the size prevents a signature over an old, shorter tree from being
+// replayed as an attestation of a longer one.
+func RootStatement(size uint64, root Hash) []byte {
+	b := make([]byte, 0, len(rootStatementPrefix)+8+HashSize)
+	b = append(b, rootStatementPrefix...)
+	b = binary.BigEndian.AppendUint64(b, size)
+	return append(b, root[:]...)
+}
+
+// Signer attests (size, root) pairs with an ed25519 key. The trustd
+// daemon generates an ephemeral signer at startup: within one daemon
+// lifetime, every proof it serves is signed by the same key, so a
+// client that pins the key from one response can detect a substituted
+// daemon (or a daemon that "forgot" its log) across later responses.
+// Persisting the key is deliberately out of scope here — key custody
+// is an operational decision, not a library one.
+type Signer struct {
+	priv ed25519.PrivateKey
+	pub  string // hex, cached
+}
+
+// NewSigner generates a fresh ed25519 signer.
+func NewSigner() (*Signer, error) {
+	pub, priv, err := ed25519.GenerateKey(rand.Reader)
+	if err != nil {
+		return nil, fmt.Errorf("vlog: generating signer key: %w", err)
+	}
+	return &Signer{priv: priv, pub: hex.EncodeToString(pub)}, nil
+}
+
+// PublicKey returns the hex-encoded ed25519 public key.
+func (s *Signer) PublicKey() string { return s.pub }
+
+// sign stamps the envelope with the signature over (size, root). A nil
+// signer is a no-op, so unsigned logs share the envelope constructors.
+func (s *Signer) sign(e *Envelope, size uint64, root Hash) {
+	if s == nil {
+		return
+	}
+	e.PublicKey = s.pub
+	e.Signature = hex.EncodeToString(ed25519.Sign(s.priv, RootStatement(size, root)))
+}
+
+// verifySignature checks the envelope's embedded signature, when one is
+// present, over the given (size, root) statement. Envelopes without a
+// signature pass — signatures are an additional anchor, not a
+// substitute for the hash verification — but an envelope that carries
+// one must carry a valid one: a broken signature is evidence of
+// tampering, never ignorable.
+func (e *Envelope) verifySignature(size uint64, root Hash) error {
+	if e.Signature == "" && e.PublicKey == "" {
+		return nil
+	}
+	if e.Signature == "" || e.PublicKey == "" {
+		return fmt.Errorf("%w: signature and public_key must both be present or both absent", ErrMalformedProof)
+	}
+	pub, err := hex.DecodeString(e.PublicKey)
+	if err != nil || len(pub) != ed25519.PublicKeySize {
+		return fmt.Errorf("%w: public_key must be %d hex-encoded bytes", ErrMalformedProof, ed25519.PublicKeySize)
+	}
+	sig, err := hex.DecodeString(e.Signature)
+	if err != nil || len(sig) != ed25519.SignatureSize {
+		return fmt.Errorf("%w: signature must be %d hex-encoded bytes", ErrMalformedProof, ed25519.SignatureSize)
+	}
+	if !ed25519.Verify(ed25519.PublicKey(pub), RootStatement(size, root), sig) {
+		return fmt.Errorf("%w: ed25519 verification failed over the root statement", ErrBadSignature)
+	}
+	return nil
+}

@@ -1,0 +1,424 @@
+package vlog
+
+import (
+	"crypto/sha256"
+	"errors"
+	"fmt"
+)
+
+// HashSize is the byte length of every hash in the log (SHA-256).
+const HashSize = sha256.Size
+
+// Hash is one SHA-256 digest: a leaf hash, an interior node, a Merkle
+// root, or a chain head. The zero value is never a valid hash of
+// anything this package produces (even the empty tree hashes the empty
+// string), so it can safely mean "absent".
+type Hash [HashSize]byte
+
+// String renders the hash as lowercase hex, the wire form used in proof
+// envelopes and the X-Trustd-Log-Root header.
+func (h Hash) String() string { return fmt.Sprintf("%x", h[:]) }
+
+// ParseHash parses the 64-hex-character form String renders. It fails
+// closed: anything but exactly 64 hex characters is rejected.
+func ParseHash(s string) (Hash, error) {
+	var h Hash
+	if len(s) != 2*HashSize {
+		return h, fmt.Errorf("%w: hash must be %d hex characters, got %d", ErrMalformedProof, 2*HashSize, len(s))
+	}
+	for i := 0; i < HashSize; i++ {
+		hi, ok1 := hexVal(s[2*i])
+		lo, ok2 := hexVal(s[2*i+1])
+		if !ok1 || !ok2 {
+			return Hash{}, fmt.Errorf("%w: hash has a non-hex character at offset %d", ErrMalformedProof, 2*i)
+		}
+		h[i] = hi<<4 | lo
+	}
+	return h, nil
+}
+
+func hexVal(c byte) (byte, bool) {
+	switch {
+	case c >= '0' && c <= '9':
+		return c - '0', true
+	case c >= 'a' && c <= 'f':
+		return c - 'a' + 10, true
+	case c >= 'A' && c <= 'F':
+		return c - 'A' + 10, true
+	}
+	return 0, false
+}
+
+// Domain-separation prefixes (RFC 6962 §2.1 for leaves and nodes; the
+// chain prefix is ours). Leaf and interior hashes must never collide:
+// without the prefixes an attacker could present an interior node as a
+// "leaf" and prove membership of data never appended.
+const (
+	leafPrefix  = 0x00
+	nodePrefix  = 0x01
+	chainPrefix = 0x02
+)
+
+// LeafHash computes the domain-separated hash of one record:
+// SHA-256(0x00 || record).
+func LeafHash(record []byte) Hash {
+	h := sha256.New()
+	h.Write([]byte{leafPrefix})
+	h.Write(record)
+	var out Hash
+	h.Sum(out[:0])
+	return out
+}
+
+// nodeHash combines two subtree roots: SHA-256(0x01 || left || right).
+func nodeHash(left, right Hash) Hash {
+	h := sha256.New()
+	h.Write([]byte{nodePrefix})
+	h.Write(left[:])
+	h.Write(right[:])
+	var out Hash
+	h.Sum(out[:0])
+	return out
+}
+
+// chainHash extends the sequential hash chain:
+// SHA-256(0x02 || prev || leaf).
+func chainHash(prev, leaf Hash) Hash {
+	h := sha256.New()
+	h.Write([]byte{chainPrefix})
+	h.Write(prev[:])
+	h.Write(leaf[:])
+	var out Hash
+	h.Sum(out[:0])
+	return out
+}
+
+// emptyRoot is the Merkle root of the empty log: SHA-256 of the empty
+// string, per RFC 6962.
+func emptyRoot() Hash { return sha256.Sum256(nil) }
+
+// The error taxonomy. Every failure an appender or verifier can hit
+// wraps one of these, so callers (trustseq verify-proof in particular)
+// can classify without string matching. Verification is fail-closed:
+// any condition not positively provable is an error.
+var (
+	// ErrIndexOutOfRange: a leaf index or tree size names data the log
+	// (or the claimed tree) does not contain.
+	ErrIndexOutOfRange = errors.New("vlog: index out of range")
+	// ErrMalformedProof: a proof or envelope is structurally wrong —
+	// bad lengths, bad hex, missing fields, unknown kind — before any
+	// hashing happens.
+	ErrMalformedProof = errors.New("vlog: malformed proof")
+	// ErrProofInvalid: the proof hashes to something other than the
+	// claimed root — evidence of truncation, bit-flips, reordering, or
+	// an outright forgery.
+	ErrProofInvalid = errors.New("vlog: proof does not verify")
+	// ErrRootMismatch: a recomputed or claimed root disagrees with the
+	// trusted root the caller supplied.
+	ErrRootMismatch = errors.New("vlog: root mismatch")
+	// ErrNotRetained: the log was built hash-only and cannot return
+	// record bytes.
+	ErrNotRetained = errors.New("vlog: record bytes not retained")
+	// ErrBadSignature: the envelope's ed25519 signature does not verify
+	// under the given public key.
+	ErrBadSignature = errors.New("vlog: bad root signature")
+)
+
+// Log is an append-only, hash-chained, Merkle-ized event log. Appends
+// are O(log n) amortized (an incremental subtree stack maintains the
+// current root); membership and consistency proofs over any historical
+// prefix are recomputed from the retained leaf hashes.
+//
+// A Log is not safe for concurrent use; owners (sim.Result, the
+// service) serialize access with their own locks.
+type Log struct {
+	leaves []Hash // leaf hash per entry, append-only
+	chain  []Hash // chain[i] = SHA-256(0x02 || chain[i-1] || leaves[i])
+	// stack holds the roots of the maximal complete subtrees covering
+	// the leaves so far — one entry per set bit of len(leaves), leftmost
+	// (largest) first — so Root() folds O(log n) hashes instead of
+	// recomputing the tree.
+	stack   []Hash
+	records [][]byte // retained record bytes, nil unless retaining
+	retain  bool
+}
+
+// New returns an empty hash-only log: it serves proofs but cannot
+// return record bytes (Record reports ErrNotRetained). The simulator
+// uses this form — its trace already retains every record.
+func New() *Log { return &Log{} }
+
+// NewRetaining returns an empty log that additionally keeps each
+// appended record, so proof envelopes can carry the record bytes. The
+// service's per-daemon analysis log uses this form.
+func NewRetaining() *Log { return &Log{retain: true} }
+
+// Append adds one record and returns its index. The record bytes are
+// hashed immediately (and copied only when the log retains records), so
+// the caller may reuse the buffer.
+func (l *Log) Append(record []byte) uint64 {
+	leaf := LeafHash(record)
+	i := uint64(len(l.leaves))
+	l.leaves = append(l.leaves, leaf)
+	prev := Hash{}
+	if i > 0 {
+		prev = l.chain[i-1]
+	}
+	l.chain = append(l.chain, chainHash(prev, leaf))
+	if l.retain {
+		l.records = append(l.records, append([]byte(nil), record...))
+	}
+	// Merge complete subtrees like a binary counter: each trailing
+	// complete pair collapses into its parent.
+	node := leaf
+	for n := i; n&1 == 1; n >>= 1 {
+		node = nodeHash(l.stack[len(l.stack)-1], node)
+		l.stack = l.stack[:len(l.stack)-1]
+	}
+	l.stack = append(l.stack, node)
+	return i
+}
+
+// Size reports the number of appended records.
+func (l *Log) Size() uint64 { return uint64(len(l.leaves)) }
+
+// Root returns the Merkle tree hash over everything appended so far
+// (the RFC 6962 MTH; SHA-256 of the empty string for an empty log).
+func (l *Log) Root() Hash {
+	if len(l.stack) == 0 {
+		return emptyRoot()
+	}
+	// Fold right-to-left: the smaller (righter) subtrees hash in first.
+	root := l.stack[len(l.stack)-1]
+	for i := len(l.stack) - 2; i >= 0; i-- {
+		root = nodeHash(l.stack[i], root)
+	}
+	return root
+}
+
+// RootAt returns the Merkle root of the first n records — the root a
+// verifier holding an older view of this log would have recorded. n may
+// be 0 (the empty-log root) through Size().
+func (l *Log) RootAt(n uint64) (Hash, error) {
+	if n > l.Size() {
+		return Hash{}, fmt.Errorf("%w: root at %d of a %d-entry log", ErrIndexOutOfRange, n, l.Size())
+	}
+	if n == 0 {
+		return emptyRoot(), nil
+	}
+	return subtreeRoot(l.leaves[:n]), nil
+}
+
+// ChainHead returns the sequential hash-chain head after the last
+// append (the zero Hash for an empty log). The chain is the cheap
+// tamper-evidence primitive — any historical edit changes every later
+// head — while the Merkle tree is what makes *selective* verification
+// (one entry, or one prefix) possible without replaying the chain.
+func (l *Log) ChainHead() Hash {
+	if len(l.chain) == 0 {
+		return Hash{}
+	}
+	return l.chain[len(l.chain)-1]
+}
+
+// Leaf returns the leaf hash of entry i.
+func (l *Log) Leaf(i uint64) (Hash, error) {
+	if i >= l.Size() {
+		return Hash{}, fmt.Errorf("%w: leaf %d of a %d-entry log", ErrIndexOutOfRange, i, l.Size())
+	}
+	return l.leaves[i], nil
+}
+
+// Record returns the retained record bytes of entry i. Only logs built
+// with NewRetaining can answer; the returned slice is the log's copy
+// and must not be modified.
+func (l *Log) Record(i uint64) ([]byte, error) {
+	if i >= l.Size() {
+		return nil, fmt.Errorf("%w: record %d of a %d-entry log", ErrIndexOutOfRange, i, l.Size())
+	}
+	if !l.retain {
+		return nil, ErrNotRetained
+	}
+	return l.records[i], nil
+}
+
+// subtreeRoot computes the RFC 6962 MTH of the given leaves
+// recursively: split at the largest power of two strictly less than
+// the count.
+func subtreeRoot(leaves []Hash) Hash {
+	if len(leaves) == 1 {
+		return leaves[0]
+	}
+	k := splitPoint(uint64(len(leaves)))
+	return nodeHash(subtreeRoot(leaves[:k]), subtreeRoot(leaves[k:]))
+}
+
+// splitPoint returns the largest power of two strictly less than n
+// (n ≥ 2).
+func splitPoint(n uint64) uint64 {
+	k := uint64(1)
+	for k<<1 < n {
+		k <<= 1
+	}
+	return k
+}
+
+// MembershipProof builds the audit path proving that entry i is in the
+// log's first n entries under RootAt(n): the sibling subtree roots,
+// leaf-to-root order. Verify with VerifyMembership and nothing but the
+// proof, the leaf hash, and the root.
+func (l *Log) MembershipProof(i, n uint64) ([]Hash, error) {
+	if n > l.Size() || i >= n {
+		return nil, fmt.Errorf("%w: membership of entry %d in a tree of %d (log holds %d)",
+			ErrIndexOutOfRange, i, n, l.Size())
+	}
+	return auditPath(i, l.leaves[:n]), nil
+}
+
+func auditPath(m uint64, leaves []Hash) []Hash {
+	if len(leaves) == 1 {
+		return nil
+	}
+	k := splitPoint(uint64(len(leaves)))
+	if m < k {
+		return append(auditPath(m, leaves[:k]), subtreeRoot(leaves[k:]))
+	}
+	return append(auditPath(m-k, leaves[k:]), subtreeRoot(leaves[:k]))
+}
+
+// ConsistencyProof builds the RFC 6962 proof that the tree of size n
+// is an append-only extension of the tree of size m (0 < m ≤ n ≤
+// Size). The proof plus the two roots is all a verifier needs; an
+// empty proof is valid only for m == n (identical roots).
+func (l *Log) ConsistencyProof(m, n uint64) ([]Hash, error) {
+	if m == 0 || m > n || n > l.Size() {
+		return nil, fmt.Errorf("%w: consistency from %d to %d (log holds %d)",
+			ErrIndexOutOfRange, m, n, l.Size())
+	}
+	if m == n {
+		return nil, nil
+	}
+	return subProof(m, l.leaves[:n], true), nil
+}
+
+// subProof is RFC 6962 §2.1.2's SUBPROOF: complete reports whether the
+// first m leaves form the complete subtree at this recursion level (in
+// which case its root is known to the verifier and omitted).
+func subProof(m uint64, leaves []Hash, complete bool) []Hash {
+	n := uint64(len(leaves))
+	if m == n {
+		if complete {
+			return nil
+		}
+		return []Hash{subtreeRoot(leaves)}
+	}
+	k := splitPoint(n)
+	if m <= k {
+		return append(subProof(m, leaves[:k], complete), subtreeRoot(leaves[k:]))
+	}
+	return append(subProof(m-k, leaves[k:], false), subtreeRoot(leaves[:k]))
+}
+
+// VerifyMembership checks, offline, that a leaf hash sits at index i of
+// the tree of the given size whose root is root. It needs nothing but
+// its arguments — no log, no daemon — and fails closed: a wrong-length
+// path, an out-of-range index, or any hash disagreement is an error.
+func VerifyMembership(root Hash, i, size uint64, leaf Hash, path []Hash) error {
+	if size == 0 || i >= size {
+		return fmt.Errorf("%w: entry %d in a tree of %d", ErrIndexOutOfRange, i, size)
+	}
+	// RFC 9162 §2.1.3.2. fn walks the leaf index upward; sn tracks the
+	// index of the last node at the current level.
+	fn, sn := i, size-1
+	r := leaf
+	for _, p := range path {
+		if sn == 0 {
+			return fmt.Errorf("%w: audit path longer than the tree is deep", ErrProofInvalid)
+		}
+		if fn&1 == 1 || fn == sn {
+			r = nodeHash(p, r)
+			if fn&1 == 0 {
+				for fn != 0 && fn&1 == 0 {
+					fn >>= 1
+					sn >>= 1
+				}
+			}
+		} else {
+			r = nodeHash(r, p)
+		}
+		fn >>= 1
+		sn >>= 1
+	}
+	if sn != 0 {
+		return fmt.Errorf("%w: audit path shorter than the tree is deep", ErrProofInvalid)
+	}
+	if r != root {
+		return fmt.Errorf("%w: audit path resolves to %s, root is %s", ErrProofInvalid, r, root)
+	}
+	return nil
+}
+
+// VerifyConsistency checks, offline, that the tree of size n with root
+// newRoot extends the tree of size m with root oldRoot append-only.
+// Like VerifyMembership it needs only its arguments and fails closed.
+func VerifyConsistency(m, n uint64, oldRoot, newRoot Hash, path []Hash) error {
+	if m == 0 || m > n {
+		return fmt.Errorf("%w: consistency from %d to %d", ErrIndexOutOfRange, m, n)
+	}
+	if m == n {
+		if len(path) != 0 {
+			return fmt.Errorf("%w: same-size consistency must have an empty path", ErrMalformedProof)
+		}
+		if oldRoot != newRoot {
+			return fmt.Errorf("%w: equal sizes with different roots", ErrProofInvalid)
+		}
+		return nil
+	}
+	// RFC 9162 §2.1.4.2. When m is an exact power of two, the old root
+	// is itself the first component of the walk.
+	rest := path
+	var fr, sr Hash
+	fn, sn := m-1, n-1
+	for fn&1 == 1 {
+		fn >>= 1
+		sn >>= 1
+	}
+	if fn == 0 {
+		fr, sr = oldRoot, oldRoot
+	} else {
+		if len(rest) == 0 {
+			return fmt.Errorf("%w: empty consistency path", ErrMalformedProof)
+		}
+		fr, sr = rest[0], rest[0]
+		rest = rest[1:]
+	}
+	for _, c := range rest {
+		if sn == 0 {
+			return fmt.Errorf("%w: consistency path longer than the tree is deep", ErrProofInvalid)
+		}
+		if fn&1 == 1 || fn == sn {
+			fr = nodeHash(c, fr)
+			sr = nodeHash(c, sr)
+			if fn&1 == 0 {
+				for fn != 0 && fn&1 == 0 {
+					fn >>= 1
+					sn >>= 1
+				}
+			}
+		} else {
+			sr = nodeHash(sr, c)
+		}
+		fn >>= 1
+		sn >>= 1
+	}
+	if sn != 0 {
+		return fmt.Errorf("%w: consistency path shorter than the tree is deep", ErrProofInvalid)
+	}
+	if fr != oldRoot {
+		return fmt.Errorf("%w: path reconstructs old root %s, claimed %s", ErrProofInvalid, fr, oldRoot)
+	}
+	if sr != newRoot {
+		return fmt.Errorf("%w: path reconstructs new root %s, claimed %s", ErrProofInvalid, sr, newRoot)
+	}
+	return nil
+}
